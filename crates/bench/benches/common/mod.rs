@@ -1,0 +1,67 @@
+//! Shared fixtures for the per-artefact benches: tiny synthetic splits and
+//! bench-scale presets so each Criterion sample is one representative unit
+//! of the corresponding table/figure (one method fitted and evaluated), not
+//! the whole grid.
+//!
+//! Each bench target compiles this module independently and uses a subset
+//! of it, so unused-item lints are expected and silenced.
+#![allow(dead_code)]
+
+use criterion::Criterion;
+use sbrl_core::{Framework, TrainConfig};
+use sbrl_data::{CausalDataset, SyntheticConfig, SyntheticProcess};
+use sbrl_experiments::presets::{bench_variant, paper_syn_16_16_16_2, paper_syn_8_8_8_2};
+use sbrl_experiments::{BackboneKind, ExperimentPreset, MethodSpec, Scale};
+
+/// Criterion tuned for heavyweight single-iteration workloads.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(6))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+/// Train/val/ID-test/OOD-test splits at bench scale.
+pub struct BenchData {
+    pub train: CausalDataset,
+    pub val: CausalDataset,
+    pub test_id: CausalDataset,
+    pub test_ood: CausalDataset,
+}
+
+/// Generates a bench-scale synthetic fixture.
+pub fn synthetic_fixture(cfg: SyntheticConfig, seed: u64) -> BenchData {
+    let (n_train, n_val, n_test) = Scale::Bench.synthetic_samples();
+    let process = SyntheticProcess::new(cfg, seed);
+    BenchData {
+        train: process.generate(2.5, n_train, 0),
+        val: process.generate(2.5, n_val, 1),
+        test_id: process.generate(2.5, n_test, 2),
+        test_ood: process.generate(-3.0, n_test, 3),
+    }
+}
+
+/// Bench-scale preset for `Syn_8_8_8_2`.
+pub fn preset_syn8() -> ExperimentPreset {
+    bench_variant(paper_syn_8_8_8_2())
+}
+
+/// Bench-scale preset for `Syn_16_16_16_2`.
+pub fn preset_syn16() -> ExperimentPreset {
+    bench_variant(paper_syn_16_16_16_2())
+}
+
+/// Bench-scale optimisation budget.
+pub fn budget(preset: &ExperimentPreset) -> TrainConfig {
+    Scale::Bench.train_config(preset.lr, preset.l2, 0)
+}
+
+/// The headline method of the paper.
+pub fn hap_method() -> MethodSpec {
+    MethodSpec { backbone: BackboneKind::Cfr, framework: Framework::SbrlHap }
+}
+
+/// The vanilla comparator.
+pub fn vanilla_method() -> MethodSpec {
+    MethodSpec { backbone: BackboneKind::Cfr, framework: Framework::Vanilla }
+}

@@ -1,0 +1,45 @@
+//! Bench for **Fig. 3** (`Syn_16_16_16_2` PEHE-vs-rho series): one sample =
+//! fit one method on the high-dimensional dataset and trace PEHE across a
+//! reduced environment sweep.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbrl_data::{SyntheticConfig, SyntheticProcess};
+use sbrl_experiments::fit_method;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let preset = common::preset_syn16();
+    let data = common::synthetic_fixture(SyntheticConfig::syn_16_16_16_2(), 2);
+    let process = SyntheticProcess::new(SyntheticConfig::syn_16_16_16_2(), 2);
+    let envs: Vec<_> = [-3.0, -1.5, 1.5, 2.5]
+        .iter()
+        .map(|&rho| process.generate(rho, 200, 50 + rho.to_bits() as u64 % 13))
+        .collect();
+    let budget = common::budget(&preset);
+    c.benchmark_group("fig3").bench_function("cfr_sbrl_series", |b| {
+        b.iter(|| {
+            let mut fitted = fit_method(
+                sbrl_experiments::MethodSpec {
+                    backbone: sbrl_experiments::BackboneKind::Cfr,
+                    framework: sbrl_core::Framework::Sbrl,
+                },
+                &preset,
+                &data.train,
+                &data.val,
+                &budget,
+            );
+            let series: Vec<f64> =
+                envs.iter().map(|e| fitted.evaluate(e).expect("oracle").pehe).collect();
+            black_box(series)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench for **Fig. 4** (factual / counterfactual F1 series): one sample =
+//! the evaluation pass computing both F1 series across environments for a
+//! pre-fitted model (the figure's incremental cost over Fig. 3).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbrl_data::SyntheticConfig;
+use sbrl_experiments::fit_method;
+use sbrl_metrics::env_aggregate;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let preset = common::preset_syn16();
+    let data = common::synthetic_fixture(SyntheticConfig::syn_16_16_16_2(), 3);
+    let budget = common::budget(&preset);
+    let mut fitted =
+        fit_method(common::hap_method(), &preset, &data.train, &data.val, &budget);
+    let envs = [&data.test_id, &data.test_ood];
+    c.benchmark_group("fig4").bench_function("f1_series_eval", |b| {
+        b.iter(|| {
+            let factual: Vec<f64> =
+                envs.iter().map(|e| fitted.evaluate(e).expect("oracle").factual_score).collect();
+            let cf: Vec<f64> = envs
+                .iter()
+                .map(|e| fitted.evaluate(e).expect("oracle").counterfactual_score)
+                .collect();
+            black_box((env_aggregate(&factual), env_aggregate(&cf)))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench_fig4
+}
+criterion_main!(benches);

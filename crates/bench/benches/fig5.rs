@@ -1,0 +1,31 @@
+//! Bench for **Fig. 5** (representation decorrelation analysis): one sample
+//! = the pairwise HSIC-RFF matrix over 25 sampled representation
+//! dimensions, the analysis cost on top of a fitted model.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbrl_stats::{mean_offdiag_hsic, pairwise_hsic_matrix, Rff};
+use sbrl_tensor::rng::{randn, rng_from_seed};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut rng = rng_from_seed(4);
+    let rep = randn(&mut rng, 500, 25);
+    let rff = Rff::sample(&mut rng, Rff::DEFAULT_NUM_FUNCTIONS);
+    let mut group = c.benchmark_group("fig5");
+    group.bench_function("pairwise_hsic_25dims", |b| {
+        b.iter(|| black_box(pairwise_hsic_matrix(&rep, &rff, None)));
+    });
+    group.bench_function("mean_offdiag_hsic", |b| {
+        b.iter(|| black_box(mean_offdiag_hsic(&rep, &rff, None)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench_fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench for **Fig. 6** (gamma sensitivity): one sample = one sweep point
+//! (one CFR+SBRL-HAP fit at a non-default gamma) — the figure repeats this
+//! 18 times.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbrl_data::SyntheticConfig;
+use sbrl_experiments::{fit_method, ExperimentPreset};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let base = common::preset_syn16();
+    let preset = ExperimentPreset { gammas: (10.0, base.gammas.1, base.gammas.2), ..base };
+    let data = common::synthetic_fixture(SyntheticConfig::syn_16_16_16_2(), 8);
+    let budget = common::budget(&preset);
+    c.benchmark_group("fig6").bench_function("sweep_point_gamma1_10", |b| {
+        b.iter(|| {
+            let mut fitted =
+                fit_method(common::hap_method(), &preset, &data.train, &data.val, &budget);
+            black_box((
+                fitted.evaluate(&data.test_id).expect("oracle").pehe,
+                fitted.evaluate(&data.test_ood).expect("oracle").factual_score,
+            ))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench_fig6
+}
+criterion_main!(benches);

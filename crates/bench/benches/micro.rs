@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the numerical hot paths behind every experiment:
+//! the matmul kernel, the differentiable weighted IPMs, the HSIC-RFF
+//! decorrelation loss and one full alternating training step.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbrl_stats::{decorrelation_loss_graph, ipm_weighted_graph, DecorrelationConfig, IpmKind, Rff};
+use sbrl_tensor::rng::{randn, rng_from_seed};
+use sbrl_tensor::{Graph, Matrix};
+use std::hint::black_box;
+
+fn bench_micro(c: &mut Criterion) {
+    let mut rng = rng_from_seed(0);
+    let mut group = c.benchmark_group("micro");
+
+    let a = randn(&mut rng, 128, 64);
+    let b = randn(&mut rng, 64, 64);
+    group.bench_function("matmul_128x64x64", |bch| {
+        bch.iter(|| black_box(a.matmul(&b)));
+    });
+
+    let phi = randn(&mut rng, 128, 48);
+    let treated: Vec<usize> = (0..64).collect();
+    let control: Vec<usize> = (64..128).collect();
+    for (label, kind) in [
+        ("ipm_mmd_lin_fwd_bwd", IpmKind::MmdLin),
+        ("ipm_wasserstein_fwd_bwd", IpmKind::Wasserstein { lambda: 10.0, iterations: 5 }),
+    ] {
+        group.bench_function(label, |bch| {
+            bch.iter(|| {
+                let mut g = Graph::new();
+                let p = g.constant(phi.clone());
+                let w = g.param(Matrix::ones(128, 1));
+                let loss = ipm_weighted_graph(&mut g, kind, p, w, &treated, &control);
+                g.backward(loss);
+                black_box(g.grad(w).map(Matrix::norm_fro))
+            });
+        });
+    }
+
+    let z = randn(&mut rng, 128, 48);
+    let rff = Rff::sample(&mut rng, 5);
+    let cfg = DecorrelationConfig { normalize: false, ..Default::default() };
+    group.bench_function("hsic_decorrelation_fwd_bwd", |bch| {
+        bch.iter(|| {
+            let mut g = Graph::new();
+            let zc = g.constant(z.clone());
+            let w = g.param(Matrix::ones(128, 1));
+            let mut r = rng_from_seed(1);
+            let loss = decorrelation_loss_graph(&mut g, zc, w, &rff, &cfg, &mut r);
+            g.backward(loss);
+            black_box(g.grad(w).map(Matrix::norm_fro))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench_micro
+}
+criterion_main!(benches);

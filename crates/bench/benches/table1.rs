@@ -1,0 +1,35 @@
+//! Bench for **Table I** (`Syn_8_8_8_2` sweep): one Criterion sample = fit
+//! one method at bench scale and evaluate it on an ID and a far-OOD
+//! environment — the unit of work the full table repeats 9 x reps times.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbrl_data::SyntheticConfig;
+use sbrl_experiments::fit_method;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let preset = common::preset_syn8();
+    let data = common::synthetic_fixture(SyntheticConfig::syn_8_8_8_2(), 1);
+    let budget = common::budget(&preset);
+    let mut group = c.benchmark_group("table1");
+    for (label, spec) in [("cfr_vanilla", common::vanilla_method()), ("cfr_sbrl_hap", common::hap_method())] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut fitted = fit_method(spec, &preset, &data.train, &data.val, &budget);
+                let id = fitted.evaluate(&data.test_id).expect("oracle");
+                let ood = fitted.evaluate(&data.test_ood).expect("oracle");
+                black_box((id.pehe, ood.pehe))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Bench for **Table II** (sub-module ablation): one sample = fit one
+//! ablation row (CFR backbone) and evaluate ID + OOD PEHE.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbrl_data::SyntheticConfig;
+use sbrl_experiments::BackboneKind;
+use sbrl_tensor::rng::rng_from_seed;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let preset = common::preset_syn16();
+    let data = common::synthetic_fixture(SyntheticConfig::syn_16_16_16_2(), 5);
+    let budget = common::budget(&preset);
+    let mut group = c.benchmark_group("table2");
+    // The BR+IR row (SBRL) and the full BR+IR+HAP row.
+    for (label, hap) in [("row_br_ir", false), ("row_full", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut rng = rng_from_seed(6);
+                let model = preset.build(BackboneKind::Cfr, data.train.dim(), &mut rng);
+                let (g1, g2, g3) = preset.gammas;
+                let mut cfg = sbrl_core::SbrlConfig::sbrl_hap(preset.alpha, g1, g2, g3)
+                    .with_ipm(preset.ipm);
+                cfg.use_hap = hap;
+                let mut fitted =
+                    sbrl_core::train(model, &data.train, &data.val, &cfg, &budget).expect("train");
+                black_box((
+                    fitted.evaluate(&data.test_id).expect("oracle").pehe,
+                    fitted.evaluate(&data.test_ood).expect("oracle").pehe,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench_table2
+}
+criterion_main!(benches);

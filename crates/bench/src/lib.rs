@@ -1,0 +1,9 @@
+//! # sbrl-bench
+//!
+//! Criterion benches, one per paper table/figure, driving the
+//! `sbrl-experiments` runners at bench scale plus micro-benchmarks of the
+//! numerical hot paths (matmul, IPM, HSIC-RFF, one full alternating step).
+//!
+//! Run with `cargo bench --workspace`; per-artefact benches live in
+//! `benches/` (`table1`, `fig3`, `fig4`, `fig5`, `table2`, `table3`,
+//! `fig6`, `table6`, `micro`).

@@ -1,0 +1,159 @@
+//! Framework configuration: which regularizers are active and with what
+//! coefficients (Eq. 11).
+
+use sbrl_stats::{DecorrelationConfig, IpmKind};
+
+/// Which framework wraps the backbone (Sec. V-A's `Vanilla` / `+SBRL` /
+/// `+SBRL-HAP` columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Framework {
+    /// The backbone alone.
+    Vanilla,
+    /// Balancing + Independence Regularizers, last-layer decorrelation only.
+    Sbrl,
+    /// Full framework with the Hierarchical-Attention Paradigm.
+    SbrlHap,
+}
+
+impl Framework {
+    /// Table label used in results (`""`, `"+SBRL"`, `"+SBRL-HAP"`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Framework::Vanilla => "",
+            Framework::Sbrl => "+SBRL",
+            Framework::SbrlHap => "+SBRL-HAP",
+        }
+    }
+}
+
+/// Full configuration of the sample-weight objective `L_w` (Eq. 11):
+/// `L_w = α·L_B + γ1·L_I + γ2·L_D(Z_r, w) + γ3·Σ_i L_D(Z_o^i, w) + R_w`.
+///
+/// The three `use_*` flags exist for the paper's Table II ablation; the
+/// [`SbrlConfig::vanilla`] / [`SbrlConfig::sbrl`] / [`SbrlConfig::sbrl_hap`]
+/// constructors cover the standard frameworks.
+#[derive(Clone, Copy, Debug)]
+pub struct SbrlConfig {
+    /// Balancing Regularizer `L_B` active (weighted IPM, Eq. 4).
+    pub use_br: bool,
+    /// Independence Regularizer `L_I = L_D(Z_p, w)` active (Eq. 10).
+    pub use_ir: bool,
+    /// Hierarchical-Attention terms `L_D(Z_r, w)` and `Σ L_D(Z_o^i, w)`
+    /// active.
+    pub use_hap: bool,
+    /// Weight `α` of the balance loss.
+    pub alpha: f64,
+    /// Weight `γ1` of the last-layer independence loss.
+    pub gamma1: f64,
+    /// Weight `γ2` of the representation-layer decorrelation.
+    pub gamma2: f64,
+    /// Weight `γ3` of the remaining hidden-layer decorrelation.
+    pub gamma3: f64,
+    /// IPM used by the Balancing Regularizer.
+    pub ipm: IpmKind,
+    /// HSIC-RFF options (function count is
+    /// [`sbrl_stats::Rff::DEFAULT_NUM_FUNCTIONS`] unless overridden).
+    pub decor: DecorrelationConfig,
+    /// Number of random Fourier functions per feature (paper default: 5).
+    pub rff_functions: usize,
+}
+
+impl SbrlConfig {
+    /// No weight learning at all — the backbone alone.
+    pub fn vanilla() -> Self {
+        Self {
+            use_br: false,
+            use_ir: false,
+            use_hap: false,
+            alpha: 0.0,
+            gamma1: 0.0,
+            gamma2: 0.0,
+            gamma3: 0.0,
+            ipm: IpmKind::MmdLin,
+            decor: DecorrelationConfig::default(),
+            rff_functions: 5,
+        }
+    }
+
+    /// `+SBRL`: Balancing + Independence Regularizers (Sec. IV-B).
+    pub fn sbrl(alpha: f64, gamma1: f64) -> Self {
+        Self { use_br: true, use_ir: true, alpha, gamma1, ..Self::vanilla() }
+    }
+
+    /// `+SBRL-HAP`: the full hierarchical framework (Sec. IV-C).
+    pub fn sbrl_hap(alpha: f64, gamma1: f64, gamma2: f64, gamma3: f64) -> Self {
+        Self {
+            use_br: true,
+            use_ir: true,
+            use_hap: true,
+            alpha,
+            gamma1,
+            gamma2,
+            gamma3,
+            ..Self::vanilla()
+        }
+    }
+
+    /// Which framework the flag combination corresponds to (ablation rows
+    /// map to the nearest label).
+    pub fn framework(&self) -> Framework {
+        match (self.use_br || self.use_ir, self.use_hap) {
+            (false, false) => Framework::Vanilla,
+            (_, true) => Framework::SbrlHap,
+            (true, false) => Framework::Sbrl,
+        }
+    }
+
+    /// Whether any weight-learning objective is active.
+    pub fn weights_enabled(&self) -> bool {
+        self.use_br || self.use_ir || self.use_hap
+    }
+
+    /// Builder-style IPM override.
+    pub fn with_ipm(mut self, ipm: IpmKind) -> Self {
+        self.ipm = ipm;
+        self
+    }
+
+    /// Builder-style decorrelation override.
+    pub fn with_decor(mut self, decor: DecorrelationConfig) -> Self {
+        self.decor = decor;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_flags() {
+        let v = SbrlConfig::vanilla();
+        assert!(!v.weights_enabled());
+        assert_eq!(v.framework(), Framework::Vanilla);
+
+        let s = SbrlConfig::sbrl(1.0, 1.0);
+        assert!(s.use_br && s.use_ir && !s.use_hap);
+        assert_eq!(s.framework(), Framework::Sbrl);
+
+        let h = SbrlConfig::sbrl_hap(1.0, 1.0, 0.1, 0.01);
+        assert!(h.use_br && h.use_ir && h.use_hap);
+        assert_eq!(h.framework(), Framework::SbrlHap);
+        assert!(h.weights_enabled());
+    }
+
+    #[test]
+    fn suffixes_match_paper_tables() {
+        assert_eq!(Framework::Vanilla.suffix(), "");
+        assert_eq!(Framework::Sbrl.suffix(), "+SBRL");
+        assert_eq!(Framework::SbrlHap.suffix(), "+SBRL-HAP");
+    }
+
+    #[test]
+    fn ablation_rows_are_expressible() {
+        // Table II: IR+HAP (no BR), BR+HAP (no IR), BR+IR (no HAP), full.
+        let no_br = SbrlConfig { use_br: false, ..SbrlConfig::sbrl_hap(1.0, 1.0, 1.0, 1.0) };
+        assert!(!no_br.use_br && no_br.use_ir && no_br.use_hap);
+        assert!(no_br.weights_enabled());
+    }
+}

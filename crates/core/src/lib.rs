@@ -1,0 +1,52 @@
+//! # sbrl-core
+//!
+//! The paper's primary contribution: **Stable Balanced Representation
+//! Learning with Hierarchical-Attention Paradigm** (SBRL-HAP, ICDE 2024).
+//!
+//! The framework wraps any [`sbrl_models::Backbone`] with three regularizers
+//! driving a set of learnable per-sample weights:
+//!
+//! * [`config`] — framework flags and the `{α, γ1, γ2, γ3}` coefficients of
+//!   the weight objective (Eq. 11);
+//! * [`weights`] — the positive sample-weight module with its `R_w` anchor;
+//! * [`regularizers`] — the Balancing Regularizer (weighted IPM, Eq. 4), the
+//!   Independence Regularizer (weighted HSIC-RFF, Eq. 10) and the
+//!   Hierarchical-Attention terms assembled into `L_w`;
+//! * [`trainer`] — the alternating optimisation of Algorithm 1 and the
+//!   [`FittedModel`] inference wrapper.
+//!
+//! ```no_run
+//! use sbrl_core::{train, SbrlConfig, TrainConfig};
+//! use sbrl_data::{SyntheticConfig, SyntheticProcess};
+//! use sbrl_models::{Cfr, CfrConfig};
+//! use sbrl_tensor::rng::rng_from_seed;
+//!
+//! let process = SyntheticProcess::new(SyntheticConfig::syn_8_8_8_2(), 0);
+//! let train_data = process.generate(2.5, 1000, 0);
+//! let val_data = process.generate(2.5, 300, 1);
+//! let mut rng = rng_from_seed(0);
+//! let model = Cfr::new(CfrConfig::small(train_data.dim()), &mut rng);
+//! let mut fitted = train(
+//!     model,
+//!     &train_data,
+//!     &val_data,
+//!     &SbrlConfig::sbrl_hap(1.0, 1.0, 1.0, 0.1),
+//!     &TrainConfig::default(),
+//! )
+//! .expect("training succeeds");
+//! let ood = process.generate(-3.0, 500, 2);
+//! let eval = fitted.evaluate(&ood).expect("oracle available");
+//! println!("OOD PEHE = {:.3}", eval.pehe);
+//! ```
+
+pub mod config;
+pub mod ood;
+pub mod regularizers;
+pub mod trainer;
+pub mod weights;
+
+pub use config::{Framework, SbrlConfig};
+pub use ood::{BlendedEstimator, OodDetector, OodDetectorConfig};
+pub use regularizers::{weight_objective, WeightLossTerms};
+pub use trainer::{train, FittedModel, TrainConfig, TrainError, TrainReport};
+pub use weights::SampleWeights;

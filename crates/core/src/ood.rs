@@ -1,0 +1,292 @@
+//! OOD-level measurement and stability/performance interpolation — the
+//! extension the paper sketches as future work in its conclusion:
+//!
+//! > "One potential solution to find a balance between stability and
+//! > performance is to incorporate a module that measures the OOD level
+//! > between the target domain and the source domain. Based on the measured
+//! > OOD level, it would be feasible to use interpolation [...] to boost our
+//! > algorithm with conventional supervised learning."
+//!
+//! [`OodDetector`] scores how far a target covariate sample sits from the
+//! training distribution (kernel MMD² against a reference sample, in
+//! standardised space, calibrated against within-distribution resamples).
+//! [`BlendedEstimator`] uses that score to interpolate between a vanilla
+//! backbone (sharper in-distribution, per the paper's Table I) and an
+//! SBRL-HAP model (stabler out-of-distribution).
+
+use rand::rngs::StdRng;
+use sbrl_data::Scaler;
+use sbrl_metrics::EffectEstimate;
+use sbrl_stats::{ipm_plain, IpmKind};
+use sbrl_tensor::rng::{rng_from_seed, sample_without_replacement};
+use sbrl_tensor::Matrix;
+
+/// Configuration of the OOD detector.
+#[derive(Clone, Copy, Debug)]
+pub struct OodDetectorConfig {
+    /// Reference subsample size kept from the training covariates.
+    pub reference_size: usize,
+    /// Number of within-distribution resample pairs used for calibration.
+    pub calibration_rounds: usize,
+    /// RBF bandwidth (non-positive = median heuristic).
+    pub sigma: f64,
+    /// Seed for the subsampling.
+    pub seed: u64,
+}
+
+impl Default for OodDetectorConfig {
+    fn default() -> Self {
+        Self { reference_size: 512, calibration_rounds: 8, sigma: -1.0, seed: 0 }
+    }
+}
+
+/// Measures the OOD level of target covariates relative to a training
+/// sample.
+///
+/// The raw statistic is the RBF-kernel MMD² between a training reference
+/// subsample and the target sample, computed on standardised covariates. To
+/// make the score interpretable across datasets it is calibrated against
+/// the MMD² fluctuations between *within-distribution* resample pairs of
+/// the training data: a score around 0 means "indistinguishable from
+/// training", and the score grows with the shift.
+pub struct OodDetector {
+    scaler: Scaler,
+    reference: Matrix,
+    /// Mean of the null (within-distribution) MMD² distribution.
+    null_mean: f64,
+    /// Standard deviation of the null distribution (floored).
+    null_std: f64,
+    /// Per-feature null statistics `(mean, std)` for marginal MMD² scores.
+    feature_null: Vec<(f64, f64)>,
+    sigma: f64,
+}
+
+impl OodDetector {
+    /// Fits the detector on training covariates.
+    ///
+    /// # Panics
+    /// Panics if `x_train` has fewer than four rows.
+    #[track_caller]
+    pub fn fit(x_train: &Matrix, cfg: &OodDetectorConfig) -> Self {
+        assert!(x_train.rows() >= 4, "OodDetector needs at least 4 training rows");
+        let mut rng: StdRng = rng_from_seed(cfg.seed ^ 0x00d0_00d0);
+        let scaler = Scaler::fit(x_train);
+        let z = scaler.transform(x_train);
+        let n = z.rows();
+        let keep = cfg.reference_size.min(n);
+        let ref_idx = sample_without_replacement(&mut rng, n, keep);
+        let reference = z.select_rows(&ref_idx);
+
+        let sigma =
+            if cfg.sigma > 0.0 { cfg.sigma } else { sbrl_stats::median_bandwidth(&reference) };
+
+        // Null distributions: joint and per-feature MMD² between disjoint
+        // within-train halves. The per-feature scores make the detector
+        // sensitive to shifts confined to a few covariates, which joint MMD
+        // over many dimensions dilutes away.
+        let rounds = cfg.calibration_rounds.max(2);
+        let d = z.cols();
+        let mut null = Vec::with_capacity(rounds);
+        let mut feature_null_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); d];
+        let half = (keep / 2).max(2).min(n / 2);
+        for _ in 0..rounds {
+            let idx = sample_without_replacement(&mut rng, n, 2 * half);
+            let a = z.select_rows(&idx[..half]);
+            let b = z.select_rows(&idx[half..]);
+            null.push(ipm_plain(IpmKind::MmdRbf { sigma }, &a, &b));
+            for j in 0..d {
+                let aj = a.slice_cols(j, j + 1);
+                let bj = b.slice_cols(j, j + 1);
+                feature_null_samples[j].push(ipm_plain(IpmKind::MmdRbf { sigma: 1.0 }, &aj, &bj));
+            }
+        }
+        let stats = |vals: &[f64]| -> (f64, f64) {
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+            (mean, var.sqrt().max(1e-9))
+        };
+        let (null_mean, null_std) = stats(&null);
+        let feature_null = feature_null_samples.iter().map(|v| stats(v)).collect();
+        Self { scaler, reference, null_mean, null_std, feature_null, sigma }
+    }
+
+    /// Raw MMD² between the (standardised) target sample and the training
+    /// reference.
+    pub fn raw_mmd2(&self, x_target: &Matrix) -> f64 {
+        let zt = self.scaler.transform(x_target);
+        ipm_plain(IpmKind::MmdRbf { sigma: self.sigma }, &self.reference, &zt)
+    }
+
+    /// Calibrated joint score: `(MMD² - null_mean) / null_std`, clamped at 0.
+    pub fn joint_score(&self, x_target: &Matrix) -> f64 {
+        ((self.raw_mmd2(x_target) - self.null_mean) / self.null_std).max(0.0)
+    }
+
+    /// Calibrated per-feature marginal scores (one per covariate).
+    pub fn feature_scores(&self, x_target: &Matrix) -> Vec<f64> {
+        let zt = self.scaler.transform(x_target);
+        (0..zt.cols())
+            .map(|j| {
+                let rj = self.reference.slice_cols(j, j + 1);
+                let tj = zt.slice_cols(j, j + 1);
+                let raw = ipm_plain(IpmKind::MmdRbf { sigma: 1.0 }, &rj, &tj);
+                let (mean, std) = self.feature_null[j];
+                ((raw - mean) / std).max(0.0)
+            })
+            .collect()
+    }
+
+    /// Calibrated OOD level: the maximum of the joint score and the
+    /// per-feature marginal scores. ~0 = in-distribution; grows with shift
+    /// strength, and stays sensitive when only a few covariates move.
+    pub fn ood_level(&self, x_target: &Matrix) -> f64 {
+        let joint = self.joint_score(x_target);
+        let per_feature =
+            self.feature_scores(x_target).into_iter().fold(0.0f64, f64::max);
+        joint.max(per_feature)
+    }
+
+    /// Squashes the OOD level into an interpolation coefficient in `[0, 1]`
+    /// (`0` = trust the in-distribution expert, `1` = trust the stable
+    /// expert). `half_point` is the OOD level mapped to 0.5.
+    pub fn blend_coefficient(&self, x_target: &Matrix, half_point: f64) -> f64 {
+        let level = self.ood_level(x_target);
+        let hp = half_point.max(1e-9);
+        level / (level + hp)
+    }
+}
+
+/// Interpolates two effect estimates by an OOD-driven coefficient: the
+/// vanilla model's predictions in-distribution, sliding towards the stable
+/// model's as the target population drifts.
+pub struct BlendedEstimator {
+    detector: OodDetector,
+    /// OOD level mapped to an even 50/50 blend.
+    pub half_point: f64,
+}
+
+impl BlendedEstimator {
+    /// Builds a blender around a fitted detector.
+    pub fn new(detector: OodDetector, half_point: f64) -> Self {
+        Self { detector, half_point }
+    }
+
+    /// The blend coefficient for a target sample (0 = vanilla, 1 = stable).
+    pub fn coefficient(&self, x_target: &Matrix) -> f64 {
+        self.detector.blend_coefficient(x_target, self.half_point)
+    }
+
+    /// Blends two estimates; `vanilla` and `stable` must be aligned with the
+    /// rows of `x_target`.
+    ///
+    /// # Panics
+    /// Panics if the estimate lengths disagree.
+    #[track_caller]
+    pub fn blend(
+        &self,
+        x_target: &Matrix,
+        vanilla: &EffectEstimate,
+        stable: &EffectEstimate,
+    ) -> EffectEstimate {
+        assert_eq!(vanilla.y0_hat.len(), stable.y0_hat.len(), "estimate lengths disagree");
+        assert_eq!(vanilla.y0_hat.len(), x_target.rows(), "estimates must align with x_target");
+        let c = self.coefficient(x_target);
+        let mix = |a: &[f64], b: &[f64]| -> Vec<f64> {
+            a.iter().zip(b).map(|(&va, &vb)| (1.0 - c) * va + c * vb).collect()
+        };
+        EffectEstimate {
+            y0_hat: mix(&vanilla.y0_hat, &stable.y0_hat),
+            y1_hat: mix(&vanilla.y1_hat, &stable.y1_hat),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbrl_tensor::rng::randn;
+
+    fn detector_on_gaussian(seed: u64) -> (OodDetector, StdRng) {
+        let mut rng = rng_from_seed(seed);
+        let x = randn(&mut rng, 600, 5);
+        let det = OodDetector::fit(&x, &OodDetectorConfig::default());
+        (det, rng)
+    }
+
+    #[test]
+    fn in_distribution_scores_near_zero() {
+        let (det, mut rng) = detector_on_gaussian(0);
+        let same = randn(&mut rng, 300, 5);
+        let level = det.ood_level(&same);
+        assert!(level < 3.0, "ID level should be small, got {level}");
+    }
+
+    #[test]
+    fn shifted_targets_score_higher_and_monotonically() {
+        let (det, mut rng) = detector_on_gaussian(1);
+        let id = det.ood_level(&randn(&mut rng, 300, 5));
+        let near = det.ood_level(&randn(&mut rng, 300, 5).add_scalar(0.5));
+        let far = det.ood_level(&randn(&mut rng, 300, 5).add_scalar(2.0));
+        assert!(near > id, "near shift {near} should exceed ID {id}");
+        assert!(far > near, "far shift {far} should exceed near {near}");
+    }
+
+    #[test]
+    fn scale_shift_is_detected_too() {
+        let (det, mut rng) = detector_on_gaussian(2);
+        let id = det.ood_level(&randn(&mut rng, 300, 5));
+        let wide = det.ood_level(&randn(&mut rng, 300, 5).scale(3.0));
+        assert!(wide > id + 1.0, "variance shift should be detected: {wide} vs {id}");
+    }
+
+    #[test]
+    fn blend_coefficient_is_bounded_and_monotone() {
+        let (det, mut rng) = detector_on_gaussian(3);
+        let id = randn(&mut rng, 200, 5);
+        let ood = randn(&mut rng, 200, 5).add_scalar(3.0);
+        let c_id = det.blend_coefficient(&id, 5.0);
+        let c_ood = det.blend_coefficient(&ood, 5.0);
+        assert!((0.0..=1.0).contains(&c_id) && (0.0..=1.0).contains(&c_ood));
+        assert!(c_ood > c_id, "blend should lean stable under shift: {c_ood} vs {c_id}");
+        assert!(c_ood > 0.5, "far OOD should pass the half point, got {c_ood}");
+    }
+
+    #[test]
+    fn blended_estimates_interpolate_linearly() {
+        let (det, mut rng) = detector_on_gaussian(4);
+        let x = randn(&mut rng, 4, 5).add_scalar(10.0); // extreme shift -> c ~ 1
+        let blender = BlendedEstimator::new(det, 1.0);
+        let vanilla = EffectEstimate { y0_hat: vec![0.0; 4], y1_hat: vec![0.0; 4] };
+        let stable = EffectEstimate { y0_hat: vec![1.0; 4], y1_hat: vec![2.0; 4] };
+        let c = blender.coefficient(&x);
+        let blended = blender.blend(&x, &vanilla, &stable);
+        assert!(c > 0.9, "extreme shift should saturate, got {c}");
+        for i in 0..4 {
+            assert!((blended.y0_hat[i] - c).abs() < 1e-12);
+            assert!((blended.y1_hat[i] - 2.0 * c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "estimate lengths disagree")]
+    fn blend_rejects_mismatched_estimates() {
+        let (det, mut rng) = detector_on_gaussian(5);
+        let x = randn(&mut rng, 3, 5);
+        let blender = BlendedEstimator::new(det, 1.0);
+        let a = EffectEstimate { y0_hat: vec![0.0; 3], y1_hat: vec![0.0; 3] };
+        let b = EffectEstimate { y0_hat: vec![0.0; 2], y1_hat: vec![0.0; 2] };
+        let _ = blender.blend(&x, &a, &b);
+    }
+
+    #[test]
+    fn detector_is_deterministic_per_seed() {
+        let mut rng = rng_from_seed(6);
+        let x = randn(&mut rng, 400, 3);
+        let target = randn(&mut rng, 100, 3).add_scalar(1.0);
+        let cfg = OodDetectorConfig::default();
+        let a = OodDetector::fit(&x, &cfg).ood_level(&target);
+        let b = OodDetector::fit(&x, &cfg).ood_level(&target);
+        assert_eq!(a, b);
+    }
+}

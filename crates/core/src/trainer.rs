@@ -1,0 +1,546 @@
+//! End-to-end alternating training (Algorithm 1 of the paper).
+//!
+//! Each iteration draws a mini-batch and performs two phases:
+//!
+//! 1. **Network phase** — update the backbone parameters `W, b` on the
+//!    weighted factual loss `L^w_Y` (Eq. 13) plus the backbone's own
+//!    regularizers and L2, with the sample weights held constant;
+//! 2. **Weight phase** — rebuild the forward pass with the network *frozen*
+//!    (parameters enter the tape as constants) and update the sample
+//!    weights on `L_w` (Eq. 11).
+//!
+//! Validation uses the unweighted factual loss; the best-evaluated iterate
+//! is restored at the end (Sec. V-C: early stopping, best iterate).
+
+use std::time::Instant;
+
+use sbrl_data::{CausalDataset, DataError, OutcomeKind, Scaler};
+use sbrl_metrics::{evaluate, EffectEstimate, Evaluation};
+use sbrl_models::{select_by_treatment, Backbone, BatchContext};
+use sbrl_nn::{
+    loss::l2_penalty, Adam, BatchIter, Binding, EarlyStopping, LrSchedule, Optimizer, OutcomeLoss,
+};
+use sbrl_stats::Rff;
+use sbrl_tensor::rng::rng_from_seed;
+use sbrl_tensor::{Graph, Matrix};
+
+use crate::config::SbrlConfig;
+use crate::regularizers::weight_objective;
+use crate::weights::SampleWeights;
+
+/// Standardised covariates are winsorised to this many standard deviations.
+/// Unbounded test-time inputs otherwise let deep ELU heads extrapolate
+/// explosively on rows far outside the training support (observed on the
+/// IHDP surface's heavy tails).
+const CLIP_SIGMA: f64 = 5.0;
+
+fn prep(scaler: &Option<Scaler>, x: &Matrix) -> Matrix {
+    match scaler {
+        Some(s) => s.transform(x).clamp(-CLIP_SIGMA, CLIP_SIGMA),
+        None => x.clone(),
+    }
+}
+
+/// Optimisation hyper-parameters (Sec. V-C defaults scaled for CPU runs).
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Maximum number of alternating iterations (paper: 3000).
+    pub iterations: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Network learning rate.
+    pub lr: f64,
+    /// Sample-weight learning rate.
+    pub weight_lr: f64,
+    /// Exponential LR decay `(rate, steps)`; `None` = constant.
+    pub lr_decay: Option<(f64, usize)>,
+    /// L2 regularisation coefficient `λ` on the weight matrices.
+    pub l2: f64,
+    /// Validation cadence in iterations.
+    pub eval_every: usize,
+    /// Early-stopping patience in *evaluations* (not iterations).
+    pub patience: usize,
+    /// RNG seed for batching, RFF sampling and column subsampling.
+    pub seed: u64,
+    /// Standardise covariates with train-fold statistics.
+    pub standardize: bool,
+    /// Standardise *continuous* outcomes with train-fold statistics during
+    /// training and invert at prediction time (the reference CFR's `y`
+    /// normalisation; prevents divergence on heavy-tailed surfaces such as
+    /// IHDP's exponential response).
+    pub standardize_outcome: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 500,
+            batch_size: 128,
+            lr: 1e-3,
+            weight_lr: 1e-2,
+            lr_decay: Some((0.97, 100)),
+            l2: 1e-4,
+            eval_every: 25,
+            patience: 10,
+            seed: 0,
+            standardize: true,
+            standardize_outcome: true,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The paper's full-scale settings (3000 iterations).
+    pub fn paper() -> Self {
+        Self { iterations: 3000, eval_every: 50, ..Self::default() }
+    }
+
+    /// A very small budget for unit tests.
+    pub fn smoke() -> Self {
+        Self { iterations: 60, batch_size: 64, eval_every: 20, patience: 50, ..Self::default() }
+    }
+}
+
+/// Typed training failures.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The training or validation data failed structural validation.
+    Data(DataError),
+    /// The loss became non-finite at the given iteration.
+    NonFiniteLoss {
+        /// Iteration at which the divergence was detected.
+        iteration: usize,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Data(e) => write!(f, "invalid data: {e}"),
+            TrainError::NonFiniteLoss { iteration } => {
+                write!(f, "loss became non-finite at iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<DataError> for TrainError {
+    fn from(e: DataError) -> Self {
+        TrainError::Data(e)
+    }
+}
+
+/// Summary of one training run.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Iterations actually executed (early stopping may cut the budget).
+    pub iterations_run: usize,
+    /// Best validation loss observed.
+    pub best_val_loss: f64,
+    /// Iteration of the best validation loss.
+    pub best_iteration: usize,
+    /// Wall-clock training time in seconds.
+    pub train_seconds: f64,
+    /// `(min, mean, max)` of the final sample weights.
+    pub weight_stats: (f64, f64, f64),
+    /// `(iteration, validation loss)` trace.
+    pub val_curve: Vec<(usize, f64)>,
+}
+
+/// A trained backbone bundled with its preprocessing and sample weights.
+pub struct FittedModel<B: Backbone> {
+    model: B,
+    scaler: Option<Scaler>,
+    loss_kind: OutcomeLoss,
+    /// Outcome transform `(shift, scale)`: training used `(y - shift) / scale`.
+    y_transform: (f64, f64),
+    weights: Vec<f64>,
+    report: TrainReport,
+}
+
+impl<B: Backbone> FittedModel<B> {
+    /// Predicted potential outcomes for raw (unstandardised) covariates.
+    pub fn predict(&mut self, x: &Matrix) -> EffectEstimate {
+        let x = prep(&self.scaler, x);
+        let n = x.rows();
+        let t_dummy = vec![0.0; n];
+        let (mut y0_hat, mut y1_hat) = sbrl_models::predict_potential_outcomes(
+            &mut self.model,
+            &x,
+            &t_dummy,
+            self.loss_kind,
+        );
+        let (shift, scale) = self.y_transform;
+        if shift != 0.0 || scale != 1.0 {
+            for v in y0_hat.iter_mut().chain(y1_hat.iter_mut()) {
+                *v = *v * scale + shift;
+            }
+        }
+        EffectEstimate { y0_hat, y1_hat }
+    }
+
+    /// Evaluates against a dataset carrying the counterfactual oracle.
+    pub fn evaluate(&mut self, data: &CausalDataset) -> Option<Evaluation> {
+        let est = self.predict(&data.x);
+        evaluate(&est, data)
+    }
+
+    /// The balanced representation `Z_r` for given covariates (used by the
+    /// Fig. 5 decorrelation analysis).
+    pub fn representation(&mut self, x: &Matrix) -> Matrix {
+        let x = prep(&self.scaler, x);
+        let mut g = Graph::new();
+        let mut binding = Binding::new(self.model.store());
+        let xc = g.constant(x);
+        let n = g.value(xc).rows();
+        let ctx = BatchContext::new(&vec![0.0; n]);
+        let pass = self.model.forward(&mut g, &mut binding, xc, &ctx, false);
+        g.value(pass.taps.z_r).clone()
+    }
+
+    /// The last hidden layer `Z_p` for given covariates (the layer the
+    /// Independence Regularizer decorrelates). Computed with a zero
+    /// treatment column, i.e. the control head's path.
+    pub fn last_layer(&mut self, x: &Matrix) -> Matrix {
+        let x = prep(&self.scaler, x);
+        let mut g = Graph::new();
+        let mut binding = Binding::new(self.model.store());
+        let xc = g.constant(x);
+        let n = g.value(xc).rows();
+        let ctx = BatchContext::new(&vec![0.0; n]);
+        let pass = self.model.forward(&mut g, &mut binding, xc, &ctx, false);
+        g.value(pass.taps.z_p).clone()
+    }
+
+    /// The underlying backbone.
+    pub fn model(&self) -> &B {
+        &self.model
+    }
+
+    /// Mutable access to the backbone.
+    pub fn model_mut(&mut self) -> &mut B {
+        &mut self.model
+    }
+
+    /// The training report.
+    pub fn report(&self) -> &TrainReport {
+        &self.report
+    }
+
+    /// Final per-training-sample weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The outcome-loss kind used at training time.
+    pub fn loss_kind(&self) -> OutcomeLoss {
+        self.loss_kind
+    }
+}
+
+fn loss_kind_for(outcome: OutcomeKind) -> OutcomeLoss {
+    match outcome {
+        OutcomeKind::Binary => OutcomeLoss::BceWithLogits,
+        OutcomeKind::Continuous => OutcomeLoss::Mse,
+    }
+}
+
+/// Unweighted factual loss of the current model on a dataset (validation).
+fn factual_loss(
+    model: &mut dyn Backbone,
+    x: &Matrix,
+    t: &[f64],
+    yf: &[f64],
+    loss_kind: OutcomeLoss,
+) -> f64 {
+    let mut g = Graph::new();
+    let mut binding = Binding::new_frozen(model.store());
+    let xc = g.constant(x.clone());
+    let ctx = BatchContext::new(t);
+    let pass = model.forward(&mut g, &mut binding, xc, &ctx, false);
+    let fac = select_by_treatment(&mut g, &ctx, pass.y1_raw, pass.y0_raw);
+    let target = g.constant(Matrix::col_vec(yf));
+    let loss = loss_kind.loss(&mut g, fac, target);
+    g.scalar(loss)
+}
+
+/// Trains `model` on `train`, early-stopping on `val`, with the SBRL /
+/// SBRL-HAP weight objective given by `sbrl` (use
+/// [`SbrlConfig::vanilla`] for the plain backbone).
+pub fn train<B: Backbone>(
+    mut model: B,
+    train: &CausalDataset,
+    val: &CausalDataset,
+    sbrl: &SbrlConfig,
+    cfg: &TrainConfig,
+) -> Result<FittedModel<B>, TrainError> {
+    train.validate()?;
+    val.validate()?;
+    let started = Instant::now();
+    let loss_kind = loss_kind_for(train.outcome);
+    let mut rng = rng_from_seed(cfg.seed ^ 0x5b71_7a11);
+
+    let scaler = cfg.standardize.then(|| Scaler::fit(&train.x));
+    let x_train = prep(&scaler, &train.x);
+    let x_val = prep(&scaler, &val.x);
+
+    // Outcome standardisation (continuous outcomes only, train statistics).
+    let y_transform = if cfg.standardize_outcome && train.outcome == OutcomeKind::Continuous {
+        let mean = train.yf.iter().sum::<f64>() / train.n() as f64;
+        let var = train.yf.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>()
+            / train.n() as f64;
+        (mean, var.sqrt().max(1e-8))
+    } else {
+        (0.0, 1.0)
+    };
+    let scale_y = |ys: &[f64]| -> Vec<f64> {
+        ys.iter().map(|y| (y - y_transform.0) / y_transform.1).collect()
+    };
+    let yf_train = scale_y(&train.yf);
+    let yf_val = scale_y(&val.yf);
+
+    let n = train.n();
+    let mut weights = SampleWeights::new(n, cfg.weight_lr);
+    let schedule = match cfg.lr_decay {
+        Some((rate, steps)) => LrSchedule::ExponentialDecay { rate, steps },
+        None => LrSchedule::Constant,
+    };
+    let mut opt = Adam::new(model.store(), cfg.lr).with_schedule(schedule);
+    let mut batches = BatchIter::new(&mut rng, n, cfg.batch_size);
+    let mut stopper = EarlyStopping::new(cfg.patience);
+    let rff = Rff::sample(&mut rng, sbrl.rff_functions.max(1));
+    let l2_handles = model.l2_handles();
+
+    let mut best_snapshot = model.store().snapshot();
+    let mut best_val = f64::INFINITY;
+    let mut best_iter = 0usize;
+    let mut val_curve = Vec::new();
+    let mut iterations_run = 0usize;
+
+    for iter in 0..cfg.iterations {
+        iterations_run = iter + 1;
+        let batch = batches.next_batch(&mut rng);
+        let xb = x_train.select_rows(&batch);
+        let tb: Vec<f64> = batch.iter().map(|&i| train.t[i]).collect();
+        let yb: Vec<f64> = batch.iter().map(|&i| yf_train[i]).collect();
+        let ctx = BatchContext::new(&tb);
+
+        // ---- Phase 1: network update with weights fixed (Eq. 13) ----
+        {
+            let mut g = Graph::new();
+            let mut binding = Binding::new(model.store());
+            let x = g.constant(xb.clone());
+            let pass = model.forward(&mut g, &mut binding, x, &ctx, true);
+            let fac = select_by_treatment(&mut g, &ctx, pass.y1_raw, pass.y0_raw);
+            let target = g.constant(Matrix::col_vec(&yb));
+            let w_node = if sbrl.weights_enabled() {
+                weights.bind_const(&mut g, &batch)
+            } else {
+                g.constant(Matrix::ones(batch.len(), 1))
+            };
+            let pred = loss_kind.weighted_loss(&mut g, fac, target, w_node);
+            let with_reg = g.add(pred, pass.reg_loss);
+            let l2 = l2_penalty(&mut g, model.store(), &mut binding, &l2_handles, cfg.l2);
+            let total = g.add(with_reg, l2);
+            if !g.scalar(total).is_finite() {
+                return Err(TrainError::NonFiniteLoss { iteration: iter });
+            }
+            g.backward(total);
+            opt.step(model.store_mut(), &g, &binding);
+        }
+
+        // ---- Phase 2: weight update with the network frozen (Eq. 11) ----
+        if sbrl.weights_enabled() {
+            let mut g = Graph::new();
+            let mut frozen = Binding::new_frozen(model.store());
+            let x = g.constant(xb);
+            let pass = model.forward(&mut g, &mut frozen, x, &ctx, true);
+            let mut w_binding = weights.new_binding();
+            let w = weights.bind_trainable(&mut g, &mut w_binding, &batch);
+            let r_w = weights.r_w(&mut g, w);
+            let terms =
+                weight_objective(&mut g, sbrl, &pass.taps, &ctx, w, r_w, &rff, &mut rng);
+            if !g.scalar(terms.total).is_finite() {
+                return Err(TrainError::NonFiniteLoss { iteration: iter });
+            }
+            g.backward(terms.total);
+            weights.step(&g, &w_binding);
+        }
+
+        // ---- Validation / early stopping ----
+        if iter % cfg.eval_every == 0 || iter + 1 == cfg.iterations {
+            let vl = factual_loss(&mut model, &x_val, &val.t, &yf_val, loss_kind);
+            val_curve.push((iter, vl));
+            if vl.is_finite() && vl < best_val {
+                best_val = vl;
+                best_iter = iter;
+                best_snapshot = model.store().snapshot();
+            }
+            if stopper.update(iter, vl) {
+                break;
+            }
+        }
+    }
+
+    model.store_mut().restore(&best_snapshot);
+    let report = TrainReport {
+        iterations_run,
+        best_val_loss: best_val,
+        best_iteration: best_iter,
+        train_seconds: started.elapsed().as_secs_f64(),
+        weight_stats: weights.stats(),
+        val_curve,
+    };
+    Ok(FittedModel {
+        model,
+        scaler,
+        loss_kind,
+        y_transform,
+        weights: weights.values(),
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbrl_data::{SyntheticConfig, SyntheticProcess};
+    use sbrl_models::{Cfr, CfrConfig, Tarnet, TarnetConfig};
+    use sbrl_tensor::rng::rng_from_seed;
+
+    fn tiny_data() -> (CausalDataset, CausalDataset) {
+        let cfg = SyntheticConfig {
+            m_instrument: 3,
+            m_confounder: 3,
+            m_adjustment: 3,
+            m_unstable: 2,
+            pool_factor: 4,
+            threshold_pool: 1500,
+        };
+        let proc = SyntheticProcess::new(cfg, 42);
+        let train = proc.generate(2.5, 300, 0);
+        let val = proc.generate(2.5, 120, 1);
+        (train, val)
+    }
+
+    #[test]
+    fn vanilla_training_improves_validation_loss() {
+        let (train, val) = tiny_data();
+        let mut rng = rng_from_seed(0);
+        let model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
+        let fitted = super::train(
+            model,
+            &train,
+            &val,
+            &SbrlConfig::vanilla(),
+            &TrainConfig { iterations: 150, ..TrainConfig::smoke() },
+        )
+        .unwrap();
+        let curve = &fitted.report().val_curve;
+        let first = curve.first().unwrap().1;
+        let best = fitted.report().best_val_loss;
+        assert!(best < first, "validation should improve: {first} -> {best}");
+        // Vanilla framework leaves the weights untouched at 1.
+        assert!(fitted.weights().iter().all(|&w| (w - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn sbrl_training_moves_weights_away_from_one() {
+        let (train, val) = tiny_data();
+        let mut rng = rng_from_seed(1);
+        let model = Cfr::new(CfrConfig::small(train.dim()), &mut rng);
+        let fitted = super::train(
+            model,
+            &train,
+            &val,
+            &SbrlConfig::sbrl(1.0, 1.0),
+            &TrainConfig::smoke(),
+        )
+        .unwrap();
+        let (min, _, max) = fitted.report().weight_stats;
+        assert!(max - min > 1e-4, "weights should differentiate, got [{min}, {max}]");
+        assert!(min > 0.0, "weights stay positive");
+    }
+
+    #[test]
+    fn hap_training_runs_and_predicts_finite_effects() {
+        let (train, val) = tiny_data();
+        let mut rng = rng_from_seed(2);
+        let model = Cfr::new(CfrConfig::small(train.dim()), &mut rng);
+        let mut fitted = super::train(
+            model,
+            &train,
+            &val,
+            &SbrlConfig::sbrl_hap(1.0, 1.0, 0.1, 0.01),
+            &TrainConfig::smoke(),
+        )
+        .unwrap();
+        let est = fitted.predict(&val.x);
+        assert_eq!(est.y0_hat.len(), val.n());
+        assert!(est.y0_hat.iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v)));
+        assert!(est.y1_hat.iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v)));
+        let eval = fitted.evaluate(&val).expect("oracle available");
+        assert!(eval.pehe.is_finite() && eval.pehe > 0.0);
+    }
+
+    #[test]
+    fn trained_model_beats_untrained_on_factual_fit() {
+        let (train, val) = tiny_data();
+        let mut rng = rng_from_seed(3);
+        let model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
+        let mut untrained_model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
+        let x_val = Scaler::fit(&train.x).transform(&val.x);
+        let before = factual_loss(
+            &mut untrained_model,
+            &x_val,
+            &val.t,
+            &val.yf,
+            OutcomeLoss::BceWithLogits,
+        );
+        let fitted = super::train(
+            model,
+            &train,
+            &val,
+            &SbrlConfig::vanilla(),
+            &TrainConfig { iterations: 200, ..TrainConfig::smoke() },
+        )
+        .unwrap();
+        assert!(
+            fitted.report().best_val_loss < before,
+            "trained {} should beat untrained {}",
+            fitted.report().best_val_loss,
+            before
+        );
+    }
+
+    #[test]
+    fn invalid_data_is_rejected() {
+        let (train, val) = tiny_data();
+        let mut broken = train.clone();
+        broken.t = vec![1.0; broken.n()]; // kill overlap
+        let mut rng = rng_from_seed(4);
+        let model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
+        let err = super::train(model, &broken, &val, &SbrlConfig::vanilla(), &TrainConfig::smoke());
+        assert!(matches!(err, Err(TrainError::Data(DataError::EmptyTreatmentArm { .. }))));
+    }
+
+    #[test]
+    fn representation_has_expected_width() {
+        let (train, val) = tiny_data();
+        let mut rng = rng_from_seed(5);
+        let model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
+        let mut fitted = super::train(
+            model,
+            &train,
+            &val,
+            &SbrlConfig::vanilla(),
+            &TrainConfig { iterations: 30, ..TrainConfig::smoke() },
+        )
+        .unwrap();
+        let rep = fitted.representation(&val.x);
+        assert_eq!(rep.shape(), (val.n(), 32));
+        assert!(rep.all_finite());
+    }
+}

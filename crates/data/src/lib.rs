@@ -1,0 +1,28 @@
+//! # sbrl-data
+//!
+//! Dataset substrate of the SBRL-HAP reproduction: the causal dataset
+//! abstraction, the paper's biased-sampling shift mechanism, and the three
+//! benchmarks of its evaluation section —
+//!
+//! * [`synthetic`] — `Syn_mI_mC_mA_mV` with bias rate `rho` (Sec. V-D);
+//! * [`twins`] — Twins-like simulator with the paper's augmentation and
+//!   partitioning protocol (Sec. V-E1);
+//! * [`ihdp`] — IHDP-like simulator with NPCI response surfaces and the
+//!   continuous-covariate shift (Sec. V-E1).
+//!
+//! Real Twins/IHDP files are unavailable offline; DESIGN.md §5 documents why
+//! the simulators preserve the behaviour the paper's experiments rely on.
+
+pub mod dataset;
+pub mod ihdp;
+pub mod sampling;
+pub mod splits;
+pub mod synthetic;
+pub mod twins;
+
+pub use dataset::{CausalDataset, DataError, OutcomeKind, Scaler};
+pub use ihdp::{IhdpConfig, IhdpSimulator, ResponseSurface};
+pub use sampling::{selection_log_weight, weighted_sample_without_replacement};
+pub use splits::{split_train_val, train_val_indices, DataSplit};
+pub use synthetic::{SyntheticConfig, SyntheticProcess, PAPER_BIAS_RATES, TRAIN_BIAS_RATE};
+pub use twins::{TwinsConfig, TwinsSimulator};

@@ -1,0 +1,96 @@
+//! Train/validation/test partitioning.
+
+use rand::rngs::StdRng;
+use sbrl_tensor::rng::permutation;
+
+use crate::dataset::CausalDataset;
+
+/// A train/validation/test partition of one dataset.
+#[derive(Clone, Debug)]
+pub struct DataSplit {
+    /// Training fold.
+    pub train: CausalDataset,
+    /// Validation fold (early stopping / model selection).
+    pub val: CausalDataset,
+    /// Held-out test fold.
+    pub test: CausalDataset,
+}
+
+/// Splits index range `0..n` into `(train, val)` with `val_fraction` of the
+/// samples going to validation (the paper uses a 70/30 split, Sec. V-E).
+pub fn train_val_indices(rng: &mut StdRng, n: usize, val_fraction: f64) -> (Vec<usize>, Vec<usize>) {
+    let perm = permutation(rng, n);
+    let n_val = ((n as f64) * val_fraction.clamp(0.0, 1.0)).round() as usize;
+    let n_val = n_val.min(n.saturating_sub(1)).max(usize::from(n > 1));
+    let (val, train) = perm.split_at(n_val);
+    let mut train = train.to_vec();
+    let mut val = val.to_vec();
+    train.sort_unstable();
+    val.sort_unstable();
+    (train, val)
+}
+
+/// Splits a dataset into train/val by random permutation.
+pub fn split_train_val(
+    rng: &mut StdRng,
+    data: &CausalDataset,
+    val_fraction: f64,
+) -> (CausalDataset, CausalDataset) {
+    let (tr, va) = train_val_indices(rng, data.n(), val_fraction);
+    (data.select(&tr), data.select(&va))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::OutcomeKind;
+    use sbrl_tensor::rng::rng_from_seed;
+    use sbrl_tensor::Matrix;
+
+    fn toy(n: usize) -> CausalDataset {
+        CausalDataset {
+            x: Matrix::from_fn(n, 2, |i, j| (i * 2 + j) as f64),
+            t: (0..n).map(|i| (i % 2) as f64).collect(),
+            yf: (0..n).map(|i| i as f64).collect(),
+            ycf: None,
+            mu0: None,
+            mu1: None,
+            outcome: OutcomeKind::Continuous,
+        }
+    }
+
+    #[test]
+    fn split_partitions_disjointly_and_completely() {
+        let mut rng = rng_from_seed(0);
+        let (tr, va) = train_val_indices(&mut rng, 100, 0.3);
+        assert_eq!(tr.len() + va.len(), 100);
+        assert_eq!(va.len(), 30);
+        let mut all: Vec<usize> = tr.iter().chain(&va).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_datasets_carry_matching_rows() {
+        let mut rng = rng_from_seed(1);
+        let d = toy(20);
+        let (train, val) = split_train_val(&mut rng, &d, 0.25);
+        assert_eq!(train.n() + val.n(), 20);
+        assert_eq!(val.n(), 5);
+        // yf encodes the original index; x row 0 must match.
+        for k in 0..val.n() {
+            let orig = val.yf[k] as usize;
+            assert_eq!(val.x.row(k), d.x.row(orig));
+        }
+    }
+
+    #[test]
+    fn degenerate_fractions_are_clamped() {
+        let mut rng = rng_from_seed(2);
+        let (tr, va) = train_val_indices(&mut rng, 10, 0.0);
+        assert_eq!(va.len(), 1, "validation never empty for n > 1");
+        assert_eq!(tr.len(), 9);
+        let (tr2, va2) = train_val_indices(&mut rng, 10, 1.0);
+        assert!(va2.len() <= 9 && !tr2.is_empty());
+    }
+}

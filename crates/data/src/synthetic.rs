@@ -1,0 +1,344 @@
+//! The paper's synthetic benchmark `Syn_mI_mC_mA_mV` (Sec. V-D1).
+//!
+//! Covariates `X = [I | C | A | V]` are split into instruments (affect only
+//! the treatment), confounders (affect treatment and outcome), adjustments
+//! (affect only the outcome) and unstable noise features `V`. The causal
+//! mechanism — treatment assignment and the two potential-outcome surfaces —
+//! is drawn once per replication ([`SyntheticProcess`]) and shared by every
+//! environment; environments differ only in the covariate distribution,
+//! induced by bias-rate-`rho` sampling on the unstable features
+//! (`crate::sampling`). This realises exactly the paper's setting:
+//! `P(T, Y | X)` invariant, `P(X)` shifting.
+//!
+//! Generation recipe (verbatim from the paper):
+//! * `X_j ~ N(0, 1)` for all `m = m_I + m_C + m_A + m_V` coordinates;
+//! * `t ~ B(sigmoid(z))`, `z = theta_t . X_IC / 10 + xi`,
+//!   `theta_t ~ U(8, 16)^(m_I + m_C)`, `xi ~ N(0, 1)`;
+//! * `z0 = theta_y0 . X_CA / (10 (m_C + m_A))`,
+//!   `z1 = theta_y1 . X_CA^2 / (10 (m_C + m_A))`,
+//!   `Y0 = sign(max(0, z0 - mean(z0)))`, `Y1 = sign(max(0, z1 - mean(z1)))`
+//!   (binary potential outcomes thresholded at the *population* mean, which
+//!   we estimate once from a large unbiased reference pool so the mechanism
+//!   stays fixed across environments);
+//! * environment `rho`: sample `n` records from an unbiased pool with
+//!   probability `prod_i |rho|^(-10 |Y1 - Y0 - sign(rho) X_vi|)`.
+
+use rand::rngs::StdRng;
+use sbrl_tensor::rng::{randn, rng_from_seed, sample_standard_normal, sample_uniform};
+use sbrl_tensor::stable_sigmoid;
+
+use crate::dataset::{CausalDataset, OutcomeKind};
+use crate::sampling::{selection_log_weight, weighted_sample_without_replacement};
+
+/// Dimension/shape configuration of a synthetic benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticConfig {
+    /// Number of instrumental variables `m_I`.
+    pub m_instrument: usize,
+    /// Number of confounders `m_C`.
+    pub m_confounder: usize,
+    /// Number of adjustment variables `m_A`.
+    pub m_adjustment: usize,
+    /// Number of unstable variables `m_V`.
+    pub m_unstable: usize,
+    /// Oversampling factor of the unbiased pool behind each biased draw.
+    pub pool_factor: usize,
+    /// Reference-pool size used to estimate the fixed outcome thresholds.
+    pub threshold_pool: usize,
+}
+
+impl SyntheticConfig {
+    /// The paper's `Syn_8_8_8_2` setting.
+    pub fn syn_8_8_8_2() -> Self {
+        Self {
+            m_instrument: 8,
+            m_confounder: 8,
+            m_adjustment: 8,
+            m_unstable: 2,
+            pool_factor: 10,
+            threshold_pool: 20_000,
+        }
+    }
+
+    /// The paper's `Syn_16_16_16_2` setting.
+    pub fn syn_16_16_16_2() -> Self {
+        Self { m_instrument: 16, m_confounder: 16, m_adjustment: 16, ..Self::syn_8_8_8_2() }
+    }
+
+    /// Total covariate dimension `m`.
+    pub fn dim(&self) -> usize {
+        self.m_instrument + self.m_confounder + self.m_adjustment + self.m_unstable
+    }
+
+    /// Dataset name in the paper's `Syn_mI_mC_mA_mV` convention.
+    pub fn name(&self) -> String {
+        format!(
+            "Syn_{}_{}_{}_{}",
+            self.m_instrument, self.m_confounder, self.m_adjustment, self.m_unstable
+        )
+    }
+
+    /// Column range of the unstable features within `X`.
+    pub fn unstable_columns(&self) -> std::ops::Range<usize> {
+        let start = self.m_instrument + self.m_confounder + self.m_adjustment;
+        start..start + self.m_unstable
+    }
+}
+
+/// One replication's frozen causal mechanism.
+#[derive(Clone, Debug)]
+pub struct SyntheticProcess {
+    config: SyntheticConfig,
+    theta_t: Vec<f64>,
+    theta_y0: Vec<f64>,
+    theta_y1: Vec<f64>,
+    threshold0: f64,
+    threshold1: f64,
+}
+
+impl SyntheticProcess {
+    /// Draws the mechanism coefficients (and calibrates the outcome
+    /// thresholds on an unbiased reference pool) from `seed`.
+    pub fn new(config: SyntheticConfig, seed: u64) -> Self {
+        let mut rng = rng_from_seed(seed);
+        let n_ic = config.m_instrument + config.m_confounder;
+        let n_ca = config.m_confounder + config.m_adjustment;
+        let theta_t: Vec<f64> = (0..n_ic).map(|_| sample_uniform(&mut rng, 8.0, 16.0)).collect();
+        let theta_y0: Vec<f64> = (0..n_ca).map(|_| sample_uniform(&mut rng, 8.0, 16.0)).collect();
+        let theta_y1: Vec<f64> = (0..n_ca).map(|_| sample_uniform(&mut rng, 8.0, 16.0)).collect();
+
+        let mut process = Self { config, theta_t, theta_y0, theta_y1, threshold0: 0.0, threshold1: 0.0 };
+
+        // Estimate the population means of z0 / z1 from an unbiased pool.
+        let pool = randn(&mut rng, config.threshold_pool, config.dim());
+        let mut sum0 = 0.0;
+        let mut sum1 = 0.0;
+        for i in 0..pool.rows() {
+            let (z0, z1) = process.outcome_latents(pool.row(i));
+            sum0 += z0;
+            sum1 += z1;
+        }
+        process.threshold0 = sum0 / pool.rows() as f64;
+        process.threshold1 = sum1 / pool.rows() as f64;
+        process
+    }
+
+    /// The benchmark configuration of this process.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.config
+    }
+
+    fn outcome_latents(&self, x: &[f64]) -> (f64, f64) {
+        let c = &self.config;
+        let ca = &x[c.m_instrument..c.m_instrument + c.m_confounder + c.m_adjustment];
+        let denom = 10.0 * (c.m_confounder + c.m_adjustment) as f64;
+        let z0: f64 = ca.iter().zip(&self.theta_y0).map(|(&x, &th)| th * x).sum::<f64>() / denom;
+        let z1: f64 =
+            ca.iter().zip(&self.theta_y1).map(|(&x, &th)| th * x * x).sum::<f64>() / denom;
+        (z0, z1)
+    }
+
+    fn treatment_logit(&self, x: &[f64], xi: f64) -> f64 {
+        let c = &self.config;
+        let ic = &x[..c.m_instrument + c.m_confounder];
+        ic.iter().zip(&self.theta_t).map(|(&x, &th)| th * x).sum::<f64>() / 10.0 + xi
+    }
+
+    /// Generates one environment: `n` units sampled with bias rate `rho`.
+    ///
+    /// `rho.abs()` must exceed 1 (the paper uses
+    /// `rho in {±1.3, ±1.5, ±2.5, ±3}`).
+    #[track_caller]
+    pub fn generate(&self, rho: f64, n: usize, seed: u64) -> CausalDataset {
+        assert!(rho.abs() > 1.0, "bias rate must satisfy |rho| > 1, got {rho}");
+        let c = &self.config;
+        let mut rng = rng_from_seed(seed ^ 0x5b5b_0001);
+        let pool_n = n * c.pool_factor.max(1);
+
+        let x_pool = randn(&mut rng, pool_n, c.dim());
+        let mut y0 = Vec::with_capacity(pool_n);
+        let mut y1 = Vec::with_capacity(pool_n);
+        let mut t = Vec::with_capacity(pool_n);
+        for i in 0..pool_n {
+            let row = x_pool.row(i);
+            let (z0, z1) = self.outcome_latents(row);
+            let y0i = if z0 - self.threshold0 > 0.0 { 1.0 } else { 0.0 };
+            let y1i = if z1 - self.threshold1 > 0.0 { 1.0 } else { 0.0 };
+            y0.push(y0i);
+            y1.push(y1i);
+            let xi = sample_standard_normal(&mut rng);
+            let p = stable_sigmoid(self.treatment_logit(row, xi));
+            t.push(if rng_coin(&mut rng, p) { 1.0 } else { 0.0 });
+        }
+
+        // Biased environment selection on the unstable block.
+        let v_cols = c.unstable_columns();
+        let log_w: Vec<f64> = (0..pool_n)
+            .map(|i| {
+                let row = x_pool.row(i);
+                selection_log_weight(rho, y1[i] - y0[i], &row[v_cols.clone()])
+            })
+            .collect();
+        let idx = weighted_sample_without_replacement(&mut rng, &log_w, n);
+
+        let x = x_pool.select_rows(&idx);
+        let pick = |v: &[f64]| idx.iter().map(|&i| v[i]).collect::<Vec<f64>>();
+        let t = pick(&t);
+        let y0 = pick(&y0);
+        let y1 = pick(&y1);
+        let yf: Vec<f64> =
+            t.iter().zip(y0.iter().zip(&y1)).map(|(&t, (&y0, &y1))| if t > 0.5 { y1 } else { y0 }).collect();
+        let ycf: Vec<f64> =
+            t.iter().zip(y0.iter().zip(&y1)).map(|(&t, (&y0, &y1))| if t > 0.5 { y0 } else { y1 }).collect();
+
+        CausalDataset {
+            x,
+            t,
+            yf,
+            ycf: Some(ycf),
+            mu0: Some(y0),
+            mu1: Some(y1),
+            outcome: OutcomeKind::Binary,
+        }
+    }
+}
+
+fn rng_coin(rng: &mut StdRng, p: f64) -> bool {
+    sbrl_tensor::rng::sample_bernoulli(rng, p)
+}
+
+/// The bias rates evaluated in Table I / Fig. 3 of the paper.
+pub const PAPER_BIAS_RATES: [f64; 8] = [-3.0, -2.5, -1.5, -1.3, 1.3, 1.5, 2.5, 3.0];
+
+/// The training bias rate used throughout the paper's experiments.
+pub const TRAIN_BIAS_RATE: f64 = 2.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SyntheticConfig {
+        SyntheticConfig {
+            m_instrument: 4,
+            m_confounder: 4,
+            m_adjustment: 4,
+            m_unstable: 2,
+            pool_factor: 5,
+            threshold_pool: 2000,
+        }
+    }
+
+    #[test]
+    fn shapes_and_validity() {
+        let p = SyntheticProcess::new(small_config(), 7);
+        let d = p.generate(2.5, 500, 1);
+        assert_eq!(d.n(), 500);
+        assert_eq!(d.dim(), 14);
+        d.validate().unwrap();
+        assert_eq!(d.outcome, OutcomeKind::Binary);
+    }
+
+    #[test]
+    fn outcomes_are_binary_and_counterfactuals_consistent() {
+        let p = SyntheticProcess::new(small_config(), 3);
+        let d = p.generate(1.5, 300, 2);
+        for i in 0..d.n() {
+            assert!(d.yf[i] == 0.0 || d.yf[i] == 1.0);
+            let y0 = d.mu0.as_ref().unwrap()[i];
+            let y1 = d.mu1.as_ref().unwrap()[i];
+            let expected = if d.t[i] > 0.5 { y1 } else { y0 };
+            assert_eq!(d.yf[i], expected);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let p = SyntheticProcess::new(small_config(), 5);
+        let a = p.generate(2.5, 100, 42);
+        let b = p.generate(2.5, 100, 42);
+        assert!(a.x.approx_eq(&b.x, 0.0));
+        assert_eq!(a.t, b.t);
+        assert_eq!(a.yf, b.yf);
+        let c = p.generate(2.5, 100, 43);
+        assert!(!a.x.approx_eq(&c.x, 1e-9));
+    }
+
+    #[test]
+    fn selection_bias_is_present() {
+        // Confounders influence treatment: treated and control means of a
+        // confounder column should differ noticeably.
+        let p = SyntheticProcess::new(small_config(), 11);
+        let d = p.generate(2.5, 2000, 1);
+        let treated = d.treated_indices();
+        let control = d.control_indices();
+        let col = p.config().m_instrument; // first confounder
+        let mt: f64 = treated.iter().map(|&i| d.x[(i, col)]).sum::<f64>() / treated.len() as f64;
+        let mc: f64 = control.iter().map(|&i| d.x[(i, col)]).sum::<f64>() / control.len() as f64;
+        assert!((mt - mc).abs() > 0.1, "selection bias too weak: {mt} vs {mc}");
+    }
+
+    #[test]
+    fn bias_rate_sign_controls_unstable_correlation() {
+        let p = SyntheticProcess::new(small_config(), 13);
+        let col = p.config().unstable_columns().start;
+        let mut cors = Vec::new();
+        for rho in [2.5, -2.5] {
+            let d = p.generate(rho, 2000, 1);
+            let ite = d.true_ite().unwrap();
+            let xv: Vec<f64> = (0..d.n()).map(|i| d.x[(i, col)]).collect();
+            let me = ite.iter().sum::<f64>() / ite.len() as f64;
+            let mx = xv.iter().sum::<f64>() / xv.len() as f64;
+            let cov: f64 = ite
+                .iter()
+                .zip(&xv)
+                .map(|(&e, &x)| (e - me) * (x - mx))
+                .sum::<f64>()
+                / ite.len() as f64;
+            cors.push(cov);
+        }
+        assert!(cors[0] > 0.02, "rho=2.5 should induce positive correlation, got {}", cors[0]);
+        assert!(cors[1] < -0.02, "rho=-2.5 should induce negative correlation, got {}", cors[1]);
+    }
+
+    #[test]
+    fn environments_share_the_causal_mechanism() {
+        // P(Y|X,T) must be invariant: the same covariate row run through the
+        // process yields identical potential outcomes regardless of rho.
+        let p = SyntheticProcess::new(small_config(), 17);
+        let (z0, z1) = p.outcome_latents(&vec![0.3; 14]);
+        let (z0b, z1b) = p.outcome_latents(&vec![0.3; 14]);
+        assert_eq!((z0, z1), (z0b, z1b));
+    }
+
+    #[test]
+    fn stronger_shift_induces_stronger_spurious_correlation() {
+        // |rho| controls the tilt strength: the correlation between the
+        // unstable feature and the effect must grow with |rho| ("the higher
+        // |rho| is, the stronger correlation between Y and X_V").
+        let p = SyntheticProcess::new(small_config(), 19);
+        let col = p.config().unstable_columns().start;
+        let corr = |d: &CausalDataset| {
+            let ite = d.true_ite().unwrap();
+            let xv: Vec<f64> = (0..d.n()).map(|i| d.x[(i, col)]).collect();
+            let me = ite.iter().sum::<f64>() / ite.len() as f64;
+            let mx = xv.iter().sum::<f64>() / xv.len() as f64;
+            let cov: f64 = ite.iter().zip(&xv).map(|(&e, &x)| (e - me) * (x - mx)).sum::<f64>();
+            let ve: f64 = ite.iter().map(|&e| (e - me) * (e - me)).sum::<f64>();
+            let vx: f64 = xv.iter().map(|&x| (x - mx) * (x - mx)).sum::<f64>();
+            cov / (ve.sqrt() * vx.sqrt()).max(1e-12)
+        };
+        let near = corr(&p.generate(1.3, 3000, 1));
+        let far = corr(&p.generate(3.0, 3000, 1));
+        assert!(
+            far > near + 0.05,
+            "rho=3 correlation {far} should exceed rho=1.3 correlation {near}"
+        );
+    }
+
+    #[test]
+    fn paper_configs_have_expected_dims() {
+        assert_eq!(SyntheticConfig::syn_8_8_8_2().dim(), 26);
+        assert_eq!(SyntheticConfig::syn_16_16_16_2().dim(), 50);
+        assert_eq!(SyntheticConfig::syn_8_8_8_2().name(), "Syn_8_8_8_2");
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper artefact backed by `sbrl_experiments::fig34`.
+//! Usage: `cargo run -p sbrl-experiments --release --bin fig4 [--scale bench|quick|paper]`.
+
+fn main() {
+    let scale = sbrl_experiments::Scale::from_args();
+    eprintln!("running fig4 at scale {}", scale.name());
+    let report = sbrl_experiments::fig34::run(scale);
+    println!("{report}");
+}

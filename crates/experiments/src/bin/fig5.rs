@@ -1,0 +1,9 @@
+//! Regenerates the paper artefact backed by `sbrl_experiments::fig5`.
+//! Usage: `cargo run -p sbrl-experiments --release --bin fig5 [--scale bench|quick|paper]`.
+
+fn main() {
+    let scale = sbrl_experiments::Scale::from_args();
+    eprintln!("running fig5 at scale {}", scale.name());
+    let report = sbrl_experiments::fig5::run(scale);
+    println!("{report}");
+}

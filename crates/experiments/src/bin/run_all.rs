@@ -1,0 +1,18 @@
+//! Runs every paper artefact in sequence (Table I, Fig. 3/4, Fig. 5,
+//! Table II, Table III, Fig. 6, Table VI) at the requested scale and prints
+//! the combined report. Usage:
+//! `cargo run -p sbrl-experiments --release --bin run_all [--scale ...]`.
+
+fn main() {
+    let scale = sbrl_experiments::Scale::from_args();
+    eprintln!("running the full experiment suite at scale {}", scale.name());
+    let mut report = String::new();
+    report.push_str(&sbrl_experiments::table1::run(scale));
+    report.push_str(&sbrl_experiments::fig34::run(scale));
+    report.push_str(&sbrl_experiments::fig5::run(scale));
+    report.push_str(&sbrl_experiments::table2::run(scale));
+    report.push_str(&sbrl_experiments::table3::run(scale));
+    report.push_str(&sbrl_experiments::fig6::run(scale));
+    report.push_str(&sbrl_experiments::table6::run(scale));
+    println!("{report}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper artefact backed by `sbrl_experiments::table1`.
+//! Usage: `cargo run -p sbrl-experiments --release --bin table1 [--scale bench|quick|paper]`.
+
+fn main() {
+    let scale = sbrl_experiments::Scale::from_args();
+    eprintln!("running table1 at scale {}", scale.name());
+    let report = sbrl_experiments::table1::run(scale);
+    println!("{report}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper artefact backed by `sbrl_experiments::table2`.
+//! Usage: `cargo run -p sbrl-experiments --release --bin table2_ablation [--scale bench|quick|paper]`.
+
+fn main() {
+    let scale = sbrl_experiments::Scale::from_args();
+    eprintln!("running table2_ablation at scale {}", scale.name());
+    let report = sbrl_experiments::table2::run(scale);
+    println!("{report}");
+}

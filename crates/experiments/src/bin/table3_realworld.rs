@@ -1,0 +1,9 @@
+//! Regenerates the paper artefact backed by `sbrl_experiments::table3`.
+//! Usage: `cargo run -p sbrl-experiments --release --bin table3_realworld [--scale bench|quick|paper]`.
+
+fn main() {
+    let scale = sbrl_experiments::Scale::from_args();
+    eprintln!("running table3_realworld at scale {}", scale.name());
+    let report = sbrl_experiments::table3::run(scale);
+    println!("{report}");
+}

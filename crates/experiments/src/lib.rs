@@ -1,0 +1,35 @@
+//! # sbrl-experiments
+//!
+//! The benchmark harness regenerating every table and figure of the paper's
+//! evaluation section (see DESIGN.md §4 for the experiment index):
+//!
+//! | Artefact | Module | Binary |
+//! |----------|--------|--------|
+//! | Table I  | [`table1`] | `table1` |
+//! | Fig. 3 & Fig. 4 | [`fig34`] | `fig3`, `fig4` |
+//! | Fig. 5   | [`fig5`] | `fig5` |
+//! | Table II | [`table2`] | `table2_ablation` |
+//! | Table III| [`table3`] | `table3_realworld` |
+//! | Fig. 6   | [`fig6`] | `fig6_hparam` |
+//! | Table VI | [`table6`] | `table6_time` |
+//!
+//! Every binary accepts `--scale bench|quick|paper` (default `quick`);
+//! results are printed as markdown tables and persisted as TSV under
+//! `results/`.
+
+pub mod fig34;
+pub mod fig5;
+pub mod fig6;
+pub mod methods;
+pub mod presets;
+pub mod report;
+pub mod runner;
+pub mod scale;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table6;
+
+pub use methods::{BackboneKind, ExperimentPreset, MethodSpec};
+pub use runner::{fit_method, run_synthetic_sweep, MethodEnvResults, SyntheticExperiment};
+pub use scale::Scale;

@@ -1,0 +1,152 @@
+//! Named hyper-parameter presets distilled from the paper's Tables IV & V,
+//! plus CPU-scaled variants for quick runs and benches.
+//!
+//! The paper reports two preset families: CFR-family optima (Table IV; set
+//! `α = 0` for the TARNet variants) and DeR-CFR optima (Table V). We encode
+//! one merged preset per dataset carrying both families' coefficients; layer
+//! counts `{d_r, d_y}` and widths `{h_r, h_y}` follow Table IV.
+
+use sbrl_stats::IpmKind;
+
+use crate::methods::ExperimentPreset;
+
+/// Table IV/V preset for the `Syn_8_8_8_2` dataset.
+pub fn paper_syn_8_8_8_2() -> ExperimentPreset {
+    ExperimentPreset {
+        rep_layers: 3,
+        rep_width: 128,
+        head_layers: 3,
+        head_width: 64,
+        batch_norm: true,
+        rep_normalization: false,
+        lr: 1e-4, // Table IV lists 1e-5 with 3000 iters; we keep the ratio at our budget
+        l2: 1e-4,
+        alpha: 5e-2,
+        dercfr: (1.0, 1e-3, 5.0, 1.0),
+        gammas: (1.0, 1.0, 0.1),
+        ipm: IpmKind::Wasserstein { lambda: 10.0, iterations: 10 },
+    }
+}
+
+/// Table IV/V preset for the `Syn_16_16_16_2` dataset.
+pub fn paper_syn_16_16_16_2() -> ExperimentPreset {
+    ExperimentPreset {
+        rep_layers: 3,
+        rep_width: 128,
+        head_layers: 3,
+        head_width: 64,
+        batch_norm: true,
+        rep_normalization: false,
+        lr: 1e-4,
+        l2: 1e-4,
+        alpha: 1e-3,
+        dercfr: (1.0, 1e-3, 5.0, 1.0),
+        gammas: (1.0, 1e-3, 1e-3),
+        ipm: IpmKind::Wasserstein { lambda: 10.0, iterations: 10 },
+    }
+}
+
+/// Table IV/V preset for the Twins dataset.
+pub fn paper_twins() -> ExperimentPreset {
+    ExperimentPreset {
+        rep_layers: 3,
+        rep_width: 128,
+        head_layers: 3,
+        head_width: 64,
+        batch_norm: true,
+        rep_normalization: true,
+        lr: 1e-4, // Table IV lists 1e-5; scaled to our iteration budget
+        l2: 1e-4,
+        alpha: 1e-4,
+        dercfr: (1e-2, 5.0, 1e-4, 5.0),
+        gammas: (1.0, 1.0, 0.1),
+        ipm: IpmKind::Wasserstein { lambda: 10.0, iterations: 10 },
+    }
+}
+
+/// Table IV/V preset for the IHDP dataset.
+pub fn paper_ihdp() -> ExperimentPreset {
+    ExperimentPreset {
+        rep_layers: 3,
+        rep_width: 256,
+        head_layers: 3,
+        head_width: 128,
+        batch_norm: false,
+        rep_normalization: true,
+        lr: 1e-3,
+        l2: 1e-4,
+        alpha: 1.0,
+        dercfr: (10.0, 5.0, 1e-3, 50.0),
+        gammas: (0.1, 1e-4, 1e-4),
+        ipm: IpmKind::Wasserstein { lambda: 10.0, iterations: 10 },
+    }
+}
+
+/// Shrinks a paper preset to a CPU-friendly quick variant (narrower layers,
+/// cheaper IPM) while keeping the regulariser coefficients.
+pub fn quick_variant(p: ExperimentPreset) -> ExperimentPreset {
+    ExperimentPreset {
+        rep_layers: 2,
+        rep_width: 48,
+        head_layers: 2,
+        head_width: 24,
+        lr: 1e-3,
+        ipm: IpmKind::Wasserstein { lambda: 10.0, iterations: 5 },
+        ..p
+    }
+}
+
+/// Further shrinks a preset for Criterion benches.
+pub fn bench_variant(p: ExperimentPreset) -> ExperimentPreset {
+    ExperimentPreset { rep_width: 24, head_width: 12, ..quick_variant(p) }
+}
+
+/// The random-search space the paper explored for `{γ1, γ2, γ3}`
+/// (Sec. V-C): each coefficient ranges over these values.
+pub const GAMMA_SEARCH_SPACE: [f64; 7] = [1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_match_table_iv_and_v() {
+        let syn8 = paper_syn_8_8_8_2();
+        assert_eq!((syn8.rep_layers, syn8.head_layers), (3, 3));
+        assert_eq!((syn8.rep_width, syn8.head_width), (128, 64));
+        assert!(syn8.batch_norm && !syn8.rep_normalization);
+        assert_eq!(syn8.alpha, 5e-2);
+        assert_eq!(syn8.gammas, (1.0, 1.0, 0.1));
+
+        let syn16 = paper_syn_16_16_16_2();
+        assert_eq!(syn16.gammas, (1.0, 1e-3, 1e-3));
+        assert_eq!(syn16.alpha, 1e-3);
+
+        let twins = paper_twins();
+        assert!(twins.batch_norm && twins.rep_normalization);
+        assert_eq!(twins.gammas, (1.0, 1.0, 0.1));
+        assert_eq!(twins.dercfr, (1e-2, 5.0, 1e-4, 5.0));
+
+        let ihdp = paper_ihdp();
+        assert!(!ihdp.batch_norm && ihdp.rep_normalization);
+        assert_eq!((ihdp.rep_width, ihdp.head_width), (256, 128));
+        assert_eq!(ihdp.dercfr, (10.0, 5.0, 1e-3, 50.0));
+        assert_eq!(ihdp.gammas, (0.1, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn quick_variant_keeps_regularizer_coefficients() {
+        let p = paper_syn_16_16_16_2();
+        let q = quick_variant(p);
+        assert_eq!(q.gammas, p.gammas);
+        assert_eq!(q.alpha, p.alpha);
+        assert!(q.rep_width < p.rep_width);
+    }
+
+    #[test]
+    fn gamma_search_space_matches_the_paper() {
+        assert_eq!(GAMMA_SEARCH_SPACE.len(), 7);
+        assert_eq!(GAMMA_SEARCH_SPACE[0], 1e-4);
+        assert_eq!(GAMMA_SEARCH_SPACE[6], 100.0);
+    }
+}

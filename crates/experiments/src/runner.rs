@@ -1,0 +1,178 @@
+//! Shared experiment execution: fit one method on one split, and run the
+//! full method grid over synthetic environment sweeps with replications.
+
+use sbrl_core::{train, FittedModel, SbrlConfig, TrainConfig};
+use sbrl_data::{CausalDataset, SyntheticConfig, SyntheticProcess};
+use sbrl_metrics::Evaluation;
+use sbrl_models::Backbone;
+use sbrl_tensor::rng::rng_from_seed;
+
+use crate::methods::{ExperimentPreset, MethodSpec};
+use crate::scale::Scale;
+
+/// Fits one method specification on a train/val split.
+///
+/// # Panics
+/// Panics if training diverges (the experiment presets are tuned not to).
+pub fn fit_method(
+    spec: MethodSpec,
+    preset: &ExperimentPreset,
+    train_data: &CausalDataset,
+    val_data: &CausalDataset,
+    train_cfg: &TrainConfig,
+) -> FittedModel<Box<dyn Backbone>> {
+    let mut rng = rng_from_seed(train_cfg.seed ^ 0x00f1_77ed);
+    let model = preset.build(spec.backbone, train_data.dim(), &mut rng);
+    let sbrl: SbrlConfig = preset.sbrl_config(spec);
+    train(model, train_data, val_data, &sbrl, train_cfg)
+        .unwrap_or_else(|e| panic!("training {} failed: {e}", spec.name()))
+}
+
+/// Configuration of one synthetic environment-sweep experiment (Table I /
+/// Fig. 3 / Fig. 4 style).
+#[derive(Clone, Debug)]
+pub struct SyntheticExperiment {
+    /// Dataset dimensions.
+    pub data_cfg: SyntheticConfig,
+    /// Hyper-parameter preset.
+    pub preset: ExperimentPreset,
+    /// Run scale (samples / iterations / replications).
+    pub scale: Scale,
+    /// Training-environment bias rate (paper: 2.5).
+    pub train_rho: f64,
+    /// Test-environment bias rates (paper: ±1.3, ±1.5, ±2.5, ±3).
+    pub test_rhos: Vec<f64>,
+}
+
+impl SyntheticExperiment {
+    /// The paper's standard sweep on a dataset config.
+    pub fn paper_sweep(data_cfg: SyntheticConfig, preset: ExperimentPreset, scale: Scale) -> Self {
+        Self {
+            data_cfg,
+            preset,
+            scale,
+            train_rho: sbrl_data::TRAIN_BIAS_RATE,
+            test_rhos: sbrl_data::PAPER_BIAS_RATES.to_vec(),
+        }
+    }
+}
+
+/// Evaluations of one method across environments, accumulated over
+/// replications: `per_env[env_index][replication]`.
+#[derive(Clone, Debug)]
+pub struct MethodEnvResults {
+    /// Method label.
+    pub method: String,
+    /// One vector of per-replication evaluations per test environment.
+    pub per_env: Vec<Vec<Evaluation>>,
+}
+
+impl MethodEnvResults {
+    /// Extracts one metric across replications for an environment.
+    pub fn metric(&self, env: usize, f: impl Fn(&Evaluation) -> f64) -> Vec<f64> {
+        self.per_env[env].iter().map(f).collect()
+    }
+}
+
+/// Runs the method grid over the synthetic sweep.
+///
+/// For every replication a fresh causal mechanism is drawn (process seed =
+/// replication index), one training/validation pair is generated at
+/// `train_rho`, every method is fitted once, and each fitted model is
+/// evaluated on every test environment.
+pub fn run_synthetic_sweep(
+    exp: &SyntheticExperiment,
+    methods: &[MethodSpec],
+    mut progress: impl FnMut(&str),
+) -> Vec<MethodEnvResults> {
+    let (n_train, n_val, n_test) = exp.scale.synthetic_samples();
+    let reps = exp.scale.replications();
+    let mut results: Vec<MethodEnvResults> = methods
+        .iter()
+        .map(|m| MethodEnvResults {
+            method: m.name(),
+            per_env: vec![Vec::with_capacity(reps); exp.test_rhos.len()],
+        })
+        .collect();
+
+    for rep in 0..reps {
+        let process = SyntheticProcess::new(exp.data_cfg, 1000 + rep as u64);
+        let train_data = process.generate(exp.train_rho, n_train, 10 * rep as u64);
+        let val_data = process.generate(exp.train_rho, n_val, 10 * rep as u64 + 1);
+        let test_envs: Vec<CausalDataset> = exp
+            .test_rhos
+            .iter()
+            .enumerate()
+            .map(|(k, &rho)| process.generate(rho, n_test, 10 * rep as u64 + 2 + k as u64))
+            .collect();
+
+        for (mi, spec) in methods.iter().enumerate() {
+            let train_cfg = exp.scale.train_config(
+                exp.preset.lr,
+                exp.preset.l2,
+                (rep * 97 + mi) as u64,
+            );
+            let mut fitted = fit_method(*spec, &exp.preset, &train_data, &val_data, &train_cfg);
+            for (env_idx, test) in test_envs.iter().enumerate() {
+                let eval = fitted.evaluate(test).expect("synthetic data carries the oracle");
+                results[mi].per_env[env_idx].push(eval);
+            }
+            progress(&format!(
+                "rep {}/{} method {}/{} ({}) done in {:.1}s",
+                rep + 1,
+                reps,
+                mi + 1,
+                methods.len(),
+                spec.name(),
+                fitted.report().train_seconds
+            ));
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::BackboneKind;
+    use crate::presets::{bench_variant, paper_syn_8_8_8_2};
+    use sbrl_core::Framework;
+
+    fn tiny_exp() -> SyntheticExperiment {
+        SyntheticExperiment {
+            data_cfg: SyntheticConfig {
+                m_instrument: 3,
+                m_confounder: 3,
+                m_adjustment: 3,
+                m_unstable: 2,
+                pool_factor: 4,
+                threshold_pool: 1000,
+            },
+            preset: bench_variant(paper_syn_8_8_8_2()),
+            scale: Scale::Bench,
+            train_rho: 2.5,
+            test_rhos: vec![2.5, -2.5],
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_cell_per_method_env_rep() {
+        let exp = tiny_exp();
+        let methods = vec![
+            MethodSpec { backbone: BackboneKind::Tarnet, framework: Framework::Vanilla },
+            MethodSpec { backbone: BackboneKind::Cfr, framework: Framework::SbrlHap },
+        ];
+        let results = run_synthetic_sweep(&exp, &methods, |_| {});
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.per_env.len(), 2);
+            for env in &r.per_env {
+                assert_eq!(env.len(), 1); // bench scale = 1 replication
+                assert!(env[0].pehe.is_finite());
+                assert!(env[0].ate_bias.is_finite());
+            }
+        }
+        let pehes = results[0].metric(0, |e| e.pehe);
+        assert_eq!(pehes.len(), 1);
+    }
+}

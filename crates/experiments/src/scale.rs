@@ -1,0 +1,126 @@
+//! Experiment scales: the paper's full settings versus CPU-friendly
+//! variants for quick runs and Criterion benches.
+
+use sbrl_core::TrainConfig;
+
+/// How big an experiment run should be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Minimal settings so `cargo bench` completes in minutes.
+    Bench,
+    /// Laptop-scale settings preserving the papers' qualitative shape
+    /// (default for the experiment binaries).
+    Quick,
+    /// The paper's settings (3000 iterations, 10000 samples, full
+    /// replication counts) — hours of CPU time.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale bench|quick|paper` from process args (default Quick).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_arg_list(&args)
+    }
+
+    /// Parses from an explicit argument list (testable).
+    pub fn from_arg_list(args: &[String]) -> Self {
+        for pair in args.windows(2) {
+            if pair[0] == "--scale" {
+                return match pair[1].as_str() {
+                    "bench" => Scale::Bench,
+                    "paper" => Scale::Paper,
+                    _ => Scale::Quick,
+                };
+            }
+        }
+        Scale::Quick
+    }
+
+    /// `(n_train, n_val, n_test)` for synthetic environments.
+    pub fn synthetic_samples(self) -> (usize, usize, usize) {
+        match self {
+            Scale::Bench => (300, 100, 200),
+            Scale::Quick => (1200, 400, 600),
+            Scale::Paper => (7000, 3000, 10_000),
+        }
+    }
+
+    /// Number of replications (fresh processes / seeds) per experiment.
+    pub fn replications(self) -> usize {
+        match self {
+            Scale::Bench => 1,
+            Scale::Quick => 3,
+            Scale::Paper => 10,
+        }
+    }
+
+    /// Twins partition rounds (paper: 10) and IHDP replications (paper: 100).
+    pub fn realworld_replications(self) -> (usize, usize) {
+        match self {
+            Scale::Bench => (1, 1),
+            Scale::Quick => (3, 5),
+            Scale::Paper => (10, 100),
+        }
+    }
+
+    /// Twins record count (paper: 5271).
+    pub fn twins_records(self) -> usize {
+        match self {
+            Scale::Bench => 800,
+            Scale::Quick => 2500,
+            Scale::Paper => 5271,
+        }
+    }
+
+    /// Optimisation budget at this scale.
+    pub fn train_config(self, lr: f64, l2: f64, seed: u64) -> TrainConfig {
+        let base = TrainConfig { lr, l2, seed, ..TrainConfig::default() };
+        match self {
+            Scale::Bench => TrainConfig { iterations: 60, batch_size: 64, eval_every: 30, patience: 20, ..base },
+            Scale::Quick => TrainConfig { iterations: 400, batch_size: 128, eval_every: 25, patience: 16, ..base },
+            Scale::Paper => TrainConfig { iterations: 3000, batch_size: 256, eval_every: 50, patience: 20, ..base },
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Bench => "bench",
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_scale_flag() {
+        assert_eq!(Scale::from_arg_list(&args(&["bin", "--scale", "bench"])), Scale::Bench);
+        assert_eq!(Scale::from_arg_list(&args(&["bin", "--scale", "paper"])), Scale::Paper);
+        assert_eq!(Scale::from_arg_list(&args(&["bin", "--scale", "quick"])), Scale::Quick);
+        assert_eq!(Scale::from_arg_list(&args(&["bin"])), Scale::Quick);
+        assert_eq!(Scale::from_arg_list(&args(&["bin", "--scale"])), Scale::Quick);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let (bt, _, _) = Scale::Bench.synthetic_samples();
+        let (qt, _, _) = Scale::Quick.synthetic_samples();
+        let (pt, _, _) = Scale::Paper.synthetic_samples();
+        assert!(bt < qt && qt < pt);
+        assert!(Scale::Bench.train_config(1e-3, 1e-4, 0).iterations
+            < Scale::Paper.train_config(1e-3, 1e-4, 0).iterations);
+        assert_eq!(Scale::Paper.train_config(1e-3, 1e-4, 0).iterations, 3000);
+        assert_eq!(Scale::Paper.replications(), 10);
+        assert_eq!(Scale::Paper.realworld_replications(), (10, 100));
+        assert_eq!(Scale::Paper.twins_records(), 5271);
+    }
+}

@@ -1,0 +1,162 @@
+//! **Table III** — treatment-effect estimation on the real-world-style
+//! benchmarks: Twins (10 partition rounds) and IHDP (100 outcome
+//! replications), reporting PEHE and `ε_ATE` on the train / validation /
+//! (OOD) test folds for the 9-method grid.
+
+use sbrl_data::{DataSplit, IhdpConfig, IhdpSimulator, TwinsConfig, TwinsSimulator};
+use sbrl_metrics::Evaluation;
+
+use crate::methods::MethodSpec;
+use crate::presets::{bench_variant, paper_ihdp, paper_twins, quick_variant};
+use crate::report::{fmt_mean_std, render_table, results_dir, write_tsv};
+use crate::runner::fit_method;
+use crate::scale::Scale;
+
+/// Per-method, per-fold evaluations across replications.
+pub struct RealWorldResults {
+    /// Method label.
+    pub method: String,
+    /// Evaluations on the training fold.
+    pub train: Vec<Evaluation>,
+    /// Evaluations on the validation fold.
+    pub val: Vec<Evaluation>,
+    /// Evaluations on the (distribution-shifted) test fold.
+    pub test: Vec<Evaluation>,
+}
+
+fn run_splits(
+    name: &str,
+    splits: &[DataSplit],
+    preset: &crate::methods::ExperimentPreset,
+    scale: Scale,
+    methods: &[MethodSpec],
+) -> Vec<RealWorldResults> {
+    let mut results: Vec<RealWorldResults> = methods
+        .iter()
+        .map(|m| RealWorldResults {
+            method: m.name(),
+            train: Vec::new(),
+            val: Vec::new(),
+            test: Vec::new(),
+        })
+        .collect();
+    for (rep, split) in splits.iter().enumerate() {
+        for (mi, spec) in methods.iter().enumerate() {
+            let train_cfg = scale.train_config(preset.lr, preset.l2, (rep * 131 + mi) as u64);
+            let mut fitted = fit_method(*spec, preset, &split.train, &split.val, &train_cfg);
+            results[mi].train.push(fitted.evaluate(&split.train).expect("oracle"));
+            results[mi].val.push(fitted.evaluate(&split.val).expect("oracle"));
+            results[mi].test.push(fitted.evaluate(&split.test).expect("oracle"));
+            eprintln!(
+                "[table3:{name}] rep {}/{} method {} done",
+                rep + 1,
+                splits.len(),
+                spec.name()
+            );
+        }
+    }
+    results
+}
+
+fn blocks(results: &[RealWorldResults]) -> (Vec<String>, Vec<Vec<String>>) {
+    let header = vec![
+        "Method".to_string(),
+        "PEHE train".into(),
+        "PEHE val".into(),
+        "PEHE test".into(),
+        "eATE train".into(),
+        "eATE val".into(),
+        "eATE test".into(),
+    ];
+    let pick = |evals: &[Evaluation], f: fn(&Evaluation) -> f64| -> Vec<f64> {
+        evals.iter().map(f).collect()
+    };
+    let rows = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.clone(),
+                fmt_mean_std(&pick(&r.train, |e| e.pehe)),
+                fmt_mean_std(&pick(&r.val, |e| e.pehe)),
+                fmt_mean_std(&pick(&r.test, |e| e.pehe)),
+                fmt_mean_std(&pick(&r.train, |e| e.ate_bias)),
+                fmt_mean_std(&pick(&r.val, |e| e.ate_bias)),
+                fmt_mean_std(&pick(&r.test, |e| e.ate_bias)),
+            ]
+        })
+        .collect();
+    (header, rows)
+}
+
+/// Runs the Twins block of Table III.
+pub fn run_twins(scale: Scale, methods: &[MethodSpec]) -> String {
+    let preset = match scale {
+        Scale::Paper => paper_twins(),
+        Scale::Quick => quick_variant(paper_twins()),
+        Scale::Bench => bench_variant(paper_twins()),
+    };
+    let (rounds, _) = scale.realworld_replications();
+    let sim = TwinsSimulator::new(
+        TwinsConfig { n: scale.twins_records(), ..Default::default() },
+        7,
+    );
+    let splits: Vec<DataSplit> = (0..rounds).map(|r| sim.partition(r as u64)).collect();
+    let results = run_splits("twins", &splits, &preset, scale, methods);
+    let (header, rows) = blocks(&results);
+    let out = render_table(
+        &format!("Table III (Twins) — scale {}", scale.name()),
+        &header,
+        &rows,
+    );
+    write_tsv(results_dir().join("table3_twins.tsv"), &header, &rows).ok();
+    out
+}
+
+/// Runs the IHDP block of Table III.
+pub fn run_ihdp(scale: Scale, methods: &[MethodSpec]) -> String {
+    let preset = match scale {
+        Scale::Paper => paper_ihdp(),
+        Scale::Quick => quick_variant(paper_ihdp()),
+        Scale::Bench => bench_variant(paper_ihdp()),
+    };
+    let (_, reps) = scale.realworld_replications();
+    let sim = IhdpSimulator::new(IhdpConfig::default(), 11);
+    let splits: Vec<DataSplit> = (0..reps).map(|r| sim.replicate(r as u64)).collect();
+    let results = run_splits("ihdp", &splits, &preset, scale, methods);
+    let (header, rows) = blocks(&results);
+    let out = render_table(
+        &format!("Table III (IHDP) — scale {}", scale.name()),
+        &header,
+        &rows,
+    );
+    write_tsv(results_dir().join("table3_ihdp.tsv"), &header, &rows).ok();
+    out
+}
+
+/// Runs both blocks for the full grid.
+pub fn run(scale: Scale) -> String {
+    let methods = MethodSpec::grid();
+    let mut out = run_twins(scale, &methods);
+    out.push_str(&run_ihdp(scale, &methods));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_format_all_folds() {
+        let eval = Evaluation { pehe: 0.5, ate_bias: 0.1, ..Default::default() };
+        let results = vec![RealWorldResults {
+            method: "CFR".into(),
+            train: vec![eval],
+            val: vec![eval],
+            test: vec![eval],
+        }];
+        let (header, rows) = blocks(&results);
+        assert_eq!(header.len(), 7);
+        assert_eq!(rows[0][1], "0.500±0.000");
+        assert_eq!(rows[0][4], "0.100±0.000");
+    }
+}

@@ -1,0 +1,323 @@
+//! # sbrl-metrics
+//!
+//! Evaluation metrics of the paper's Sec. V-B:
+//!
+//! * PEHE — precision in estimation of heterogeneous effect,
+//!   `sqrt(mean(((y1_hat - y0_hat) - (y1 - y0))^2))`;
+//! * `eps_ATE` — absolute bias of the average treatment effect;
+//! * F1 score on factual and counterfactual outcome predictions (binary
+//!   outcomes);
+//! * cross-environment mean and stability (the paper's `bar(F1)` /
+//!   `F1^std`).
+
+use sbrl_data::{CausalDataset, OutcomeKind};
+
+/// Predicted potential outcomes for one dataset.
+#[derive(Clone, Debug)]
+pub struct EffectEstimate {
+    /// Predicted outcome under control per unit (probability for binary).
+    pub y0_hat: Vec<f64>,
+    /// Predicted outcome under treatment per unit.
+    pub y1_hat: Vec<f64>,
+}
+
+impl EffectEstimate {
+    /// Predicted individual effects `y1_hat - y0_hat`.
+    pub fn ite_hat(&self) -> Vec<f64> {
+        self.y1_hat.iter().zip(&self.y0_hat).map(|(a, b)| a - b).collect()
+    }
+
+    /// Predicted average treatment effect.
+    pub fn ate_hat(&self) -> f64 {
+        if self.y0_hat.is_empty() {
+            return 0.0;
+        }
+        self.ite_hat().iter().sum::<f64>() / self.y0_hat.len() as f64
+    }
+
+    /// Predicted factual outcome per unit given the observed treatment.
+    pub fn factual(&self, t: &[f64]) -> Vec<f64> {
+        t.iter()
+            .enumerate()
+            .map(|(i, &t)| if t > 0.5 { self.y1_hat[i] } else { self.y0_hat[i] })
+            .collect()
+    }
+
+    /// Predicted counterfactual outcome per unit.
+    pub fn counterfactual(&self, t: &[f64]) -> Vec<f64> {
+        t.iter()
+            .enumerate()
+            .map(|(i, &t)| if t > 0.5 { self.y0_hat[i] } else { self.y1_hat[i] })
+            .collect()
+    }
+}
+
+/// `sqrt(mean(((y1_hat - y0_hat) - (y1 - y0))^2))` (Sec. V-B).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[track_caller]
+pub fn pehe(ite_hat: &[f64], ite_true: &[f64]) -> f64 {
+    assert_eq!(ite_hat.len(), ite_true.len(), "pehe: length mismatch");
+    if ite_hat.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = ite_hat
+        .iter()
+        .zip(ite_true)
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / ite_hat.len() as f64;
+    mse.sqrt()
+}
+
+/// `|ATE - ATE_hat|` (Sec. V-B).
+#[track_caller]
+pub fn ate_bias(ite_hat: &[f64], ite_true: &[f64]) -> f64 {
+    assert_eq!(ite_hat.len(), ite_true.len(), "ate_bias: length mismatch");
+    if ite_hat.is_empty() {
+        return 0.0;
+    }
+    let n = ite_hat.len() as f64;
+    let a: f64 = ite_hat.iter().sum::<f64>() / n;
+    let b: f64 = ite_true.iter().sum::<f64>() / n;
+    (a - b).abs()
+}
+
+/// Root mean squared error between predictions and targets.
+#[track_caller]
+pub fn rmse(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "rmse: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 =
+        pred.iter().zip(target).map(|(&a, &b)| (a - b) * (a - b)).sum::<f64>() / pred.len() as f64;
+    mse.sqrt()
+}
+
+/// Binary F1 score; predictions are thresholded at `threshold`.
+///
+/// Returns 0 when there are no true positives.
+#[track_caller]
+pub fn f1_score(pred: &[f64], target: &[f64], threshold: f64) -> f64 {
+    assert_eq!(pred.len(), target.len(), "f1_score: length mismatch");
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut fneg = 0.0;
+    for (&p, &t) in pred.iter().zip(target) {
+        let p = p > threshold;
+        let t = t > 0.5;
+        match (p, t) {
+            (true, true) => tp += 1.0,
+            (true, false) => fp += 1.0,
+            (false, true) => fneg += 1.0,
+            (false, false) => {}
+        }
+    }
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / (tp + fp);
+    let recall = tp / (tp + fneg);
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Full evaluation of an estimate against a dataset with oracle outcomes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Evaluation {
+    /// PEHE (individual-level error).
+    pub pehe: f64,
+    /// Absolute ATE bias (population-level error).
+    pub ate_bias: f64,
+    /// Factual fit: F1 for binary outcomes, RMSE for continuous.
+    pub factual_score: f64,
+    /// Counterfactual fit: F1 for binary outcomes, RMSE for continuous.
+    pub counterfactual_score: f64,
+}
+
+/// Evaluates predicted potential outcomes against a dataset carrying the
+/// counterfactual oracle. Returns `None` when the dataset has no oracle.
+pub fn evaluate(estimate: &EffectEstimate, data: &CausalDataset) -> Option<Evaluation> {
+    let ite_true = data.true_ite()?;
+    let ite_hat = estimate.ite_hat();
+    let fact_pred = estimate.factual(&data.t);
+    let cf_pred = estimate.counterfactual(&data.t);
+    let cf_true: Vec<f64> = data.ycf.clone()?;
+    let (factual_score, counterfactual_score) = match data.outcome {
+        OutcomeKind::Binary => {
+            (f1_score(&fact_pred, &data.yf, 0.5), f1_score(&cf_pred, &cf_true, 0.5))
+        }
+        OutcomeKind::Continuous => (rmse(&fact_pred, &data.yf), rmse(&cf_pred, &cf_true)),
+    };
+    Some(Evaluation {
+        pehe: pehe(&ite_hat, &ite_true),
+        ate_bias: ate_bias(&ite_hat, &ite_true),
+        factual_score,
+        counterfactual_score,
+    })
+}
+
+/// Cross-environment aggregate: the paper's average and stability
+/// (`bar(F1) = mean`, `F1^std = mean squared deviation`, Sec. V-B).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnvAggregate {
+    /// Mean across environments.
+    pub mean: f64,
+    /// The paper's stability statistic: mean squared deviation from the mean.
+    pub stability: f64,
+    /// Standard deviation (square root of `stability`).
+    pub std: f64,
+}
+
+/// Aggregates one metric across environments.
+pub fn env_aggregate(values: &[f64]) -> EnvAggregate {
+    if values.is_empty() {
+        return EnvAggregate::default();
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let stability = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    EnvAggregate { mean, stability, std: stability.sqrt() }
+}
+
+/// Mean and standard deviation of replicate values — the `mean ± std`
+/// entries of the paper's tables.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    let agg = env_aggregate(values);
+    (agg.mean, agg.std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbrl_tensor::Matrix;
+
+    #[test]
+    fn pehe_zero_for_perfect_predictions() {
+        let ite = vec![1.0, -0.5, 2.0];
+        assert_eq!(pehe(&ite, &ite), 0.0);
+    }
+
+    #[test]
+    fn pehe_matches_hand_computation() {
+        let hat = vec![1.0, 0.0];
+        let tru = vec![0.0, 2.0];
+        // sqrt((1 + 4)/2)
+        assert!((pehe(&hat, &tru) - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ate_bias_is_difference_of_means() {
+        let hat = vec![1.0, 1.0];
+        let tru = vec![0.0, 1.0];
+        assert!((ate_bias(&hat, &tru) - 0.5).abs() < 1e-12);
+        // Bias can cancel across units even when PEHE is large.
+        let hat2 = vec![2.0, -2.0];
+        let tru2 = vec![-2.0, 2.0];
+        assert_eq!(ate_bias(&hat2, &tru2), 0.0);
+        assert!(pehe(&hat2, &tru2) > 3.9);
+    }
+
+    #[test]
+    fn f1_perfect_and_degenerate() {
+        let t = vec![1.0, 0.0, 1.0, 0.0];
+        assert_eq!(f1_score(&t, &t, 0.5), 1.0);
+        assert_eq!(f1_score(&[0.0, 0.0], &[1.0, 1.0], 0.5), 0.0);
+        assert_eq!(f1_score(&[1.0, 1.0], &[0.0, 0.0], 0.5), 0.0);
+    }
+
+    #[test]
+    fn f1_known_value() {
+        // tp=1, fp=1, fn=1 -> precision=recall=0.5 -> F1=0.5
+        let pred = vec![0.9, 0.9, 0.1];
+        let target = vec![1.0, 0.0, 1.0];
+        assert!((f1_score(&pred, &target, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn env_aggregate_matches_paper_definition() {
+        let vals = vec![0.4, 0.6];
+        let agg = env_aggregate(&vals);
+        assert!((agg.mean - 0.5).abs() < 1e-12);
+        assert!((agg.stability - 0.01).abs() < 1e-12);
+        assert!((agg.std - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effect_estimate_helpers() {
+        let est = EffectEstimate { y0_hat: vec![0.0, 1.0], y1_hat: vec![1.0, 3.0] };
+        assert_eq!(est.ite_hat(), vec![1.0, 2.0]);
+        assert!((est.ate_hat() - 1.5).abs() < 1e-12);
+        let t = vec![1.0, 0.0];
+        assert_eq!(est.factual(&t), vec![1.0, 1.0]);
+        assert_eq!(est.counterfactual(&t), vec![0.0, 3.0]);
+    }
+
+    fn toy_binary() -> CausalDataset {
+        CausalDataset {
+            x: Matrix::zeros(4, 2),
+            t: vec![1.0, 0.0, 1.0, 0.0],
+            yf: vec![1.0, 0.0, 0.0, 1.0],
+            ycf: Some(vec![0.0, 1.0, 0.0, 0.0]),
+            mu0: None,
+            mu1: None,
+            outcome: OutcomeKind::Binary,
+        }
+    }
+
+    #[test]
+    fn evaluate_produces_all_fields() {
+        let d = toy_binary();
+        let est = EffectEstimate { y0_hat: vec![0.1; 4], y1_hat: vec![0.9; 4] };
+        let e = evaluate(&est, &d).unwrap();
+        assert!(e.pehe > 0.0 && e.pehe.is_finite());
+        assert!(e.ate_bias.is_finite());
+        assert!((0.0..=1.0).contains(&e.factual_score));
+        assert!((0.0..=1.0).contains(&e.counterfactual_score));
+    }
+
+    #[test]
+    fn evaluate_none_without_oracle() {
+        let mut d = toy_binary();
+        d.ycf = None;
+        let est = EffectEstimate { y0_hat: vec![0.0; 4], y1_hat: vec![0.0; 4] };
+        assert!(evaluate(&est, &d).is_none());
+    }
+
+    #[test]
+    fn perfect_estimate_scores_perfectly() {
+        let d = toy_binary();
+        let (y0, y1) = d.potential_outcomes().unwrap();
+        let est = EffectEstimate { y0_hat: y0, y1_hat: y1 };
+        let e = evaluate(&est, &d).unwrap();
+        assert_eq!(e.pehe, 0.0);
+        assert_eq!(e.ate_bias, 0.0);
+        assert_eq!(e.factual_score, 1.0);
+    }
+
+    #[test]
+    fn mean_std_of_replicates() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn continuous_evaluation_uses_rmse() {
+        let d = CausalDataset {
+            x: Matrix::zeros(2, 1),
+            t: vec![1.0, 0.0],
+            yf: vec![3.0, 1.0],
+            ycf: Some(vec![1.0, 3.0]),
+            mu0: None,
+            mu1: None,
+            outcome: OutcomeKind::Continuous,
+        };
+        let est = EffectEstimate { y0_hat: vec![1.0, 1.0], y1_hat: vec![3.0, 3.0] };
+        let e = evaluate(&est, &d).unwrap();
+        assert_eq!(e.factual_score, 0.0);
+        assert_eq!(e.counterfactual_score, 0.0);
+        assert_eq!(e.pehe, 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! The backbone abstraction the SBRL / SBRL-HAP frameworks wrap.
+//!
+//! A backbone is any balanced-representation architecture with a shared
+//! representation network and two-head outcome prediction (Sec. IV-D). To be
+//! wrappable it must expose its *layer taps* — the per-priority activations
+//! the Hierarchical-Attention Paradigm decorrelates:
+//!
+//! * `z_p` (first priority) — the model's last hidden layer;
+//! * `z_r` (second priority) — the balanced-representation layer `Φ`;
+//! * `z_o` (third priority) — every other hidden layer.
+
+use sbrl_nn::{Binding, OutcomeLoss, ParamHandle, ParamStore};
+use sbrl_tensor::{Graph, Matrix, TensorId};
+
+/// Batch-level context shared by all backbones: the treatment column and the
+/// within-batch treated/control index sets.
+#[derive(Clone, Debug)]
+pub struct BatchContext {
+    /// Treatments of the batch as an `n x 1` column.
+    pub t: Vec<f64>,
+    /// Indices (within the batch) of treated units.
+    pub treated_idx: Vec<usize>,
+    /// Indices (within the batch) of control units.
+    pub control_idx: Vec<usize>,
+}
+
+impl BatchContext {
+    /// Builds the context from a treatment slice.
+    pub fn new(t: &[f64]) -> Self {
+        let treated_idx = t
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &ti)| (ti > 0.5).then_some(i))
+            .collect();
+        let control_idx = t
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &ti)| (ti <= 0.5).then_some(i))
+            .collect();
+        Self { t: t.to_vec(), treated_idx, control_idx }
+    }
+
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// The treatment column as a graph constant.
+    pub fn t_const(&self, g: &mut Graph) -> TensorId {
+        g.constant(Matrix::col_vec(&self.t))
+    }
+}
+
+/// Per-priority layer activations (Sec. IV-C).
+pub struct LayerTaps {
+    /// Third priority: all other hidden layers `Z_o^i`.
+    pub z_o: Vec<TensorId>,
+    /// Second priority: the balanced-representation layer `Z_r` (Φ).
+    pub z_r: TensorId,
+    /// First priority: the model's last hidden layer `Z_p`.
+    pub z_p: TensorId,
+}
+
+/// Result of one backbone forward pass over a batch.
+pub struct ForwardPass {
+    /// Raw control-head outputs (`n x 1`; logits for binary outcomes).
+    pub y0_raw: TensorId,
+    /// Raw treated-head outputs.
+    pub y1_raw: TensorId,
+    /// Layer taps for the regularizers.
+    pub taps: LayerTaps,
+    /// Backbone-specific regularisation (scalar node; e.g. CFR's `α·IPM`,
+    /// DeR-CFR's decomposition losses; zero for TARNet).
+    pub reg_loss: TensorId,
+}
+
+/// A wrappable balanced-representation backbone.
+pub trait Backbone {
+    /// Human-readable name used in result tables ("TARNet", "CFR", ...).
+    fn name(&self) -> String;
+
+    /// Forward pass over a batch of covariates `x` (graph node, `n x d`).
+    fn forward(
+        &mut self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        x: TensorId,
+        ctx: &BatchContext,
+        training: bool,
+    ) -> ForwardPass;
+
+    /// The parameter store holding all trainable parameters.
+    fn store(&self) -> &ParamStore;
+
+    /// Mutable parameter store (for the optimiser).
+    fn store_mut(&mut self) -> &mut ParamStore;
+
+    /// Weight (not bias) handles for L2 regularisation.
+    fn l2_handles(&self) -> Vec<ParamHandle>;
+}
+
+impl Backbone for Box<dyn Backbone> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn forward(
+        &mut self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        x: TensorId,
+        ctx: &BatchContext,
+        training: bool,
+    ) -> ForwardPass {
+        self.as_mut().forward(g, binding, x, ctx, training)
+    }
+
+    fn store(&self) -> &ParamStore {
+        self.as_ref().store()
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        self.as_mut().store_mut()
+    }
+
+    fn l2_handles(&self) -> Vec<ParamHandle> {
+        self.as_ref().l2_handles()
+    }
+}
+
+/// Mixes two same-shape head tensors by the factual treatment:
+/// `out = t .* on_treated + (1 - t) .* on_control` (differentiable row mix).
+pub fn select_by_treatment(
+    g: &mut Graph,
+    ctx: &BatchContext,
+    on_treated: TensorId,
+    on_control: TensorId,
+) -> TensorId {
+    let t = ctx.t_const(g);
+    let one_minus: Vec<f64> = ctx.t.iter().map(|&ti| 1.0 - ti).collect();
+    let omt = g.constant(Matrix::col_vec(&one_minus));
+    let a = g.mul_col(on_treated, t);
+    let b = g.mul_col(on_control, omt);
+    g.add(a, b)
+}
+
+/// Runs a backbone in inference mode over a full covariate matrix and maps
+/// raw head outputs to outcome space (sigmoid for binary outcomes).
+pub fn predict_potential_outcomes(
+    model: &mut dyn Backbone,
+    x: &Matrix,
+    t: &[f64],
+    loss_kind: OutcomeLoss,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut g = Graph::new();
+    let mut binding = Binding::new(model.store());
+    let xc = g.constant(x.clone());
+    let ctx = BatchContext::new(t);
+    let pass = model.forward(&mut g, &mut binding, xc, &ctx, false);
+    let y0 = loss_kind.predict(&mut g, pass.y0_raw);
+    let y1 = loss_kind.predict(&mut g, pass.y1_raw);
+    (g.value(y0).as_slice().to_vec(), g.value(y1).as_slice().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_context_partitions_indices() {
+        let ctx = BatchContext::new(&[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(ctx.treated_idx, vec![0, 3]);
+        assert_eq!(ctx.control_idx, vec![1, 2]);
+        assert_eq!(ctx.len(), 4);
+        assert!(!ctx.is_empty());
+    }
+
+    #[test]
+    fn select_by_treatment_mixes_rows() {
+        let mut g = Graph::new();
+        let ctx = BatchContext::new(&[1.0, 0.0]);
+        let a = g.constant(Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]));
+        let b = g.constant(Matrix::from_vec(2, 2, vec![9.0, 9.0, 9.0, 9.0]));
+        let out = select_by_treatment(&mut g, &ctx, a, b);
+        assert_eq!(g.value(out).row(0), &[1.0, 1.0]); // treated row from a
+        assert_eq!(g.value(out).row(1), &[9.0, 9.0]); // control row from b
+    }
+
+    #[test]
+    fn select_by_treatment_is_differentiable() {
+        let mut g = Graph::new();
+        let ctx = BatchContext::new(&[1.0, 0.0]);
+        let a = g.param(Matrix::ones(2, 2));
+        let b = g.param(Matrix::ones(2, 2));
+        let out = select_by_treatment(&mut g, &ctx, a, b);
+        let loss = g.sumsq(out);
+        g.backward(loss);
+        // Row 0 of `a` and row 1 of `b` receive gradient; the others are zero.
+        let ga = g.grad(a).unwrap();
+        let gb = g.grad(b).unwrap();
+        assert!(ga.row(0).iter().all(|&v| v != 0.0));
+        assert!(ga.row(1).iter().all(|&v| v == 0.0));
+        assert!(gb.row(0).iter().all(|&v| v == 0.0));
+        assert!(gb.row(1).iter().all(|&v| v != 0.0));
+    }
+}

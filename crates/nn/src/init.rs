@@ -1,0 +1,71 @@
+//! Weight initialisation schemes.
+
+use rand::rngs::StdRng;
+use sbrl_tensor::rng::{randn_scaled, rand_uniform};
+use sbrl_tensor::Matrix;
+
+/// Initialisation scheme for dense-layer weights.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Init {
+    /// Glorot/Xavier normal: `N(0, 2 / (fan_in + fan_out))`. Good default for
+    /// symmetric activations.
+    XavierNormal,
+    /// He normal: `N(0, 2 / fan_in)`. Good default for ReLU/ELU stacks (used
+    /// by the paper's backbones).
+    HeNormal,
+    /// Uniform on `[-bound, bound]`.
+    Uniform(f64),
+    /// Normal with explicit standard deviation.
+    Normal(f64),
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a `fan_in x fan_out` matrix according to the scheme.
+    pub fn sample(self, rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Matrix {
+        match self {
+            Init::XavierNormal => {
+                let std = (2.0 / (fan_in + fan_out) as f64).sqrt();
+                randn_scaled(rng, fan_in, fan_out, 0.0, std)
+            }
+            Init::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f64).sqrt();
+                randn_scaled(rng, fan_in, fan_out, 0.0, std)
+            }
+            Init::Uniform(bound) => rand_uniform(rng, fan_in, fan_out, -bound, bound),
+            Init::Normal(std) => randn_scaled(rng, fan_in, fan_out, 0.0, std),
+            Init::Zeros => Matrix::zeros(fan_in, fan_out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbrl_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn shapes_are_respected() {
+        let mut rng = rng_from_seed(0);
+        for init in [Init::XavierNormal, Init::HeNormal, Init::Uniform(0.1), Init::Normal(0.5), Init::Zeros] {
+            assert_eq!(init.sample(&mut rng, 7, 3).shape(), (7, 3));
+        }
+    }
+
+    #[test]
+    fn he_scale_shrinks_with_fan_in() {
+        let mut rng = rng_from_seed(1);
+        let narrow = Init::HeNormal.sample(&mut rng, 4, 2000);
+        let wide = Init::HeNormal.sample(&mut rng, 400, 2000);
+        let std_narrow = narrow.std_axis0().mean();
+        let std_wide = wide.std_axis0().mean();
+        assert!(std_narrow > std_wide * 5.0, "He init should scale ~1/sqrt(fan_in)");
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = rng_from_seed(2);
+        assert_eq!(Init::Zeros.sample(&mut rng, 3, 3).sum(), 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Prediction losses (optionally sample-weighted) and L2 regularisation.
+//!
+//! The paper uses mean squared error for continuous outcomes and
+//! cross-entropy for binary outcomes (Eq. 12), and plugs learned sample
+//! weights into the factual loss (Eq. 13).
+
+use sbrl_tensor::{Graph, TensorId};
+
+use crate::params::{Binding, ParamStore};
+
+/// Mean squared error `mean((pred - target)^2)`.
+pub fn mse(g: &mut Graph, pred: TensorId, target: TensorId) -> TensorId {
+    let d = g.sub(pred, target);
+    let sq = g.square(d);
+    g.mean(sq)
+}
+
+/// Sample-weighted MSE `mean(w_i * (pred_i - target_i)^2)`.
+///
+/// `weights` must be an `n x 1` column aligned with the rows of `pred`.
+pub fn weighted_mse(g: &mut Graph, pred: TensorId, target: TensorId, weights: TensorId) -> TensorId {
+    let d = g.sub(pred, target);
+    let sq = g.square(d);
+    let w = g.mul_col(sq, weights);
+    g.mean(w)
+}
+
+/// Numerically stable binary cross-entropy on logits:
+/// `mean(softplus(z) - z*y)` (equivalent to `-[y ln σ(z) + (1-y) ln(1-σ(z))]`).
+pub fn bce_with_logits(g: &mut Graph, logits: TensorId, targets: TensorId) -> TensorId {
+    let sp = g.softplus(logits);
+    let zy = g.mul(logits, targets);
+    let per = g.sub(sp, zy);
+    g.mean(per)
+}
+
+/// Sample-weighted binary cross-entropy on logits.
+pub fn weighted_bce_with_logits(
+    g: &mut Graph,
+    logits: TensorId,
+    targets: TensorId,
+    weights: TensorId,
+) -> TensorId {
+    let sp = g.softplus(logits);
+    let zy = g.mul(logits, targets);
+    let per = g.sub(sp, zy);
+    let w = g.mul_col(per, weights);
+    g.mean(w)
+}
+
+/// Outcome loss kind, chosen per dataset (Eq. 12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutcomeLoss {
+    /// Mean squared error; the prediction head is linear.
+    Mse,
+    /// Cross-entropy; the prediction head emits logits.
+    BceWithLogits,
+}
+
+impl OutcomeLoss {
+    /// Unweighted loss.
+    pub fn loss(self, g: &mut Graph, pred: TensorId, target: TensorId) -> TensorId {
+        match self {
+            OutcomeLoss::Mse => mse(g, pred, target),
+            OutcomeLoss::BceWithLogits => bce_with_logits(g, pred, target),
+        }
+    }
+
+    /// Sample-weighted loss (Eq. 13).
+    pub fn weighted_loss(
+        self,
+        g: &mut Graph,
+        pred: TensorId,
+        target: TensorId,
+        weights: TensorId,
+    ) -> TensorId {
+        match self {
+            OutcomeLoss::Mse => weighted_mse(g, pred, target, weights),
+            OutcomeLoss::BceWithLogits => weighted_bce_with_logits(g, pred, target, weights),
+        }
+    }
+
+    /// Converts a raw head output into an outcome prediction in value space
+    /// (identity for MSE, sigmoid for logits).
+    pub fn predict(self, g: &mut Graph, raw: TensorId) -> TensorId {
+        match self {
+            OutcomeLoss::Mse => raw,
+            OutcomeLoss::BceWithLogits => g.sigmoid(raw),
+        }
+    }
+}
+
+/// Sum of squared weights over a set of parameter handles, scaled by
+/// `lambda` — the `R_{l2}` term of Eq. 12.
+pub fn l2_penalty(
+    g: &mut Graph,
+    store: &ParamStore,
+    binding: &mut Binding,
+    handles: &[crate::params::ParamHandle],
+    lambda: f64,
+) -> TensorId {
+    let mut acc = g.scalar_const(0.0);
+    // A constant zero start keeps the loss well-defined for an empty list.
+    for &h in handles {
+        let id = binding.bind(store, g, h);
+        let s = g.sumsq(id);
+        acc = g.add(acc, s);
+    }
+    g.scale(acc, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Binding, ParamStore};
+    use sbrl_tensor::{Graph, Matrix};
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let mut g = Graph::new();
+        let p = g.constant(Matrix::from_vec(2, 1, vec![1.0, 3.0]));
+        let t = g.constant(Matrix::from_vec(2, 1, vec![0.0, 1.0]));
+        let l = mse(&mut g, p, t);
+        assert!((g.scalar(l) - (1.0 + 4.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mse_reduces_to_mse_at_unit_weights() {
+        let mut g = Graph::new();
+        let p = g.constant(Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]));
+        let t = g.constant(Matrix::from_vec(3, 1, vec![0.0, 0.0, 0.0]));
+        let w = g.constant(Matrix::ones(3, 1));
+        let lw = weighted_mse(&mut g, p, t, w);
+        let l = mse(&mut g, p, t);
+        assert!((g.scalar(lw) - g.scalar(l)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_reweight_samples() {
+        let mut g = Graph::new();
+        let p = g.constant(Matrix::from_vec(2, 1, vec![1.0, 1.0]));
+        let t = g.constant(Matrix::zeros(2, 1));
+        let w = g.constant(Matrix::from_vec(2, 1, vec![2.0, 0.0]));
+        let lw = weighted_mse(&mut g, p, t, w);
+        // (2*1 + 0*1)/2 = 1
+        assert!((g.scalar(lw) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_matches_analytic_value() {
+        let mut g = Graph::new();
+        let z = g.constant(Matrix::from_vec(2, 1, vec![0.0, 0.0]));
+        let y = g.constant(Matrix::from_vec(2, 1, vec![1.0, 0.0]));
+        let l = bce_with_logits(&mut g, z, y);
+        // At logit 0 both classes cost ln 2.
+        assert!((g.scalar(l) - 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_is_stable_for_extreme_logits() {
+        let mut g = Graph::new();
+        let z = g.constant(Matrix::from_vec(2, 1, vec![1e4, -1e4]));
+        let y = g.constant(Matrix::from_vec(2, 1, vec![1.0, 0.0]));
+        let l = bce_with_logits(&mut g, z, y);
+        let v = g.scalar(l);
+        assert!(v.is_finite() && v >= 0.0 && v < 1e-6, "loss {v}");
+    }
+
+    #[test]
+    fn l2_penalty_sums_squares() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::full(1, 2, 2.0)); // sumsq 8
+        let b = store.register("b", Matrix::full(2, 1, 1.0)); // sumsq 2
+        let mut g = Graph::new();
+        let mut binding = Binding::new(&store);
+        let l = l2_penalty(&mut g, &store, &mut binding, &[a, b], 0.5);
+        assert!((g.scalar(l) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_loss_predict_maps_logits() {
+        let mut g = Graph::new();
+        let raw = g.constant(Matrix::scalar(0.0));
+        let p = OutcomeLoss::BceWithLogits.predict(&mut g, raw);
+        assert!((g.scalar(p) - 0.5).abs() < 1e-12);
+        let p2 = OutcomeLoss::Mse.predict(&mut g, raw);
+        assert_eq!(g.scalar(p2), 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Training utilities: mini-batch iteration and early stopping.
+//!
+//! The paper trains for up to 3000 iterations with early stopping on the
+//! validation metric and reports the best-evaluated iterate (Sec. V-C).
+
+use rand::rngs::StdRng;
+use sbrl_tensor::rng::permutation;
+
+/// Cycles over shuffled mini-batches of indices `0..n`.
+pub struct BatchIter {
+    n: usize,
+    batch_size: usize,
+    order: Vec<usize>,
+    cursor: usize,
+}
+
+impl BatchIter {
+    /// Creates a batch iterator over `n` samples.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `batch_size == 0`.
+    #[track_caller]
+    pub fn new(rng: &mut StdRng, n: usize, batch_size: usize) -> Self {
+        assert!(n > 0, "BatchIter requires at least one sample");
+        assert!(batch_size > 0, "BatchIter requires a positive batch size");
+        Self { n, batch_size: batch_size.min(n), order: permutation(rng, n), cursor: 0 }
+    }
+
+    /// Returns the next batch of indices, reshuffling after each epoch.
+    pub fn next_batch(&mut self, rng: &mut StdRng) -> Vec<usize> {
+        if self.cursor + self.batch_size > self.n {
+            self.order = permutation(rng, self.n);
+            self.cursor = 0;
+        }
+        let batch = self.order[self.cursor..self.cursor + self.batch_size].to_vec();
+        self.cursor += self.batch_size;
+        batch
+    }
+
+    /// Effective batch size (clamped to `n`).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+}
+
+/// Early stopping on a minimised validation metric, tracking the best step.
+pub struct EarlyStopping {
+    patience: usize,
+    min_delta: f64,
+    best: f64,
+    best_step: usize,
+    since_best: usize,
+}
+
+impl EarlyStopping {
+    /// Creates a monitor that stops after `patience` non-improving checks.
+    pub fn new(patience: usize) -> Self {
+        Self { patience, min_delta: 1e-9, best: f64::INFINITY, best_step: 0, since_best: 0 }
+    }
+
+    /// Requires improvements to exceed `min_delta` to count.
+    pub fn with_min_delta(mut self, min_delta: f64) -> Self {
+        self.min_delta = min_delta;
+        self
+    }
+
+    /// Records a validation value at `step`; returns `true` when the budget
+    /// of non-improving checks is exhausted and training should stop.
+    pub fn update(&mut self, step: usize, value: f64) -> bool {
+        if value.is_nan() {
+            // NaN never improves; count it against patience.
+            self.since_best += 1;
+        } else if value < self.best - self.min_delta {
+            self.best = value;
+            self.best_step = step;
+            self.since_best = 0;
+        } else {
+            self.since_best += 1;
+        }
+        self.since_best > self.patience
+    }
+
+    /// Best value observed so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    /// Step at which the best value was observed.
+    pub fn best_step(&self) -> usize {
+        self.best_step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbrl_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn batches_cover_all_samples_each_epoch() {
+        let mut rng = rng_from_seed(0);
+        let mut it = BatchIter::new(&mut rng, 10, 5);
+        let mut seen: Vec<usize> = Vec::new();
+        seen.extend(it.next_batch(&mut rng));
+        seen.extend(it.next_batch(&mut rng));
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_size_clamps_to_n() {
+        let mut rng = rng_from_seed(1);
+        let mut it = BatchIter::new(&mut rng, 3, 100);
+        assert_eq!(it.batch_size(), 3);
+        assert_eq!(it.next_batch(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn partial_tail_batches_trigger_reshuffle() {
+        let mut rng = rng_from_seed(2);
+        let mut it = BatchIter::new(&mut rng, 10, 4);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..25 {
+            for i in it.next_batch(&mut rng) {
+                counts[i] += 1;
+            }
+        }
+        // Every sample should appear roughly equally often.
+        assert!(counts.iter().all(|&c| c >= 6), "counts {counts:?}");
+    }
+
+    #[test]
+    fn early_stopping_tracks_best_and_stops() {
+        let mut es = EarlyStopping::new(2);
+        assert!(!es.update(0, 1.0));
+        assert!(!es.update(1, 0.5)); // improvement
+        assert!(!es.update(2, 0.6));
+        assert!(!es.update(3, 0.7));
+        assert!(es.update(4, 0.8)); // third miss > patience 2
+        assert_eq!(es.best(), 0.5);
+        assert_eq!(es.best_step(), 1);
+    }
+
+    #[test]
+    fn nan_counts_against_patience() {
+        let mut es = EarlyStopping::new(1);
+        assert!(!es.update(0, 1.0));
+        assert!(!es.update(1, f64::NAN));
+        assert!(es.update(2, f64::NAN));
+        assert_eq!(es.best(), 1.0);
+    }
+}

@@ -1,0 +1,548 @@
+//! Hilbert–Schmidt Independence Criterion with Random Fourier Features
+//! (HSIC-RFF) — the paper's Independence Regularizer machinery (Eq. 5–10).
+//!
+//! For two scalar features `A`, `B` and random Fourier functions
+//! `u_i(x) = sqrt(2) cos(w_i x + phi_i)` with `w ~ N(0,1)`,
+//! `phi ~ U(0, 2*pi)` (Eq. 6), the statistic is the squared Frobenius norm of
+//! the cross-covariance of the feature maps (Eq. 7). The weighted version
+//! (Eq. 9) plugs normalised sample weights into the covariance. The
+//! decorrelation loss `L_D` (Eq. 10) sums the statistic over feature pairs.
+//!
+//! Implementation notes (recorded in DESIGN.md):
+//! * one bank of `k` Fourier functions is shared across features (they are
+//!   identically distributed, so this is a variance-reduction-neutral
+//!   simplification that lets the pair sum collapse into a single
+//!   block-covariance computation);
+//! * the `a = b` self-dependence term of Eq. 10 is excluded by default (it
+//!   penalises feature variance rather than dependence); set
+//!   [`DecorrelationConfig::include_diagonal`] to restore the literal sum;
+//! * features can be standardised and column-subsampled per call to keep the
+//!   loss scale-free and affordable on wide layers.
+
+use rand::rngs::StdRng;
+use sbrl_tensor::rng::{sample_standard_normal, sample_uniform, sample_without_replacement};
+use sbrl_tensor::{Graph, Matrix, TensorId};
+
+use crate::kernels::{centering_matrix, median_bandwidth, rbf_kernel};
+
+/// A bank of `k` random Fourier functions shared across features.
+#[derive(Clone, Debug)]
+pub struct Rff {
+    omegas: Vec<f64>,
+    phis: Vec<f64>,
+}
+
+impl Rff {
+    /// The paper's default number of Fourier functions per feature.
+    pub const DEFAULT_NUM_FUNCTIONS: usize = 5;
+
+    /// Samples `k` functions `(w_i, phi_i)` from `N(0,1) x U(0, 2*pi)`.
+    pub fn sample(rng: &mut StdRng, k: usize) -> Self {
+        let omegas = (0..k).map(|_| sample_standard_normal(rng)).collect();
+        let phis = (0..k).map(|_| sample_uniform(rng, 0.0, 2.0 * std::f64::consts::PI)).collect();
+        Self { omegas, phis }
+    }
+
+    /// Number of functions in the bank.
+    pub fn num_functions(&self) -> usize {
+        self.omegas.len()
+    }
+
+    /// Applies function `i` to a scalar.
+    #[inline]
+    pub fn apply(&self, i: usize, x: f64) -> f64 {
+        (2.0f64).sqrt() * (self.omegas[i] * x + self.phis[i]).cos()
+    }
+
+    /// Feature map of a scalar series: `n x k` matrix `U` with
+    /// `U[r][i] = u_i(x_r)`.
+    pub fn feature_map(&self, xs: &[f64]) -> Matrix {
+        Matrix::from_fn(xs.len(), self.num_functions(), |r, i| self.apply(i, xs[r]))
+    }
+}
+
+fn normalized_weights(weights: Option<&[f64]>, n: usize) -> Vec<f64> {
+    match weights {
+        None => vec![1.0 / n as f64; n],
+        Some(w) => {
+            assert_eq!(w.len(), n, "weight length mismatch");
+            let total: f64 = w.iter().sum::<f64>().max(1e-12);
+            w.iter().map(|x| x / total).collect()
+        }
+    }
+}
+
+/// Weighted `HSIC_RFF` between two scalar series (Eq. 7 / Eq. 9):
+/// `|| Cov_w(u(A), v(B)) ||_F^2`.
+///
+/// # Panics
+/// Panics if the series lengths differ.
+#[track_caller]
+pub fn hsic_rff_pair(a: &[f64], b: &[f64], rff: &Rff, weights: Option<&[f64]>) -> f64 {
+    assert_eq!(a.len(), b.len(), "hsic_rff_pair: length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let w = normalized_weights(weights, n);
+    let u = rff.feature_map(a);
+    let v = rff.feature_map(b);
+    let k = rff.num_functions();
+
+    let mut mean_u = vec![0.0; k];
+    let mut mean_v = vec![0.0; k];
+    for r in 0..n {
+        for i in 0..k {
+            mean_u[i] += w[r] * u[(r, i)];
+            mean_v[i] += w[r] * v[(r, i)];
+        }
+    }
+    let mut frob2 = 0.0;
+    for i in 0..k {
+        for j in 0..k {
+            let mut cov = 0.0;
+            for r in 0..n {
+                cov += w[r] * u[(r, i)] * v[(r, j)];
+            }
+            cov -= mean_u[i] * mean_v[j];
+            frob2 += cov * cov;
+        }
+    }
+    frob2
+}
+
+/// Symmetric `d x d` matrix of pairwise `HSIC_RFF` values between the columns
+/// of `z` — the quantity visualised in the paper's Fig. 5.
+pub fn pairwise_hsic_matrix(z: &Matrix, rff: &Rff, weights: Option<&[f64]>) -> Matrix {
+    let d = z.cols();
+    let cols: Vec<Vec<f64>> = (0..d).map(|j| z.col(j)).collect();
+    let mut out = Matrix::zeros(d, d);
+    for a in 0..d {
+        for b in a..d {
+            let v = hsic_rff_pair(&cols[a], &cols[b], rff, weights);
+            out[(a, b)] = v;
+            out[(b, a)] = v;
+        }
+    }
+    out
+}
+
+/// Mean of the off-diagonal entries of [`pairwise_hsic_matrix`] — the
+/// "average HSIC_RFF" the paper reports for Fig. 5 (0.85 / 0.64 / 0.58).
+pub fn mean_offdiag_hsic(z: &Matrix, rff: &Rff, weights: Option<&[f64]>) -> f64 {
+    let d = z.cols();
+    if d < 2 {
+        return 0.0;
+    }
+    let m = pairwise_hsic_matrix(z, rff, weights);
+    let mut acc = 0.0;
+    for a in 0..d {
+        for b in 0..d {
+            if a != b {
+                acc += m[(a, b)];
+            }
+        }
+    }
+    acc / (d * (d - 1)) as f64
+}
+
+/// Classic biased HSIC estimator `tr(K_a H K_b H) / (n-1)^2` with RBF
+/// kernels (test oracle for the RFF approximation's behaviour).
+///
+/// Non-positive bandwidths select the median heuristic per input.
+#[track_caller]
+pub fn hsic_biased(a: &Matrix, b: &Matrix, sigma_a: f64, sigma_b: f64) -> f64 {
+    assert_eq!(a.rows(), b.rows(), "hsic_biased: sample counts differ");
+    let n = a.rows();
+    if n < 2 {
+        return 0.0;
+    }
+    let sa = if sigma_a > 0.0 { sigma_a } else { median_bandwidth(a) };
+    let sb = if sigma_b > 0.0 { sigma_b } else { median_bandwidth(b) };
+    let ka = rbf_kernel(a, a, sa);
+    let kb = rbf_kernel(b, b, sb);
+    let h = centering_matrix(n);
+    let kah = ka.matmul(&h);
+    let kbh = kb.matmul(&h);
+    let prod = kah.matmul(&kbh);
+    let trace: f64 = (0..n).map(|i| prod[(i, i)]).sum();
+    trace / ((n - 1) * (n - 1)) as f64
+}
+
+/// Options for the differentiable decorrelation loss `L_D` (Eq. 10).
+#[derive(Clone, Copy, Debug)]
+pub struct DecorrelationConfig {
+    /// Include the `a = b` self-dependence terms of the literal Eq. 10 sum.
+    pub include_diagonal: bool,
+    /// Standardise columns (batch mean/std treated as constants) before the
+    /// Fourier map, keeping the cosine features in a well-conditioned range.
+    pub standardize: bool,
+    /// Cap on the number of feature columns considered per call; wider
+    /// layers are subsampled without replacement. `None` = all columns.
+    pub max_features: Option<usize>,
+    /// Divide by the number of feature pairs so the loss magnitude (and the
+    /// paper's γ coefficients) transfer across layer widths.
+    pub normalize: bool,
+}
+
+impl Default for DecorrelationConfig {
+    fn default() -> Self {
+        Self { include_diagonal: false, standardize: true, max_features: Some(32), normalize: true }
+    }
+}
+
+/// Differentiable weighted decorrelation loss `L_D(Z, w)` (Eq. 10):
+/// the sum over feature pairs of `HSIC^w_RFF` between columns of `z`.
+///
+/// `w` is an `n x 1` column of positive sample weights (renormalised
+/// internally, Eq. 9); gradients flow into both `z` and `w`. `rng` drives the
+/// per-call column subsample when [`DecorrelationConfig::max_features`] caps
+/// the width.
+pub fn decorrelation_loss_graph(
+    g: &mut Graph,
+    z: TensorId,
+    w: TensorId,
+    rff: &Rff,
+    cfg: &DecorrelationConfig,
+    rng: &mut StdRng,
+) -> TensorId {
+    let (n, d_full) = g.value(z).shape();
+    if n < 2 || d_full < 1 {
+        return g.scalar_const(0.0);
+    }
+
+    // Column subsample for wide layers.
+    let z = match cfg.max_features {
+        Some(s) if d_full > s => {
+            let idx = sample_without_replacement(rng, d_full, s);
+            g.gather_cols(z, &idx)
+        }
+        _ => z,
+    };
+    let d = g.value(z).cols();
+    if d < 2 && !cfg.include_diagonal {
+        return g.scalar_const(0.0);
+    }
+
+    // Optional standardisation with batch statistics held constant.
+    let z = if cfg.standardize {
+        let mean = g.value(z).mean_axis0();
+        let std = g.value(z).std_axis0().map(|s| 1.0 / s.max(1e-6));
+        let mean_c = g.constant(mean);
+        let inv_std_c = g.constant(std);
+        let centred = g.sub_row(z, mean_c);
+        g.mul_row(centred, inv_std_c)
+    } else {
+        z
+    };
+
+    // F = [sqrt(2) cos(w_1 z + phi_1) | ... | sqrt(2) cos(w_k z + phi_k)],
+    // shape n x (k*d); feature `a`'s functions sit at columns {a, d+a, ...}.
+    let k = rff.num_functions();
+    let mut f = None;
+    for i in 0..k {
+        let scaled = g.scale(z, rff.omegas[i]);
+        let shifted = g.add_scalar(scaled, rff.phis[i]);
+        let cosv = g.cos(shifted);
+        let block = g.scale(cosv, (2.0f64).sqrt());
+        f = Some(match f {
+            None => block,
+            Some(acc) => g.concat_cols(acc, block),
+        });
+    }
+    let f = f.expect("k >= 1");
+
+    // Normalised weights and weighted covariance C = F^T diag(w_hat) F - m m^T.
+    let w_sum = g.sum(w);
+    let w_safe = g.add_scalar(w_sum, 1e-12);
+    let w_hat = g.div_scalar_of(w, w_safe);
+    let fw = g.mul_col(f, w_hat);
+    let mean = g.sum_axis0(fw); // 1 x kd (weighted mean)
+    let ft = g.transpose(f);
+    let raw = g.matmul(ft, fw); // kd x kd
+    let mean_t = g.transpose(mean);
+    let mm = g.matmul(mean_t, mean);
+    let cov = g.sub(raw, mm);
+
+    // Block masks: entry (p, q) belongs to feature pair (p mod d, q mod d).
+    let kd = k * d;
+    let offdiag_mask =
+        Matrix::from_fn(kd, kd, |p, q| if p % d == q % d { 0.0 } else { 1.0 });
+    let mask_c = g.constant(offdiag_mask);
+    let masked = g.mul(cov, mask_c);
+    let off_sum = g.sumsq(masked);
+    let mut loss = g.scale(off_sum, 0.5); // each unordered pair counted twice
+
+    let mut num_pairs = (d * (d - 1) / 2) as f64;
+    if cfg.include_diagonal {
+        let diag_mask =
+            Matrix::from_fn(kd, kd, |p, q| if p % d == q % d { 1.0 } else { 0.0 });
+        let dmask_c = g.constant(diag_mask);
+        let dmasked = g.mul(cov, dmask_c);
+        let diag_sum = g.sumsq(dmasked);
+        loss = g.add(loss, diag_sum);
+        num_pairs += d as f64;
+    }
+
+    if cfg.normalize && num_pairs > 0.0 {
+        loss = g.scale(loss, 1.0 / num_pairs);
+    }
+    loss
+}
+
+/// Plain (non-differentiable) value of the decorrelation loss with unit
+/// semantics matching [`decorrelation_loss_graph`] minus subsampling —
+/// useful for evaluation and tests.
+pub fn decorrelation_loss_plain(
+    z: &Matrix,
+    weights: Option<&[f64]>,
+    rff: &Rff,
+    include_diagonal: bool,
+    normalize: bool,
+) -> f64 {
+    let d = z.cols();
+    let mut acc = 0.0;
+    let mut pairs = 0usize;
+    let cols: Vec<Vec<f64>> = (0..d).map(|j| z.col(j)).collect();
+    for a in 0..d {
+        let lo = if include_diagonal { a } else { a + 1 };
+        for b in lo..d {
+            acc += hsic_rff_pair(&cols[a], &cols[b], rff, weights);
+            pairs += 1;
+        }
+    }
+    if normalize && pairs > 0 {
+        acc / pairs as f64
+    } else {
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbrl_tensor::rng::{randn, rng_from_seed, sample_standard_normal};
+
+    #[test]
+    fn independent_features_have_small_hsic() {
+        let mut rng = rng_from_seed(0);
+        let rff = Rff::sample(&mut rng, 5);
+        let a: Vec<f64> = (0..500).map(|_| sample_standard_normal(&mut rng)).collect();
+        let b: Vec<f64> = (0..500).map(|_| sample_standard_normal(&mut rng)).collect();
+        let indep = hsic_rff_pair(&a, &b, &rff, None);
+        let dep = hsic_rff_pair(&a, &a, &rff, None);
+        assert!(indep < dep * 0.1, "independent {indep} vs self {dep}");
+    }
+
+    #[test]
+    fn nonlinear_dependence_is_detected() {
+        let mut rng = rng_from_seed(1);
+        let rff = Rff::sample(&mut rng, 8);
+        let a: Vec<f64> = (0..800).map(|_| sample_standard_normal(&mut rng)).collect();
+        let b: Vec<f64> = a.iter().map(|x| x * x).collect(); // uncorrelated but dependent
+        let c: Vec<f64> = (0..800).map(|_| sample_standard_normal(&mut rng)).collect();
+        let dep = hsic_rff_pair(&a, &b, &rff, None);
+        let indep = hsic_rff_pair(&a, &c, &rff, None);
+        assert!(dep > 3.0 * indep, "nonlinear dep {dep} vs indep {indep}");
+    }
+
+    #[test]
+    fn weights_can_remove_dependence() {
+        // Construct dependence by concatenating (x, x) pairs and (x, -x)
+        // pairs; weighting only one half leaves a dependent sample, weighting
+        // both halves equally cancels the linear dependence.
+        let mut rng = rng_from_seed(2);
+        let rff = Rff::sample(&mut rng, 6);
+        let n = 400;
+        let x: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mut a = Vec::with_capacity(2 * n);
+        let mut b = Vec::with_capacity(2 * n);
+        for &v in &x {
+            a.push(v);
+            b.push(v);
+        }
+        for &v in &x {
+            a.push(v);
+            b.push(-v);
+        }
+        // All mass on the first half: strongly dependent.
+        let mut w_first = vec![1.0; 2 * n];
+        for wv in w_first.iter_mut().skip(n) {
+            *wv = 1e-9;
+        }
+        let dep = hsic_rff_pair(&a, &b, &rff, Some(&w_first));
+        let balanced = hsic_rff_pair(&a, &b, &rff, None);
+        assert!(balanced < dep * 0.7, "balanced {balanced} vs skewed {dep}");
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted() {
+        let mut rng = rng_from_seed(3);
+        let rff = Rff::sample(&mut rng, 5);
+        let a: Vec<f64> = (0..100).map(|_| sample_standard_normal(&mut rng)).collect();
+        let b: Vec<f64> = a.iter().map(|x| x.sin()).collect();
+        let w = vec![1.0; 100];
+        let lhs = hsic_rff_pair(&a, &b, &rff, Some(&w));
+        let rhs = hsic_rff_pair(&a, &b, &rff, None);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_hsic_oracle_agrees_qualitatively() {
+        let mut rng = rng_from_seed(4);
+        let x = randn(&mut rng, 150, 1);
+        let y_dep = x.map(|v| v * v);
+        let y_ind = randn(&mut rng, 150, 1);
+        let dep = hsic_biased(&x, &y_dep, -1.0, -1.0);
+        let ind = hsic_biased(&x, &y_ind, -1.0, -1.0);
+        assert!(dep > 3.0 * ind, "dep {dep} vs ind {ind}");
+    }
+
+    #[test]
+    fn pairwise_matrix_is_symmetric_with_selfdependence_on_diagonal() {
+        let mut rng = rng_from_seed(5);
+        let rff = Rff::sample(&mut rng, 5);
+        let z = randn(&mut rng, 200, 4);
+        let m = pairwise_hsic_matrix(&z, &rff, None);
+        assert_eq!(m.shape(), (4, 4));
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!((m[(a, b)] - m[(b, a)]).abs() < 1e-12);
+            }
+            assert!(m[(a, a)] > 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_offdiag_tracks_dependence_level() {
+        let mut rng = rng_from_seed(6);
+        let rff = Rff::sample(&mut rng, 5);
+        let base = randn(&mut rng, 300, 1);
+        // Dependent: all columns are noisy copies of one factor.
+        let noise = randn(&mut rng, 300, 3).scale(0.1);
+        let mut dep = Matrix::zeros(300, 3);
+        for i in 0..300 {
+            for j in 0..3 {
+                dep[(i, j)] = base[(i, 0)] + noise[(i, j)];
+            }
+        }
+        let ind = randn(&mut rng, 300, 3);
+        assert!(mean_offdiag_hsic(&dep, &rff, None) > 5.0 * mean_offdiag_hsic(&ind, &rff, None));
+    }
+
+    #[test]
+    fn graph_loss_matches_plain_loss() {
+        let mut rng = rng_from_seed(7);
+        let rff = Rff::sample(&mut rng, 5);
+        let z = randn(&mut rng, 60, 4);
+        let plain = decorrelation_loss_plain(&z, None, &rff, false, true);
+        let mut g = Graph::new();
+        let zc = g.constant(z.clone());
+        let w = g.constant(Matrix::ones(60, 1));
+        let cfg = DecorrelationConfig {
+            include_diagonal: false,
+            standardize: false,
+            max_features: None,
+            normalize: true,
+        };
+        let mut rng2 = rng_from_seed(0);
+        let loss = decorrelation_loss_graph(&mut g, zc, w, &rff, &cfg, &mut rng2);
+        assert!(
+            (g.scalar(loss) - plain).abs() < 1e-9,
+            "graph {} vs plain {plain}",
+            g.scalar(loss)
+        );
+    }
+
+    #[test]
+    fn graph_loss_with_diagonal_matches_plain() {
+        let mut rng = rng_from_seed(8);
+        let rff = Rff::sample(&mut rng, 4);
+        let z = randn(&mut rng, 40, 3);
+        let plain = decorrelation_loss_plain(&z, None, &rff, true, false);
+        let mut g = Graph::new();
+        let zc = g.constant(z.clone());
+        let w = g.constant(Matrix::ones(40, 1));
+        let cfg = DecorrelationConfig {
+            include_diagonal: true,
+            standardize: false,
+            max_features: None,
+            normalize: false,
+        };
+        let mut rng2 = rng_from_seed(0);
+        let loss = decorrelation_loss_graph(&mut g, zc, w, &rff, &cfg, &mut rng2);
+        assert!(
+            (g.scalar(loss) - plain).abs() < 1e-9,
+            "graph {} vs plain {plain}",
+            g.scalar(loss)
+        );
+    }
+
+    #[test]
+    fn gradcheck_decorrelation_wrt_representation() {
+        use sbrl_tensor::gradcheck::check_gradient;
+        let mut rng = rng_from_seed(9);
+        let rff = Rff::sample(&mut rng, 3);
+        let z0 = randn(&mut rng, 12, 3);
+        let cfg = DecorrelationConfig {
+            include_diagonal: false,
+            standardize: false,
+            max_features: None,
+            normalize: true,
+        };
+        check_gradient(
+            &move |g, z| {
+                let w = g.constant(Matrix::ones(12, 1));
+                let mut r = rng_from_seed(1);
+                decorrelation_loss_graph(g, z, w, &rff, &cfg, &mut r)
+            },
+            &z0,
+            1e-5,
+            1e-4,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gradcheck_decorrelation_wrt_weights() {
+        use sbrl_tensor::gradcheck::check_gradient;
+        let mut rng = rng_from_seed(10);
+        let rff = Rff::sample(&mut rng, 3);
+        let z = randn(&mut rng, 12, 3);
+        let w0 = randn(&mut rng, 12, 1).map(|v| 1.0 + 0.2 * v.tanh());
+        let cfg = DecorrelationConfig {
+            include_diagonal: true,
+            standardize: false,
+            max_features: None,
+            normalize: true,
+        };
+        check_gradient(
+            &move |g, w| {
+                let zc = g.constant(z.clone());
+                let mut r = rng_from_seed(1);
+                decorrelation_loss_graph(g, zc, w, &rff, &cfg, &mut r)
+            },
+            &w0,
+            1e-5,
+            1e-4,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn subsampling_caps_the_feature_count() {
+        let mut rng = rng_from_seed(11);
+        let rff = Rff::sample(&mut rng, 5);
+        let z = randn(&mut rng, 30, 20);
+        let mut g = Graph::new();
+        let zc = g.constant(z);
+        let w = g.constant(Matrix::ones(30, 1));
+        let cfg = DecorrelationConfig { max_features: Some(4), ..Default::default() };
+        let loss = decorrelation_loss_graph(&mut g, zc, w, &rff, &cfg, &mut rng);
+        assert!(g.scalar(loss).is_finite());
+        // With 4-of-20 columns, two different subsample draws should look at
+        // different column sets and hence yield different losses.
+        let loss2 = decorrelation_loss_graph(&mut g, zc, w, &rff, &cfg, &mut rng);
+        assert_ne!(g.scalar(loss), g.scalar(loss2), "subsampling should vary across draws");
+    }
+}

@@ -1,0 +1,119 @@
+//! Kernel primitives: pairwise distances, RBF kernels and bandwidth
+//! heuristics (plain-matrix, non-differentiable versions).
+
+use sbrl_tensor::Matrix;
+
+/// Pairwise squared Euclidean distances between the rows of `a` (`n x d`)
+/// and the rows of `b` (`m x d`), returned as an `n x m` matrix.
+#[track_caller]
+pub fn pairwise_sq_dists(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "pairwise_sq_dists: feature dims differ");
+    let a2: Vec<f64> = (0..a.rows()).map(|i| a.row(i).iter().map(|x| x * x).sum()).collect();
+    let b2: Vec<f64> = (0..b.rows()).map(|j| b.row(j).iter().map(|x| x * x).sum()).collect();
+    let cross = a.matmul_nt(b);
+    Matrix::from_fn(a.rows(), b.rows(), |i, j| (a2[i] + b2[j] - 2.0 * cross[(i, j)]).max(0.0))
+}
+
+/// RBF (Gaussian) kernel matrix `exp(-||a_i - b_j||^2 / (2 sigma^2))`.
+#[track_caller]
+pub fn rbf_kernel(a: &Matrix, b: &Matrix, sigma: f64) -> Matrix {
+    let d = pairwise_sq_dists(a, b);
+    let denom = 2.0 * sigma * sigma;
+    d.map(|v| (-v / denom).exp())
+}
+
+/// Median-heuristic bandwidth: the square root of half the median pairwise
+/// squared distance between rows of `x`. Returns 1.0 for degenerate inputs
+/// (fewer than two rows or all-identical rows).
+pub fn median_bandwidth(x: &Matrix) -> f64 {
+    let n = x.rows();
+    if n < 2 {
+        return 1.0;
+    }
+    let d = pairwise_sq_dists(x, x);
+    let mut offdiag = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            offdiag.push(d[(i, j)]);
+        }
+    }
+    offdiag.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+    let median = offdiag[offdiag.len() / 2];
+    if median <= 0.0 {
+        1.0
+    } else {
+        (median / 2.0).sqrt()
+    }
+}
+
+/// Centering matrix `H = I - 11^T / n` used by the HSIC estimator.
+pub fn centering_matrix(n: usize) -> Matrix {
+    let inv = 1.0 / n as f64;
+    Matrix::from_fn(n, n, |i, j| if i == j { 1.0 - inv } else { -inv })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbrl_tensor::rng::{randn, rng_from_seed};
+
+    #[test]
+    fn sq_dists_match_manual() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 0.0, 1.0, 1.0]);
+        let b = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        let d = pairwise_sq_dists(&a, &b);
+        assert!((d[(0, 0)] - 25.0).abs() < 1e-12);
+        assert!((d[(1, 0)] - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_distances_are_zero_on_diagonal() {
+        let mut rng = rng_from_seed(0);
+        let x = randn(&mut rng, 6, 3);
+        let d = pairwise_sq_dists(&x, &x);
+        for i in 0..6 {
+            assert!(d[(i, i)].abs() < 1e-9);
+        }
+        // Symmetry.
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((d[(i, j)] - d[(j, i)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rbf_kernel_is_one_on_diagonal_and_in_unit_interval() {
+        let mut rng = rng_from_seed(1);
+        let x = randn(&mut rng, 5, 2);
+        let k = rbf_kernel(&x, &x, 1.0);
+        for i in 0..5 {
+            assert!((k[(i, i)] - 1.0).abs() < 1e-9);
+            for j in 0..5 {
+                assert!(k[(i, j)] > 0.0 && k[(i, j)] <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn median_bandwidth_scales_with_data_spread() {
+        let mut rng = rng_from_seed(2);
+        let x = randn(&mut rng, 40, 3);
+        let wide = x.scale(10.0);
+        assert!(median_bandwidth(&wide) > 5.0 * median_bandwidth(&x));
+    }
+
+    #[test]
+    fn median_bandwidth_degenerate_inputs() {
+        assert_eq!(median_bandwidth(&Matrix::zeros(1, 3)), 1.0);
+        assert_eq!(median_bandwidth(&Matrix::ones(5, 2)), 1.0);
+    }
+
+    #[test]
+    fn centering_matrix_removes_means() {
+        let h = centering_matrix(4);
+        let x = Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 10.0]);
+        let centred = h.matmul(&x);
+        assert!(centred.sum().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,23 @@
+//! # sbrl-stats
+//!
+//! Statistical machinery of the SBRL-HAP reproduction:
+//!
+//! * [`kernels`] — pairwise distances, RBF kernels, median-heuristic
+//!   bandwidths, centering matrices;
+//! * [`ipm`] — integral probability metrics between treated and control
+//!   groups (linear MMD, RBF MMD², Sinkhorn-Wasserstein), weighted and
+//!   unweighted, in plain and differentiable graph forms (Eq. 3–4);
+//! * [`hsic`] — HSIC with Random Fourier Features, the weighted
+//!   decorrelation loss `L_D` (Eq. 5–10) and the pairwise-HSIC diagnostics
+//!   behind the paper's Fig. 5.
+
+pub mod hsic;
+pub mod ipm;
+pub mod kernels;
+
+pub use hsic::{
+    decorrelation_loss_graph, decorrelation_loss_plain, hsic_biased, hsic_rff_pair,
+    mean_offdiag_hsic, pairwise_hsic_matrix, DecorrelationConfig, Rff,
+};
+pub use ipm::{ipm_graph, ipm_plain, ipm_weighted_graph, ipm_weighted_plain, IpmKind};
+pub use kernels::{centering_matrix, median_bandwidth, pairwise_sq_dists, rbf_kernel};

@@ -1,0 +1,949 @@
+//! Define-by-run reverse-mode automatic differentiation over [`Matrix`]
+//! values.
+//!
+//! A [`Graph`] is a tape of nodes; every builder method evaluates its result
+//! eagerly and records the operation so that [`Graph::backward`] can sweep the
+//! tape in reverse and accumulate gradients. The op set is intentionally the
+//! minimal closure needed to express the SBRL-HAP losses: dense layers,
+//! activations, weighted integral probability metrics (including a
+//! differentiable Sinkhorn loop) and the weighted HSIC-RFF decorrelation
+//! penalty.
+//!
+//! Typical use (one optimisation step = one graph):
+//!
+//! ```
+//! use sbrl_tensor::{Graph, Matrix};
+//!
+//! let mut g = Graph::new();
+//! let x = g.constant(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+//! let w = g.param(Matrix::ones(2, 1));
+//! let y = g.matmul(x, w);
+//! let sq = g.square(y);
+//! let loss = g.mean(sq);
+//! g.backward(loss);
+//! let grad_w = g.grad(w).expect("param gradient");
+//! assert_eq!(grad_w.shape(), (2, 1));
+//! ```
+
+use std::rc::Rc;
+
+use crate::matrix::Matrix;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct TensorId(pub(crate) usize);
+
+/// The primitive operations the tape understands.
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    /// Input node (parameter or constant).
+    Leaf,
+    Add(TensorId, TensorId),
+    Sub(TensorId, TensorId),
+    Mul(TensorId, TensorId),
+    Div(TensorId, TensorId),
+    MatMul(TensorId, TensorId),
+    Transpose(TensorId),
+    /// `(n x m) + (1 x m)` row broadcast.
+    AddRow(TensorId, TensorId),
+    /// `(n x m) + (n x 1)` column broadcast.
+    AddCol(TensorId, TensorId),
+    /// `(n x m) * (1 x m)` row broadcast.
+    MulRow(TensorId, TensorId),
+    /// `(n x m) * (n x 1)` column broadcast.
+    MulCol(TensorId, TensorId),
+    /// `(n x 1) + (1 x m) -> n x m` outer sum (pairwise-distance helper).
+    ColPlusRow(TensorId, TensorId),
+    Neg(TensorId),
+    Exp(TensorId),
+    Ln(TensorId),
+    Sqrt(TensorId),
+    Cos(TensorId),
+    Sin(TensorId),
+    Tanh(TensorId),
+    Sigmoid(TensorId),
+    Softplus(TensorId),
+    Relu(TensorId),
+    Elu(TensorId, f64),
+    Square(TensorId),
+    Abs(TensorId),
+    Powf(TensorId, f64),
+    Recip(TensorId),
+    Scale(TensorId, f64),
+    AddScalar(TensorId),
+    Clamp(TensorId, f64, f64),
+    /// Sum of all elements -> `1 x 1`.
+    Sum(TensorId),
+    /// Mean of all elements -> `1 x 1`.
+    Mean(TensorId),
+    /// Column sums -> `1 x m`.
+    SumAxis0(TensorId),
+    /// Column means -> `1 x m`.
+    MeanAxis0(TensorId),
+    /// Row sums -> `n x 1`.
+    SumAxis1(TensorId),
+    /// Row means -> `n x 1`.
+    MeanAxis1(TensorId),
+    /// Row gather (indices may repeat); backward scatter-adds.
+    GatherRows(TensorId, Rc<[usize]>),
+    /// Column gather (indices may repeat); backward scatter-adds.
+    GatherCols(TensorId, Rc<[usize]>),
+    ConcatCols(TensorId, TensorId),
+    SliceCols(TensorId, usize, usize),
+    /// Multiply every element by the single value of a `1 x 1` node.
+    MulScalarOf(TensorId, TensorId),
+    /// Divide every element by the single value of a `1 x 1` node.
+    DivScalarOf(TensorId, TensorId),
+}
+
+pub(crate) struct Node {
+    pub(crate) value: Matrix,
+    pub(crate) grad: Option<Matrix>,
+    pub(crate) op: Op,
+    pub(crate) requires_grad: bool,
+}
+
+/// A reverse-mode autodiff tape.
+#[derive(Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self { nodes: Vec::with_capacity(256) }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> TensorId {
+        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        TensorId(self.nodes.len() - 1)
+    }
+
+    /// Inserts a constant leaf (no gradient is accumulated into it).
+    pub fn constant(&mut self, value: Matrix) -> TensorId {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Inserts a trainable leaf; its gradient is available after
+    /// [`Graph::backward`].
+    pub fn param(&mut self, value: Matrix) -> TensorId {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Inserts a `1 x 1` constant.
+    pub fn scalar_const(&mut self, v: f64) -> TensorId {
+        self.constant(Matrix::scalar(v))
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: TensorId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// The single value of a `1 x 1` node.
+    #[track_caller]
+    pub fn scalar(&self, id: TensorId) -> f64 {
+        self.nodes[id.0].value.item()
+    }
+
+    /// Gradient of a node, if it was reached by the last backward sweep.
+    pub fn grad(&self, id: TensorId) -> Option<&Matrix> {
+        self.nodes[id.0].grad.as_ref()
+    }
+
+    #[inline]
+    fn requires(&self, id: TensorId) -> bool {
+        self.nodes[id.0].requires_grad
+    }
+
+    fn unary(&mut self, a: TensorId, value: Matrix, op: Op) -> TensorId {
+        let rg = self.requires(a);
+        self.push(value, op, rg)
+    }
+
+    fn binary(&mut self, a: TensorId, b: TensorId, value: Matrix, op: Op) -> TensorId {
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, op, rg)
+    }
+
+    // ----- elementwise binary ops -------------------------------------------------
+
+    /// Elementwise `a + b` (same shapes).
+    #[track_caller]
+    pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.value(a).add(self.value(b));
+        self.binary(a, b, v, Op::Add(a, b))
+    }
+
+    /// Elementwise `a - b` (same shapes).
+    #[track_caller]
+    pub fn sub(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.value(a).sub(self.value(b));
+        self.binary(a, b, v, Op::Sub(a, b))
+    }
+
+    /// Elementwise `a * b` (same shapes).
+    #[track_caller]
+    pub fn mul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.value(a).mul(self.value(b));
+        self.binary(a, b, v, Op::Mul(a, b))
+    }
+
+    /// Elementwise `a / b` (same shapes).
+    #[track_caller]
+    pub fn div(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.value(a).div(self.value(b));
+        self.binary(a, b, v, Op::Div(a, b))
+    }
+
+    // ----- linear algebra ---------------------------------------------------------
+
+    /// Matrix product `a * b`.
+    #[track_caller]
+    pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.value(a).matmul(self.value(b));
+        self.binary(a, b, v, Op::MatMul(a, b))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).transpose();
+        self.unary(a, v, Op::Transpose(a))
+    }
+
+    // ----- broadcasts -------------------------------------------------------------
+
+    /// Adds a `1 x m` row vector to every row of an `n x m` matrix.
+    #[track_caller]
+    pub fn add_row(&mut self, a: TensorId, row: TensorId) -> TensorId {
+        let (ar, ac) = self.value(a).shape();
+        let (rr, rc) = self.value(row).shape();
+        assert!(rr == 1 && rc == ac, "add_row: {ar}x{ac} + {rr}x{rc}");
+        let rv = self.value(row).as_slice().to_vec();
+        let mut v = self.value(a).clone();
+        for i in 0..ar {
+            for (x, &r) in v.row_mut(i).iter_mut().zip(&rv) {
+                *x += r;
+            }
+        }
+        self.binary(a, row, v, Op::AddRow(a, row))
+    }
+
+    /// Adds an `n x 1` column vector to every column of an `n x m` matrix.
+    #[track_caller]
+    pub fn add_col(&mut self, a: TensorId, col: TensorId) -> TensorId {
+        let (ar, ac) = self.value(a).shape();
+        let (cr, cc) = self.value(col).shape();
+        assert!(cc == 1 && cr == ar, "add_col: {ar}x{ac} + {cr}x{cc}");
+        let cv = self.value(col).as_slice().to_vec();
+        let mut v = self.value(a).clone();
+        for i in 0..ar {
+            let c = cv[i];
+            for x in v.row_mut(i) {
+                *x += c;
+            }
+        }
+        self.binary(a, col, v, Op::AddCol(a, col))
+    }
+
+    /// Multiplies every row of an `n x m` matrix by a `1 x m` row vector.
+    #[track_caller]
+    pub fn mul_row(&mut self, a: TensorId, row: TensorId) -> TensorId {
+        let (ar, ac) = self.value(a).shape();
+        let (rr, rc) = self.value(row).shape();
+        assert!(rr == 1 && rc == ac, "mul_row: {ar}x{ac} * {rr}x{rc}");
+        let rv = self.value(row).as_slice().to_vec();
+        let mut v = self.value(a).clone();
+        for i in 0..ar {
+            for (x, &r) in v.row_mut(i).iter_mut().zip(&rv) {
+                *x *= r;
+            }
+        }
+        self.binary(a, row, v, Op::MulRow(a, row))
+    }
+
+    /// Multiplies every column of an `n x m` matrix by an `n x 1` column
+    /// vector (row-wise scaling, e.g. by sample weights).
+    #[track_caller]
+    pub fn mul_col(&mut self, a: TensorId, col: TensorId) -> TensorId {
+        let (ar, ac) = self.value(a).shape();
+        let (cr, cc) = self.value(col).shape();
+        assert!(cc == 1 && cr == ar, "mul_col: {ar}x{ac} * {cr}x{cc}");
+        let cv = self.value(col).as_slice().to_vec();
+        let mut v = self.value(a).clone();
+        for i in 0..ar {
+            let c = cv[i];
+            for x in v.row_mut(i) {
+                *x *= c;
+            }
+        }
+        self.binary(a, col, v, Op::MulCol(a, col))
+    }
+
+    /// Outer sum of an `n x 1` column and a `1 x m` row -> `n x m`.
+    #[track_caller]
+    pub fn col_plus_row(&mut self, col: TensorId, row: TensorId) -> TensorId {
+        let (cr, cc) = self.value(col).shape();
+        let (rr, rc) = self.value(row).shape();
+        assert!(cc == 1 && rr == 1, "col_plus_row: {cr}x{cc} (+) {rr}x{rc}");
+        let cv = self.value(col).as_slice().to_vec();
+        let rv = self.value(row).as_slice().to_vec();
+        let v = Matrix::from_fn(cr, rc, |i, j| cv[i] + rv[j]);
+        self.binary(col, row, v, Op::ColPlusRow(col, row))
+    }
+
+    // ----- elementwise unary ops --------------------------------------------------
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(|x| -x);
+        self.unary(a, v, Op::Neg(a))
+    }
+
+    /// Elementwise `exp`.
+    pub fn exp(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(f64::exp);
+        self.unary(a, v, Op::Exp(a))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(f64::ln);
+        self.unary(a, v, Op::Ln(a))
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(f64::sqrt);
+        self.unary(a, v, Op::Sqrt(a))
+    }
+
+    /// Elementwise cosine.
+    pub fn cos(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(f64::cos);
+        self.unary(a, v, Op::Cos(a))
+    }
+
+    /// Elementwise sine.
+    pub fn sin(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(f64::sin);
+        self.unary(a, v, Op::Sin(a))
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(f64::tanh);
+        self.unary(a, v, Op::Tanh(a))
+    }
+
+    /// Elementwise logistic sigmoid (numerically stable).
+    pub fn sigmoid(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(stable_sigmoid);
+        self.unary(a, v, Op::Sigmoid(a))
+    }
+
+    /// Elementwise softplus `ln(1 + e^x)` (numerically stable).
+    pub fn softplus(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(stable_softplus);
+        self.unary(a, v, Op::Softplus(a))
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.unary(a, v, Op::Relu(a))
+    }
+
+    /// Elementwise exponential linear unit with slope `alpha`.
+    pub fn elu(&mut self, a: TensorId, alpha: f64) -> TensorId {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        self.unary(a, v, Op::Elu(a, alpha))
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(|x| x * x);
+        self.unary(a, v, Op::Square(a))
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(f64::abs);
+        self.unary(a, v, Op::Abs(a))
+    }
+
+    /// Elementwise power with a constant exponent.
+    pub fn powf(&mut self, a: TensorId, p: f64) -> TensorId {
+        let v = self.value(a).map(|x| x.powf(p));
+        self.unary(a, v, Op::Powf(a, p))
+    }
+
+    /// Elementwise reciprocal.
+    pub fn recip(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(f64::recip);
+        self.unary(a, v, Op::Recip(a))
+    }
+
+    /// Multiplies every element by the constant `s`.
+    pub fn scale(&mut self, a: TensorId, s: f64) -> TensorId {
+        let v = self.value(a).scale(s);
+        self.unary(a, v, Op::Scale(a, s))
+    }
+
+    /// Adds the constant `s` to every element.
+    pub fn add_scalar(&mut self, a: TensorId, s: f64) -> TensorId {
+        let v = self.value(a).add_scalar(s);
+        self.unary(a, v, Op::AddScalar(a))
+    }
+
+    /// Clamps every element into `[lo, hi]`; gradient is zero outside.
+    pub fn clamp(&mut self, a: TensorId, lo: f64, hi: f64) -> TensorId {
+        let v = self.value(a).clamp(lo, hi);
+        self.unary(a, v, Op::Clamp(a, lo, hi))
+    }
+
+    // ----- reductions ---------------------------------------------------------
+
+    /// Sum of all elements (`1 x 1`).
+    pub fn sum(&mut self, a: TensorId) -> TensorId {
+        let v = Matrix::scalar(self.value(a).sum());
+        self.unary(a, v, Op::Sum(a))
+    }
+
+    /// Mean of all elements (`1 x 1`).
+    pub fn mean(&mut self, a: TensorId) -> TensorId {
+        let v = Matrix::scalar(self.value(a).mean());
+        self.unary(a, v, Op::Mean(a))
+    }
+
+    /// Column sums (`1 x m`).
+    pub fn sum_axis0(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).sum_axis0();
+        self.unary(a, v, Op::SumAxis0(a))
+    }
+
+    /// Column means (`1 x m`).
+    pub fn mean_axis0(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).mean_axis0();
+        self.unary(a, v, Op::MeanAxis0(a))
+    }
+
+    /// Row sums (`n x 1`).
+    pub fn sum_axis1(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).sum_axis1();
+        self.unary(a, v, Op::SumAxis1(a))
+    }
+
+    /// Row means (`n x 1`).
+    pub fn mean_axis1(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).mean_axis1();
+        self.unary(a, v, Op::MeanAxis1(a))
+    }
+
+    // ----- structural ops -------------------------------------------------------
+
+    /// Gathers the listed rows (indices may repeat).
+    #[track_caller]
+    pub fn gather_rows(&mut self, a: TensorId, idx: &[usize]) -> TensorId {
+        let v = self.value(a).select_rows(idx);
+        self.unary(a, v, Op::GatherRows(a, Rc::from(idx)))
+    }
+
+    /// Gathers the listed columns (indices may repeat).
+    #[track_caller]
+    pub fn gather_cols(&mut self, a: TensorId, idx: &[usize]) -> TensorId {
+        let v = self.value(a).select_cols(idx);
+        self.unary(a, v, Op::GatherCols(a, Rc::from(idx)))
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    #[track_caller]
+    pub fn concat_cols(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.value(a).hstack(self.value(b));
+        self.binary(a, b, v, Op::ConcatCols(a, b))
+    }
+
+    /// Column slice `[start, end)`.
+    #[track_caller]
+    pub fn slice_cols(&mut self, a: TensorId, start: usize, end: usize) -> TensorId {
+        let v = self.value(a).slice_cols(start, end);
+        self.unary(a, v, Op::SliceCols(a, start, end))
+    }
+
+    /// Multiplies every element of `a` by the value of the `1 x 1` node `s`.
+    #[track_caller]
+    pub fn mul_scalar_of(&mut self, a: TensorId, s: TensorId) -> TensorId {
+        let sv = self.value(s).item();
+        let v = self.value(a).scale(sv);
+        self.binary(a, s, v, Op::MulScalarOf(a, s))
+    }
+
+    /// Divides every element of `a` by the value of the `1 x 1` node `s`.
+    #[track_caller]
+    pub fn div_scalar_of(&mut self, a: TensorId, s: TensorId) -> TensorId {
+        let sv = self.value(s).item();
+        let v = self.value(a).scale(1.0 / sv);
+        self.binary(a, s, v, Op::DivScalarOf(a, s))
+    }
+
+    // ----- composite helpers ------------------------------------------------------
+
+    /// `a - row` broadcast (composed from [`Graph::add_row`] and [`Graph::neg`]).
+    pub fn sub_row(&mut self, a: TensorId, row: TensorId) -> TensorId {
+        let n = self.neg(row);
+        self.add_row(a, n)
+    }
+
+    /// `a / row` broadcast.
+    pub fn div_row(&mut self, a: TensorId, row: TensorId) -> TensorId {
+        let r = self.recip(row);
+        self.mul_row(a, r)
+    }
+
+    /// `a / col` broadcast.
+    pub fn div_col(&mut self, a: TensorId, col: TensorId) -> TensorId {
+        let r = self.recip(col);
+        self.mul_col(a, r)
+    }
+
+    /// Sum of squares of all elements (`1 x 1`).
+    pub fn sumsq(&mut self, a: TensorId) -> TensorId {
+        let s = self.square(a);
+        self.sum(s)
+    }
+
+    /// Squared Euclidean norm of the difference of two same-shape tensors.
+    pub fn sq_dist(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let d = self.sub(a, b);
+        self.sumsq(d)
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+pub fn stable_sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softplus `ln(1 + e^x)`.
+pub fn stable_softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+impl Graph {
+    /// Reverse-mode sweep seeding `d loss / d loss = 1`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a `1 x 1` node.
+    #[track_caller]
+    pub fn backward(&mut self, loss: TensorId) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward: loss must be a scalar (1x1) node"
+        );
+        for node in &mut self.nodes {
+            node.grad = None;
+        }
+        self.nodes[loss.0].grad = Some(Matrix::scalar(1.0));
+
+        for i in (0..self.nodes.len()).rev() {
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            let Some(g) = self.nodes[i].grad.take() else { continue };
+            let op = self.nodes[i].op.clone();
+            self.propagate(i, &g, &op);
+            self.nodes[i].grad = Some(g);
+        }
+    }
+
+    fn accumulate(&mut self, target: TensorId, delta: Matrix) {
+        if !self.nodes[target.0].requires_grad {
+            return;
+        }
+        match &mut self.nodes[target.0].grad {
+            Some(acc) => acc.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    /// Applies the backward rule of `op` for node `i` with upstream gradient `g`.
+    fn propagate(&mut self, i: usize, g: &Matrix, op: &Op) {
+        match *op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                self.accumulate(a, g.clone());
+                self.accumulate(b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(a, g.clone());
+                self.accumulate(b, g.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                let da = g.mul(self.value(b));
+                let db = g.mul(self.value(a));
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::Div(a, b) => {
+                let bv = self.value(b);
+                let da = g.div(bv);
+                let db = g.mul(self.value(a)).div(bv).div(bv).scale(-1.0);
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::MatMul(a, b) => {
+                // Skip the (potentially large) delta products for constants.
+                if self.requires(a) {
+                    let da = g.matmul_nt(self.value(b));
+                    self.accumulate(a, da);
+                }
+                if self.requires(b) {
+                    let db = self.value(a).matmul_tn(g);
+                    self.accumulate(b, db);
+                }
+            }
+            Op::Transpose(a) => {
+                self.accumulate(a, g.transpose());
+            }
+            Op::AddRow(a, row) => {
+                self.accumulate(a, g.clone());
+                self.accumulate(row, g.sum_axis0());
+            }
+            Op::AddCol(a, col) => {
+                self.accumulate(a, g.clone());
+                self.accumulate(col, g.sum_axis1());
+            }
+            Op::MulRow(a, row) => {
+                let rv = self.value(row).as_slice().to_vec();
+                let mut da = g.clone();
+                for r in 0..da.rows() {
+                    for (x, &s) in da.row_mut(r).iter_mut().zip(&rv) {
+                        *x *= s;
+                    }
+                }
+                self.accumulate(a, da);
+                let drow = g.mul(self.value(a)).sum_axis0();
+                self.accumulate(row, drow);
+            }
+            Op::MulCol(a, col) => {
+                let cv = self.value(col).as_slice().to_vec();
+                let mut da = g.clone();
+                for r in 0..da.rows() {
+                    let s = cv[r];
+                    for x in da.row_mut(r) {
+                        *x *= s;
+                    }
+                }
+                self.accumulate(a, da);
+                let dcol = g.mul(self.value(a)).sum_axis1();
+                self.accumulate(col, dcol);
+            }
+            Op::ColPlusRow(col, row) => {
+                self.accumulate(col, g.sum_axis1());
+                self.accumulate(row, g.sum_axis0());
+            }
+            Op::Neg(a) => self.accumulate(a, g.scale(-1.0)),
+            Op::Exp(a) => {
+                let d = g.mul(&self.nodes[i].value);
+                self.accumulate(a, d);
+            }
+            Op::Ln(a) => {
+                let d = g.div(self.value(a));
+                self.accumulate(a, d);
+            }
+            Op::Sqrt(a) => {
+                let d = g.zip_map(&self.nodes[i].value, |gv, out| 0.5 * gv / out);
+                self.accumulate(a, d);
+            }
+            Op::Cos(a) => {
+                let d = g.zip_map(self.value(a), |gv, x| -gv * x.sin());
+                self.accumulate(a, d);
+            }
+            Op::Sin(a) => {
+                let d = g.zip_map(self.value(a), |gv, x| gv * x.cos());
+                self.accumulate(a, d);
+            }
+            Op::Tanh(a) => {
+                let d = g.zip_map(&self.nodes[i].value, |gv, out| gv * (1.0 - out * out));
+                self.accumulate(a, d);
+            }
+            Op::Sigmoid(a) => {
+                let d = g.zip_map(&self.nodes[i].value, |gv, out| gv * out * (1.0 - out));
+                self.accumulate(a, d);
+            }
+            Op::Softplus(a) => {
+                let d = g.zip_map(self.value(a), |gv, x| gv * stable_sigmoid(x));
+                self.accumulate(a, d);
+            }
+            Op::Relu(a) => {
+                let d = g.zip_map(self.value(a), |gv, x| if x > 0.0 { gv } else { 0.0 });
+                self.accumulate(a, d);
+            }
+            Op::Elu(a, alpha) => {
+                let d = g.zip_map(&self.nodes[i].value, |gv, out| {
+                    if out > 0.0 {
+                        gv
+                    } else {
+                        gv * (out + alpha)
+                    }
+                });
+                self.accumulate(a, d);
+            }
+            Op::Square(a) => {
+                let d = g.zip_map(self.value(a), |gv, x| 2.0 * gv * x);
+                self.accumulate(a, d);
+            }
+            Op::Abs(a) => {
+                let d = g.zip_map(self.value(a), |gv, x| gv * sign(x));
+                self.accumulate(a, d);
+            }
+            Op::Powf(a, p) => {
+                let d = g.zip_map(self.value(a), |gv, x| gv * p * x.powf(p - 1.0));
+                self.accumulate(a, d);
+            }
+            Op::Recip(a) => {
+                let d = g.zip_map(&self.nodes[i].value, |gv, out| -gv * out * out);
+                self.accumulate(a, d);
+            }
+            Op::Scale(a, s) => self.accumulate(a, g.scale(s)),
+            Op::AddScalar(a) => self.accumulate(a, g.clone()),
+            Op::Clamp(a, lo, hi) => {
+                let d = g.zip_map(self.value(a), |gv, x| if x > lo && x < hi { gv } else { 0.0 });
+                self.accumulate(a, d);
+            }
+            Op::Sum(a) => {
+                let (r, c) = self.value(a).shape();
+                self.accumulate(a, Matrix::full(r, c, g.item()));
+            }
+            Op::Mean(a) => {
+                let (r, c) = self.value(a).shape();
+                let n = (r * c) as f64;
+                self.accumulate(a, Matrix::full(r, c, g.item() / n));
+            }
+            Op::SumAxis0(a) => {
+                let (r, c) = self.value(a).shape();
+                let gv = g.as_slice().to_vec();
+                let d = Matrix::from_fn(r, c, |_, j| gv[j]);
+                self.accumulate(a, d);
+            }
+            Op::MeanAxis0(a) => {
+                let (r, c) = self.value(a).shape();
+                let gv = g.as_slice().to_vec();
+                let inv = 1.0 / r as f64;
+                let d = Matrix::from_fn(r, c, |_, j| gv[j] * inv);
+                self.accumulate(a, d);
+            }
+            Op::SumAxis1(a) => {
+                let (r, c) = self.value(a).shape();
+                let gv = g.as_slice().to_vec();
+                let d = Matrix::from_fn(r, c, |i2, _| gv[i2]);
+                self.accumulate(a, d);
+            }
+            Op::MeanAxis1(a) => {
+                let (r, c) = self.value(a).shape();
+                let gv = g.as_slice().to_vec();
+                let inv = 1.0 / c as f64;
+                let d = Matrix::from_fn(r, c, |i2, _| gv[i2] * inv);
+                self.accumulate(a, d);
+            }
+            Op::GatherRows(a, ref idx) => {
+                let (r, c) = self.value(a).shape();
+                let mut d = Matrix::zeros(r, c);
+                for (k, &src) in idx.iter().enumerate() {
+                    let grow = g.row(k).to_vec();
+                    for (x, gvv) in d.row_mut(src).iter_mut().zip(grow) {
+                        *x += gvv;
+                    }
+                }
+                self.accumulate(a, d);
+            }
+            Op::GatherCols(a, ref idx) => {
+                let (r, c) = self.value(a).shape();
+                let mut d = Matrix::zeros(r, c);
+                for (k, &src) in idx.iter().enumerate() {
+                    for row in 0..r {
+                        d[(row, src)] += g[(row, k)];
+                    }
+                }
+                self.accumulate(a, d);
+            }
+            Op::ConcatCols(a, b) => {
+                let ac = self.value(a).cols();
+                let total = g.cols();
+                self.accumulate(a, g.slice_cols(0, ac));
+                self.accumulate(b, g.slice_cols(ac, total));
+            }
+            Op::SliceCols(a, start, end) => {
+                let (r, c) = self.value(a).shape();
+                let mut d = Matrix::zeros(r, c);
+                for row in 0..r {
+                    d.row_mut(row)[start..end].copy_from_slice(g.row(row));
+                }
+                self.accumulate(a, d);
+            }
+            Op::MulScalarOf(a, s) => {
+                let sv = self.value(s).item();
+                self.accumulate(a, g.scale(sv));
+                let ds = g.dot(self.value(a));
+                self.accumulate(s, Matrix::scalar(ds));
+            }
+            Op::DivScalarOf(a, s) => {
+                let sv = self.value(s).item();
+                self.accumulate(a, g.scale(1.0 / sv));
+                let ds = -g.dot(self.value(a)) / (sv * sv);
+                self.accumulate(s, Matrix::scalar(ds));
+            }
+        }
+    }
+}
+
+fn sign(x: f64) -> f64 {
+    if x > 0.0 {
+        1.0
+    } else if x < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_are_eager() {
+        let mut g = Graph::new();
+        let a = g.constant(Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let b = g.constant(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let s = g.add(a, b);
+        assert_eq!(g.value(s).as_slice(), &[4.0, 6.0]);
+        let p = g.mul(a, b);
+        assert_eq!(g.value(p).as_slice(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn backward_through_linear_chain() {
+        // loss = mean((x*w)^2), x = [[1,2],[3,4]], w = [[1],[1]]
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let w = g.param(Matrix::ones(2, 1));
+        let y = g.matmul(x, w); // [3, 7]
+        let sq = g.square(y);
+        let loss = g.mean(sq); // (9 + 49)/2 = 29
+        assert_eq!(g.scalar(loss), 29.0);
+        g.backward(loss);
+        // dloss/dy = y, so grad_w = x^T y = [1*3+3*7, 2*3+4*7] = [24, 34]
+        let gw = g.grad(w).unwrap();
+        assert!(gw.approx_eq(&Matrix::from_vec(2, 1, vec![24.0, 34.0]), 1e-12));
+    }
+
+    #[test]
+    fn constants_get_no_gradient() {
+        let mut g = Graph::new();
+        let c = g.constant(Matrix::ones(2, 2));
+        let w = g.param(Matrix::ones(2, 2));
+        let m = g.mul(c, w);
+        let loss = g.sum(m);
+        g.backward(loss);
+        assert!(g.grad(c).is_none());
+        assert!(g.grad(w).is_some());
+    }
+
+    #[test]
+    fn gradient_accumulates_over_reused_nodes() {
+        // loss = sum(w) + sum(w) -> grad = 2 * ones
+        let mut g = Graph::new();
+        let w = g.param(Matrix::ones(2, 2));
+        let s1 = g.sum(w);
+        let s2 = g.sum(w);
+        let loss = g.add(s1, s2);
+        g.backward(loss);
+        assert!(g.grad(w).unwrap().approx_eq(&Matrix::full(2, 2, 2.0), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward: loss must be a scalar")]
+    fn backward_rejects_non_scalar_loss() {
+        let mut g = Graph::new();
+        let w = g.param(Matrix::ones(2, 2));
+        g.backward(w);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!((stable_sigmoid(1000.0) - 1.0).abs() < 1e-12);
+        assert!(stable_sigmoid(-1000.0).abs() < 1e-12);
+        assert!((stable_sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softplus_is_stable_at_extremes() {
+        assert!((stable_softplus(1000.0) - 1000.0).abs() < 1e-9);
+        assert!(stable_softplus(-1000.0) >= 0.0);
+        assert!((stable_softplus(0.0) - 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gather_rows_backward_scatter_adds() {
+        let mut g = Graph::new();
+        let w = g.param(Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]));
+        let gathered = g.gather_rows(w, &[0, 0, 2]);
+        let loss = g.sum(gathered);
+        g.backward(loss);
+        // row 0 used twice, row 1 never, row 2 once
+        assert!(g.grad(w).unwrap().approx_eq(&Matrix::from_vec(3, 1, vec![2.0, 0.0, 1.0]), 1e-12));
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip_gradients() {
+        let mut g = Graph::new();
+        let a = g.param(Matrix::ones(2, 2));
+        let b = g.param(Matrix::ones(2, 3));
+        let cat = g.concat_cols(a, b);
+        let sl = g.slice_cols(cat, 1, 4); // one col of a, two cols of b
+        let loss = g.sum(sl);
+        g.backward(loss);
+        assert!(g.grad(a).unwrap().approx_eq(&Matrix::from_vec(2, 2, vec![0.0, 1.0, 0.0, 1.0]), 1e-12));
+        assert!(g
+            .grad(b)
+            .unwrap()
+            .approx_eq(&Matrix::from_vec(2, 3, vec![1.0, 1.0, 0.0, 1.0, 1.0, 0.0]), 1e-12));
+    }
+
+    #[test]
+    fn scalar_broadcast_ops() {
+        let mut g = Graph::new();
+        let a = g.param(Matrix::from_vec(1, 2, vec![2.0, 4.0]));
+        let s = g.param(Matrix::scalar(2.0));
+        let m = g.mul_scalar_of(a, s);
+        assert_eq!(g.value(m).as_slice(), &[4.0, 8.0]);
+        let d = g.div_scalar_of(a, s);
+        assert_eq!(g.value(d).as_slice(), &[1.0, 2.0]);
+        let both = g.add(m, d);
+        let loss = g.sum(both);
+        g.backward(loss);
+        // d(sum(2a + a/2))/da = 2.5 per element
+        assert!(g.grad(a).unwrap().approx_eq(&Matrix::full(1, 2, 2.5), 1e-12));
+        // d/ds (s*(2+4) + (2+4)/s) at s=2 => 6 - 6/4 = 4.5
+        assert!((g.grad(s).unwrap().item() - 4.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,28 @@
+//! # sbrl-tensor
+//!
+//! Dense `f64` matrix library and reverse-mode automatic differentiation
+//! engine — the numerical substrate of the SBRL-HAP reproduction
+//! (*Stable Heterogeneous Treatment Effect Estimation across
+//! Out-of-Distribution Populations*, ICDE 2024).
+//!
+//! The paper's training objective differentiates custom losses (weighted
+//! integral probability metrics, a Sinkhorn loop, weighted HSIC with random
+//! Fourier features) with respect to both network parameters and per-sample
+//! weights. Mainstream Rust DL bindings are not mature enough for these
+//! custom reweighting losses, so this crate provides a small, fully-tested
+//! define-by-run tape ([`Graph`]) over a plain matrix type ([`Matrix`]).
+//!
+//! Modules:
+//! * [`matrix`] — the dense matrix type and BLAS-free kernels.
+//! * [`graph`] — the autodiff tape (`Graph`, `TensorId`, ~40 primitive ops).
+//! * [`rng`] — seeded sampling helpers (Box–Muller normals, permutations).
+//! * [`gradcheck`] — finite-difference gradient verification used throughout
+//!   the workspace's test suites.
+
+pub mod gradcheck;
+pub mod graph;
+pub mod matrix;
+pub mod rng;
+
+pub use graph::{stable_sigmoid, stable_softplus, Graph, TensorId};
+pub use matrix::Matrix;

@@ -1,0 +1,94 @@
+//! Uplift modelling across seasonal populations: a marketer estimates the
+//! heterogeneous effect of a coupon (treatment) on conversion (binary
+//! outcome) from logs collected during one season, then targets customers in
+//! another season whose feature distribution has drifted.
+//!
+//! The decision-relevant quantity is the *sign and ranking* of predicted
+//! uplift: we report PEHE, ATE bias and a simple top-k targeting quality
+//! (expected uplift captured by treating the top 20% ranked customers) for
+//! the three frameworks on the shifted population.
+//!
+//! Run with: `cargo run --release --example marketing_uplift`
+
+use sbrl_hap::core::{train, Framework, SbrlConfig, TrainConfig};
+use sbrl_hap::data::{CausalDataset, SyntheticConfig, SyntheticProcess};
+use sbrl_hap::metrics::EffectEstimate;
+use sbrl_hap::models::{Cfr, CfrConfig, TarnetConfig};
+use sbrl_hap::stats::IpmKind;
+use sbrl_hap::tensor::rng::rng_from_seed;
+
+/// Average true uplift captured when treating the `k` customers with the
+/// highest *predicted* uplift (a policy-quality proxy).
+fn topk_uplift(est: &EffectEstimate, data: &CausalDataset, frac: f64) -> f64 {
+    let ite_hat = est.ite_hat();
+    let ite_true = data.true_ite().expect("oracle");
+    let mut order: Vec<usize> = (0..ite_hat.len()).collect();
+    order.sort_by(|&a, &b| ite_hat[b].partial_cmp(&ite_hat[a]).expect("finite"));
+    let k = ((ite_hat.len() as f64) * frac).round().max(1.0) as usize;
+    order[..k].iter().map(|&i| ite_true[i]).sum::<f64>() / k as f64
+}
+
+fn main() {
+    // Customer features: purchase history & demographics (stable drivers of
+    // conversion) plus seasonal context features that merely correlate with
+    // conversion in any one season (unstable block).
+    let process = SyntheticProcess::new(SyntheticConfig::syn_8_8_8_2(), 99);
+    let summer_logs = process.generate(2.5, 2500, 0); // training season
+    let summer_val = process.generate(2.5, 700, 1);
+    let winter = process.generate(-2.5, 1500, 2); // deployment season
+
+    let arch = TarnetConfig {
+        rep_layers: 2,
+        rep_width: 48,
+        head_layers: 2,
+        head_width: 24,
+        batch_norm: true,
+        rep_normalization: false,
+        in_dim: summer_logs.dim(),
+    };
+    let cfg = CfrConfig { arch, alpha: 0.05, ipm: IpmKind::MmdLin };
+    let budget = TrainConfig { iterations: 400, ..TrainConfig::default() };
+
+    println!("training on summer campaign logs, deploying on winter customers\n");
+    println!(
+        "{:<14} {:>12} {:>12} {:>18}",
+        "framework", "PEHE", "eATE", "top-20% uplift"
+    );
+
+    let random_policy = {
+        let ite = winter.true_ite().expect("oracle");
+        ite.iter().sum::<f64>() / ite.len() as f64
+    };
+
+    for framework in [Framework::Vanilla, Framework::Sbrl, Framework::SbrlHap] {
+        let sbrl = match framework {
+            Framework::Vanilla => SbrlConfig::vanilla(),
+            Framework::Sbrl => SbrlConfig::sbrl(0.05, 1.0),
+            Framework::SbrlHap => SbrlConfig::sbrl_hap(0.05, 1.0, 1.0, 0.1),
+        };
+        let mut rng = rng_from_seed(5);
+        let mut fitted = train(Cfr::new(cfg, &mut rng), &summer_logs, &summer_val, &sbrl, &budget)
+            .expect("training");
+        let est = fitted.predict(&winter.x);
+        let eval = fitted.evaluate(&winter).expect("oracle");
+        println!(
+            "{:<14} {:>12.3} {:>12.3} {:>18.3}",
+            format!("CFR{}", framework.suffix()),
+            eval.pehe,
+            eval.ate_bias,
+            topk_uplift(&est, &winter, 0.2),
+        );
+    }
+    println!("{:<14} {:>12} {:>12} {:>18.3}", "random policy", "-", "-", random_policy);
+    println!(
+        "\nTop-20% uplift is the average true effect among the customers each\n\
+         model would target first; the random-policy row targets blindly.\n\
+         A value *below* random is the paper's instability hazard made\n\
+         concrete: the winter season flips the unstable feature's\n\
+         correlation with conversion (rho = 2.5 -> -2.5), so a model that\n\
+         leaned on it ranks customers almost exactly backwards. The stable\n\
+         frameworks reduce that reliance (watch PEHE/eATE), and at full\n\
+         training scale the gap in targeting quality widens — run the\n\
+         table1 binary for the replicated comparison."
+    );
+}

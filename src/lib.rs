@@ -1,0 +1,54 @@
+//! # sbrl-hap
+//!
+//! A from-scratch Rust reproduction of **"Stable Heterogeneous Treatment
+//! Effect Estimation across Out-of-Distribution Populations"** (Zhang et
+//! al., ICDE 2024): balanced representation learning plus
+//! independence-driven sample reweighting, coordinated by a
+//! Hierarchical-Attention Paradigm, so that treatment-effect estimators
+//! trained on one population stay accurate on covariate-shifted ones.
+//!
+//! This meta-crate re-exports the workspace's public API:
+//!
+//! * [`tensor`] — dense matrices + reverse-mode autodiff;
+//! * [`nn`] — layers, optimisers, schedules;
+//! * [`stats`] — IPM (MMD / Sinkhorn-Wasserstein) and HSIC-RFF machinery;
+//! * [`data`] — synthetic / Twins-like / IHDP-like benchmark generators;
+//! * [`models`] — TARNet, CFR and DeR-CFR backbones;
+//! * [`core`] — the SBRL / SBRL-HAP framework and alternating trainer;
+//! * [`metrics`] — PEHE, ATE bias, F1 and stability metrics;
+//! * [`experiments`] — runners regenerating every table/figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use sbrl_hap::core::{train, SbrlConfig, TrainConfig};
+//! use sbrl_hap::data::{SyntheticConfig, SyntheticProcess};
+//! use sbrl_hap::models::{Cfr, CfrConfig};
+//! use sbrl_hap::tensor::rng::rng_from_seed;
+//!
+//! let process = SyntheticProcess::new(SyntheticConfig::syn_8_8_8_2(), 0);
+//! let train_data = process.generate(2.5, 2000, 0); // in-distribution
+//! let val_data = process.generate(2.5, 600, 1);
+//! let ood_data = process.generate(-3.0, 1000, 2); // strong covariate shift
+//!
+//! let mut rng = rng_from_seed(0);
+//! let model = Cfr::new(CfrConfig::small(train_data.dim()), &mut rng);
+//! let mut fitted = train(
+//!     model,
+//!     &train_data,
+//!     &val_data,
+//!     &SbrlConfig::sbrl_hap(1.0, 1.0, 1.0, 0.1),
+//!     &TrainConfig::default(),
+//! )
+//! .expect("training succeeds");
+//! println!("OOD PEHE: {:.3}", fitted.evaluate(&ood_data).unwrap().pehe);
+//! ```
+
+pub use sbrl_core as core;
+pub use sbrl_data as data;
+pub use sbrl_experiments as experiments;
+pub use sbrl_metrics as metrics;
+pub use sbrl_models as models;
+pub use sbrl_nn as nn;
+pub use sbrl_stats as stats;
+pub use sbrl_tensor as tensor;

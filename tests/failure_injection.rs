@@ -1,0 +1,145 @@
+//! Failure-injection tests: degenerate and malformed inputs must surface as
+//! typed errors (or documented panics), never as silent NaN propagation.
+
+use sbrl_hap::core::{train, SbrlConfig, TrainConfig, TrainError};
+use sbrl_hap::data::{CausalDataset, DataError, OutcomeKind};
+use sbrl_hap::models::{Tarnet, TarnetConfig};
+use sbrl_hap::tensor::rng::{randn, rng_from_seed};
+use sbrl_hap::tensor::Matrix;
+
+fn valid_data(n: usize, seed: u64) -> CausalDataset {
+    let mut rng = rng_from_seed(seed);
+    let x = randn(&mut rng, n, 4);
+    let t: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
+    let yf: Vec<f64> = (0..n).map(|i| x[(i, 0)] + t[i]).collect();
+    CausalDataset { x, t, yf, ycf: None, mu0: None, mu1: None, outcome: OutcomeKind::Continuous }
+}
+
+fn budget() -> TrainConfig {
+    TrainConfig { iterations: 20, batch_size: 16, ..TrainConfig::default() }
+}
+
+#[test]
+fn empty_treatment_arm_is_a_typed_error() {
+    let mut data = valid_data(40, 0);
+    data.t = vec![0.0; 40];
+    let mut rng = rng_from_seed(0);
+    let model = Tarnet::new(TarnetConfig::small(4), &mut rng);
+    let err = train(model, &data, &valid_data(20, 1), &SbrlConfig::vanilla(), &budget());
+    match err {
+        Err(TrainError::Data(DataError::EmptyTreatmentArm { treated, control })) => {
+            assert_eq!(treated, 0);
+            assert_eq!(control, 40);
+        }
+        other => panic!("expected EmptyTreatmentArm, got {other:?}", other = other.err().map(|e| e.to_string())),
+    }
+}
+
+#[test]
+fn nan_covariates_are_rejected_before_training() {
+    let mut data = valid_data(40, 2);
+    data.x[(3, 1)] = f64::NAN;
+    let mut rng = rng_from_seed(0);
+    let model = Tarnet::new(TarnetConfig::small(4), &mut rng);
+    let err = train(model, &data, &valid_data(20, 3), &SbrlConfig::vanilla(), &budget());
+    assert!(matches!(err, Err(TrainError::Data(DataError::NonFinite { field: "x" }))));
+}
+
+#[test]
+fn invalid_treatment_value_is_rejected() {
+    let mut data = valid_data(40, 4);
+    data.t[7] = 0.5;
+    let mut rng = rng_from_seed(0);
+    let model = Tarnet::new(TarnetConfig::small(4), &mut rng);
+    let err = train(model, &data, &valid_data(20, 5), &SbrlConfig::vanilla(), &budget());
+    assert!(matches!(
+        err,
+        Err(TrainError::Data(DataError::InvalidTreatment { index: 7, .. }))
+    ));
+}
+
+#[test]
+fn empty_dataset_is_rejected() {
+    let data = CausalDataset {
+        x: Matrix::zeros(0, 4),
+        t: vec![],
+        yf: vec![],
+        ycf: None,
+        mu0: None,
+        mu1: None,
+        outcome: OutcomeKind::Continuous,
+    };
+    assert!(matches!(data.validate(), Err(DataError::Empty)));
+}
+
+#[test]
+fn validation_fold_is_checked_too() {
+    let mut rng = rng_from_seed(0);
+    let model = Tarnet::new(TarnetConfig::small(4), &mut rng);
+    let mut bad_val = valid_data(20, 6);
+    bad_val.yf[0] = f64::INFINITY;
+    let err = train(model, &valid_data(40, 7), &bad_val, &SbrlConfig::vanilla(), &budget());
+    assert!(matches!(err, Err(TrainError::Data(DataError::NonFinite { field: "yf" }))));
+}
+
+#[test]
+fn mismatched_lengths_are_typed() {
+    let mut data = valid_data(40, 8);
+    data.yf.pop();
+    assert!(matches!(
+        data.validate(),
+        Err(DataError::LengthMismatch { field: "yf", got: 39, expected: 40 })
+    ));
+}
+
+#[test]
+#[should_panic(expected = "Scaler: column count mismatch")]
+fn scaler_rejects_wrong_width() {
+    use sbrl_hap::data::Scaler;
+    let mut rng = rng_from_seed(9);
+    let scaler = Scaler::fit(&randn(&mut rng, 10, 4));
+    let _ = scaler.transform(&randn(&mut rng, 5, 3));
+}
+
+#[test]
+fn zero_variance_feature_does_not_produce_nan() {
+    // A constant column must survive standardisation (std floored) and
+    // training must stay finite.
+    let mut data = valid_data(60, 10);
+    for i in 0..60 {
+        data.x[(i, 2)] = 5.0;
+    }
+    let val = {
+        let mut v = valid_data(30, 11);
+        for i in 0..30 {
+            v.x[(i, 2)] = 5.0;
+        }
+        v
+    };
+    let mut rng = rng_from_seed(0);
+    let model = Tarnet::new(TarnetConfig::small(4), &mut rng);
+    let mut fitted = train(model, &data, &val, &SbrlConfig::sbrl(1.0, 1.0), &budget())
+        .expect("constant features must not break training");
+    let est = fitted.predict(&val.x);
+    assert!(est.y0_hat.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn extreme_bias_rates_still_generate_valid_data() {
+    use sbrl_hap::data::{SyntheticConfig, SyntheticProcess};
+    let process = SyntheticProcess::new(
+        SyntheticConfig {
+            m_instrument: 2,
+            m_confounder: 2,
+            m_adjustment: 2,
+            m_unstable: 2,
+            pool_factor: 5,
+            threshold_pool: 500,
+        },
+        0,
+    );
+    for rho in [-50.0, -1.0001, 1.0001, 50.0] {
+        let d = process.generate(rho, 100, 0);
+        d.validate().unwrap_or_else(|e| panic!("rho = {rho}: {e}"));
+    }
+}
