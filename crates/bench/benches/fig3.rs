@@ -15,7 +15,7 @@ fn bench_fig3(c: &mut Criterion) {
     let process = SyntheticProcess::new(SyntheticConfig::syn_16_16_16_2(), 2);
     let envs: Vec<_> = [-3.0, -1.5, 1.5, 2.5]
         .iter()
-        .map(|&rho| process.generate(rho, 200, 50 + rho.to_bits() as u64 % 13))
+        .map(|&rho| process.generate(rho, 200, 50 + rho.to_bits() % 13))
         .collect();
     let budget = common::budget(&preset);
     c.benchmark_group("fig3").bench_function("cfr_sbrl_series", |b| {

@@ -14,7 +14,9 @@ fn bench_table1(c: &mut Criterion) {
     let data = common::synthetic_fixture(SyntheticConfig::syn_8_8_8_2(), 1);
     let budget = common::budget(&preset);
     let mut group = c.benchmark_group("table1");
-    for (label, spec) in [("cfr_vanilla", common::vanilla_method()), ("cfr_sbrl_hap", common::hap_method())] {
+    for (label, spec) in
+        [("cfr_vanilla", common::vanilla_method()), ("cfr_sbrl_hap", common::hap_method())]
+    {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut fitted = fit_method(spec, &preset, &data.train, &data.val, &budget);

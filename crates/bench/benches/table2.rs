@@ -21,8 +21,8 @@ fn bench_table2(c: &mut Criterion) {
                 let mut rng = rng_from_seed(6);
                 let model = preset.build(BackboneKind::Cfr, data.train.dim(), &mut rng);
                 let (g1, g2, g3) = preset.gammas;
-                let mut cfg = sbrl_core::SbrlConfig::sbrl_hap(preset.alpha, g1, g2, g3)
-                    .with_ipm(preset.ipm);
+                let mut cfg =
+                    sbrl_core::SbrlConfig::sbrl_hap(preset.alpha, g1, g2, g3).with_ipm(preset.ipm);
                 cfg.use_hap = hap;
                 let mut fitted =
                     sbrl_core::train(model, &data.train, &data.val, &cfg, &budget).expect("train");

@@ -5,8 +5,8 @@ mod common;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sbrl_data::{IhdpConfig, IhdpSimulator, TwinsConfig, TwinsSimulator};
-use sbrl_experiments::presets::{bench_variant, paper_ihdp, paper_twins};
 use sbrl_experiments::fit_method;
+use sbrl_experiments::presets::{bench_variant, paper_ihdp, paper_twins};
 use std::hint::black_box;
 
 fn bench_table3(c: &mut Criterion) {

@@ -94,16 +94,15 @@ impl OodDetector {
             let a = z.select_rows(&idx[..half]);
             let b = z.select_rows(&idx[half..]);
             null.push(ipm_plain(IpmKind::MmdRbf { sigma }, &a, &b));
-            for j in 0..d {
+            for (j, samples) in feature_null_samples.iter_mut().enumerate() {
                 let aj = a.slice_cols(j, j + 1);
                 let bj = b.slice_cols(j, j + 1);
-                feature_null_samples[j].push(ipm_plain(IpmKind::MmdRbf { sigma: 1.0 }, &aj, &bj));
+                samples.push(ipm_plain(IpmKind::MmdRbf { sigma: 1.0 }, &aj, &bj));
             }
         }
         let stats = |vals: &[f64]| -> (f64, f64) {
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var =
-                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             (mean, var.sqrt().max(1e-9))
         };
         let (null_mean, null_std) = stats(&null);
@@ -142,8 +141,7 @@ impl OodDetector {
     /// strength, and stays sensitive when only a few covariates move.
     pub fn ood_level(&self, x_target: &Matrix) -> f64 {
         let joint = self.joint_score(x_target);
-        let per_feature =
-            self.feature_scores(x_target).into_iter().fold(0.0f64, f64::max);
+        let per_feature = self.feature_scores(x_target).into_iter().fold(0.0f64, f64::max);
         joint.max(per_feature)
     }
 

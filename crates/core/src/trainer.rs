@@ -166,12 +166,8 @@ impl<B: Backbone> FittedModel<B> {
         let x = prep(&self.scaler, x);
         let n = x.rows();
         let t_dummy = vec![0.0; n];
-        let (mut y0_hat, mut y1_hat) = sbrl_models::predict_potential_outcomes(
-            &mut self.model,
-            &x,
-            &t_dummy,
-            self.loss_kind,
-        );
+        let (mut y0_hat, mut y1_hat) =
+            sbrl_models::predict_potential_outcomes(&mut self.model, &x, &t_dummy, self.loss_kind);
         let (shift, scale) = self.y_transform;
         if shift != 0.0 || scale != 1.0 {
             for v in y0_hat.iter_mut().chain(y1_hat.iter_mut()) {
@@ -289,8 +285,7 @@ pub fn train<B: Backbone>(
     // Outcome standardisation (continuous outcomes only, train statistics).
     let y_transform = if cfg.standardize_outcome && train.outcome == OutcomeKind::Continuous {
         let mean = train.yf.iter().sum::<f64>() / train.n() as f64;
-        let var = train.yf.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>()
-            / train.n() as f64;
+        let var = train.yf.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / train.n() as f64;
         (mean, var.sqrt().max(1e-8))
     } else {
         (0.0, 1.0)
@@ -360,8 +355,7 @@ pub fn train<B: Backbone>(
             let mut w_binding = weights.new_binding();
             let w = weights.bind_trainable(&mut g, &mut w_binding, &batch);
             let r_w = weights.r_w(&mut g, w);
-            let terms =
-                weight_objective(&mut g, sbrl, &pass.taps, &ctx, w, r_w, &rff, &mut rng);
+            let terms = weight_objective(&mut g, sbrl, &pass.taps, &ctx, w, r_w, &rff, &mut rng);
             if !g.scalar(terms.total).is_finite() {
                 return Err(TrainError::NonFiniteLoss { iteration: iter });
             }
@@ -393,14 +387,7 @@ pub fn train<B: Backbone>(
         weight_stats: weights.stats(),
         val_curve,
     };
-    Ok(FittedModel {
-        model,
-        scaler,
-        loss_kind,
-        y_transform,
-        weights: weights.values(),
-        report,
-    })
+    Ok(FittedModel { model, scaler, loss_kind, y_transform, weights: weights.values(), report })
 }
 
 #[cfg(test)]
@@ -451,14 +438,9 @@ mod tests {
         let (train, val) = tiny_data();
         let mut rng = rng_from_seed(1);
         let model = Cfr::new(CfrConfig::small(train.dim()), &mut rng);
-        let fitted = super::train(
-            model,
-            &train,
-            &val,
-            &SbrlConfig::sbrl(1.0, 1.0),
-            &TrainConfig::smoke(),
-        )
-        .unwrap();
+        let fitted =
+            super::train(model, &train, &val, &SbrlConfig::sbrl(1.0, 1.0), &TrainConfig::smoke())
+                .unwrap();
         let (min, _, max) = fitted.report().weight_stats;
         assert!(max - min > 1e-4, "weights should differentiate, got [{min}, {max}]");
         assert!(min > 0.0, "weights stay positive");
@@ -492,13 +474,8 @@ mod tests {
         let model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
         let mut untrained_model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
         let x_val = Scaler::fit(&train.x).transform(&val.x);
-        let before = factual_loss(
-            &mut untrained_model,
-            &x_val,
-            &val.t,
-            &val.yf,
-            OutcomeLoss::BceWithLogits,
-        );
+        let before =
+            factual_loss(&mut untrained_model, &x_val, &val.t, &val.yf, OutcomeLoss::BceWithLogits);
         let fitted = super::train(
             model,
             &train,

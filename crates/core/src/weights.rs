@@ -120,7 +120,9 @@ mod tests {
             assert!((v - 1.0).abs() < 1e-12, "initial weight {v}");
         }
         let (min, mean, max) = w.stats();
-        assert!((min - 1.0).abs() < 1e-12 && (mean - 1.0).abs() < 1e-12 && (max - 1.0).abs() < 1e-12);
+        assert!(
+            (min - 1.0).abs() < 1e-12 && (mean - 1.0).abs() < 1e-12 && (max - 1.0).abs() < 1e-12
+        );
     }
 
     #[test]

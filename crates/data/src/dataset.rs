@@ -107,20 +107,12 @@ impl CausalDataset {
 
     /// Indices of treated units (`t = 1`).
     pub fn treated_indices(&self) -> Vec<usize> {
-        self.t
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &t)| (t > 0.5).then_some(i))
-            .collect()
+        self.t.iter().enumerate().filter_map(|(i, &t)| (t > 0.5).then_some(i)).collect()
     }
 
     /// Indices of control units (`t = 0`).
     pub fn control_indices(&self) -> Vec<usize> {
-        self.t
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &t)| (t <= 0.5).then_some(i))
-            .collect()
+        self.t.iter().enumerate().filter_map(|(i, &t)| (t <= 0.5).then_some(i)).collect()
     }
 
     /// Fraction of treated units.

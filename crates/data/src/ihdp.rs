@@ -110,6 +110,7 @@ impl IhdpSimulator {
             row[3] = sample_uniform(&mut rng, 0.0, 4.0).floor(); // birth order
             row[4] = 0.5 * health - 0.3 * ses + 0.6 * sample_standard_normal(&mut rng); // neonatal index
             row[5] = 0.9 * ses + 0.5 * sample_standard_normal(&mut rng); // mother age (std)
+
             // Binary block: demographics, risk behaviours, 8 site dummies.
             row[6] = f64::from(sample_bernoulli(&mut rng, 0.51)); // infant is male
             row[7] = f64::from(sample_bernoulli(&mut rng, stable_sigmoid(0.7 * ses))); // married
@@ -122,9 +123,11 @@ impl IhdpSimulator {
             row[14] = f64::from(sample_bernoulli(&mut rng, stable_sigmoid(-0.4 * ses))); // public assistance
             row[15] = f64::from(sample_bernoulli(&mut rng, stable_sigmoid(0.3 * health - 1.0))); // twin birth
             row[16] = f64::from(sample_bernoulli(&mut rng, stable_sigmoid(-0.3 * ses - 0.6))); // teen mother
+
             // 8 site dummies: one-hot over sites with SES-dependent mix.
-            let site =
-                ((stable_sigmoid(0.5 * ses) * 8.0) as usize + (sample_uniform(&mut rng, 0.0, 3.0) as usize)) % 8;
+            let site = ((stable_sigmoid(0.5 * ses) * 8.0) as usize
+                + (sample_uniform(&mut rng, 0.0, 3.0) as usize))
+                % 8;
             for s in 0..8 {
                 row[17 + s] = f64::from(s == site);
             }
@@ -229,7 +232,8 @@ impl IhdpSimulator {
         let dot = |row: &[f64], off: f64| -> f64 {
             row.iter().zip(&beta).map(|(&x, &b)| (x + off) * b).sum()
         };
-        let (mut mu0, mut mu1): (Vec<f64>, Vec<f64>) = (Vec::with_capacity(n), Vec::with_capacity(n));
+        let (mut mu0, mut mu1): (Vec<f64>, Vec<f64>) =
+            (Vec::with_capacity(n), Vec::with_capacity(n));
         match self.config.surface {
             ResponseSurface::Nonlinear => {
                 for i in 0..n {
@@ -238,10 +242,9 @@ impl IhdpSimulator {
                     mu1.push(dot(row, 0.0));
                 }
                 // Calibrate omega so the average effect on the treated is 4.
-                let treated: Vec<usize> =
-                    (0..n).filter(|&i| self.t[i] > 0.5).collect();
-                let gap: f64 = treated.iter().map(|&i| mu1[i] - mu0[i]).sum::<f64>()
-                    / treated.len() as f64;
+                let treated: Vec<usize> = (0..n).filter(|&i| self.t[i] > 0.5).collect();
+                let gap: f64 =
+                    treated.iter().map(|&i| mu1[i] - mu0[i]).sum::<f64>() / treated.len() as f64;
                 let omega = gap - 4.0;
                 for m in &mut mu1 {
                     *m -= omega;
@@ -259,10 +262,8 @@ impl IhdpSimulator {
 
         let y0: Vec<f64> = mu0.iter().map(|&m| m + sample_standard_normal(&mut rng)).collect();
         let y1: Vec<f64> = mu1.iter().map(|&m| m + sample_standard_normal(&mut rng)).collect();
-        let yf: Vec<f64> =
-            (0..n).map(|i| if self.t[i] > 0.5 { y1[i] } else { y0[i] }).collect();
-        let ycf: Vec<f64> =
-            (0..n).map(|i| if self.t[i] > 0.5 { y0[i] } else { y1[i] }).collect();
+        let yf: Vec<f64> = (0..n).map(|i| if self.t[i] > 0.5 { y1[i] } else { y0[i] }).collect();
+        let ycf: Vec<f64> = (0..n).map(|i| if self.t[i] > 0.5 { y0[i] } else { y1[i] }).collect();
 
         CausalDataset {
             x: self.x.clone(),
@@ -304,7 +305,8 @@ impl IhdpSimulator {
         let test_idx = weighted_sample_without_replacement(&mut rng, &log_w, n_test);
         let in_test: std::collections::HashSet<usize> = test_idx.iter().copied().collect();
         let rest: Vec<usize> = (0..n).filter(|i| !in_test.contains(i)).collect();
-        let (tr_local, va_local) = train_val_indices(&mut rng, rest.len(), self.config.val_fraction);
+        let (tr_local, va_local) =
+            train_val_indices(&mut rng, rest.len(), self.config.val_fraction);
         let train_idx: Vec<usize> = tr_local.iter().map(|&k| rest[k]).collect();
         let val_idx: Vec<usize> = va_local.iter().map(|&k| rest[k]).collect();
         DataSplit {
@@ -353,7 +355,8 @@ mod tests {
         let s = sim();
         let x = s.covariates();
         let t = s.treatment();
-        let treated_mean: f64 = (0..x.rows()).filter(|&i| t[i] > 0.5).map(|i| x[(i, 0)]).sum::<f64>() / 139.0;
+        let treated_mean: f64 =
+            (0..x.rows()).filter(|&i| t[i] > 0.5).map(|i| x[(i, 0)]).sum::<f64>() / 139.0;
         let control_mean: f64 =
             (0..x.rows()).filter(|&i| t[i] <= 0.5).map(|i| x[(i, 0)]).sum::<f64>() / 608.0;
         assert!(
@@ -369,8 +372,7 @@ mod tests {
         let treated: Vec<usize> = d.treated_indices();
         let mu0 = d.mu0.as_ref().unwrap();
         let mu1 = d.mu1.as_ref().unwrap();
-        let att: f64 =
-            treated.iter().map(|&i| mu1[i] - mu0[i]).sum::<f64>() / treated.len() as f64;
+        let att: f64 = treated.iter().map(|&i| mu1[i] - mu0[i]).sum::<f64>() / treated.len() as f64;
         assert!((att - 4.0).abs() < 1e-9, "ATT should be calibrated to 4, got {att}");
     }
 
@@ -413,9 +415,9 @@ mod tests {
         let mu0 = d.mu0.as_ref().unwrap();
         // Residuals yf - mu(t) should have roughly unit variance.
         let mut resid = Vec::new();
-        for i in 0..d.n() {
-            if d.t[i] <= 0.5 {
-                resid.push(d.yf[i] - mu0[i]);
+        for ((&ti, &yi), &m0) in d.t.iter().zip(&d.yf).zip(mu0.iter()) {
+            if ti <= 0.5 {
+                resid.push(yi - m0);
             }
         }
         let m = resid.iter().sum::<f64>() / resid.len() as f64;

@@ -126,7 +126,8 @@ mod tests {
         // the effect; with rho = -2.5, negatively.
         let mut rng = rng_from_seed(2);
         let n = 4000;
-        let effects: Vec<f64> = (0..n).map(|_| if rng.random::<f64>() < 0.5 { 1.0 } else { 0.0 }).collect();
+        let effects: Vec<f64> =
+            (0..n).map(|_| if rng.random::<f64>() < 0.5 { 1.0 } else { 0.0 }).collect();
         let xv: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
         for (rho, expect_positive) in [(2.5, true), (-2.5, false)] {
             let log_w: Vec<f64> =
@@ -134,11 +135,8 @@ mod tests {
             let idx = weighted_sample_without_replacement(&mut rng, &log_w, 800);
             let me: f64 = idx.iter().map(|&i| effects[i]).sum::<f64>() / 800.0;
             let mx: f64 = idx.iter().map(|&i| xv[i]).sum::<f64>() / 800.0;
-            let cov: f64 = idx
-                .iter()
-                .map(|&i| (effects[i] - me) * (xv[i] - mx))
-                .sum::<f64>()
-                / 800.0;
+            let cov: f64 =
+                idx.iter().map(|&i| (effects[i] - me) * (xv[i] - mx)).sum::<f64>() / 800.0;
             if expect_positive {
                 assert!(cov > 0.05, "rho=2.5 cov {cov}");
             } else {

@@ -18,7 +18,11 @@ pub struct DataSplit {
 
 /// Splits index range `0..n` into `(train, val)` with `val_fraction` of the
 /// samples going to validation (the paper uses a 70/30 split, Sec. V-E).
-pub fn train_val_indices(rng: &mut StdRng, n: usize, val_fraction: f64) -> (Vec<usize>, Vec<usize>) {
+pub fn train_val_indices(
+    rng: &mut StdRng,
+    n: usize,
+    val_fraction: f64,
+) -> (Vec<usize>, Vec<usize>) {
     let perm = permutation(rng, n);
     let n_val = ((n as f64) * val_fraction.clamp(0.0, 1.0)).round() as usize;
     let n_val = n_val.min(n.saturating_sub(1)).max(usize::from(n > 1));

@@ -107,7 +107,8 @@ impl SyntheticProcess {
         let theta_y0: Vec<f64> = (0..n_ca).map(|_| sample_uniform(&mut rng, 8.0, 16.0)).collect();
         let theta_y1: Vec<f64> = (0..n_ca).map(|_| sample_uniform(&mut rng, 8.0, 16.0)).collect();
 
-        let mut process = Self { config, theta_t, theta_y0, theta_y1, threshold0: 0.0, threshold1: 0.0 };
+        let mut process =
+            Self { config, theta_t, theta_y0, theta_y1, threshold0: 0.0, threshold1: 0.0 };
 
         // Estimate the population means of z0 / z1 from an unbiased pool.
         let pool = randn(&mut rng, config.threshold_pool, config.dim());
@@ -186,10 +187,16 @@ impl SyntheticProcess {
         let t = pick(&t);
         let y0 = pick(&y0);
         let y1 = pick(&y1);
-        let yf: Vec<f64> =
-            t.iter().zip(y0.iter().zip(&y1)).map(|(&t, (&y0, &y1))| if t > 0.5 { y1 } else { y0 }).collect();
-        let ycf: Vec<f64> =
-            t.iter().zip(y0.iter().zip(&y1)).map(|(&t, (&y0, &y1))| if t > 0.5 { y0 } else { y1 }).collect();
+        let yf: Vec<f64> = t
+            .iter()
+            .zip(y0.iter().zip(&y1))
+            .map(|(&t, (&y0, &y1))| if t > 0.5 { y1 } else { y0 })
+            .collect();
+        let ycf: Vec<f64> = t
+            .iter()
+            .zip(y0.iter().zip(&y1))
+            .map(|(&t, (&y0, &y1))| if t > 0.5 { y0 } else { y1 })
+            .collect();
 
         CausalDataset {
             x,
@@ -288,11 +295,7 @@ mod tests {
             let xv: Vec<f64> = (0..d.n()).map(|i| d.x[(i, col)]).collect();
             let me = ite.iter().sum::<f64>() / ite.len() as f64;
             let mx = xv.iter().sum::<f64>() / xv.len() as f64;
-            let cov: f64 = ite
-                .iter()
-                .zip(&xv)
-                .map(|(&e, &x)| (e - me) * (x - mx))
-                .sum::<f64>()
+            let cov: f64 = ite.iter().zip(&xv).map(|(&e, &x)| (e - me) * (x - mx)).sum::<f64>()
                 / ite.len() as f64;
             cors.push(cov);
         }
@@ -305,8 +308,8 @@ mod tests {
         // P(Y|X,T) must be invariant: the same covariate row run through the
         // process yields identical potential outcomes regardless of rho.
         let p = SyntheticProcess::new(small_config(), 17);
-        let (z0, z1) = p.outcome_latents(&vec![0.3; 14]);
-        let (z0b, z1b) = p.outcome_latents(&vec![0.3; 14]);
+        let (z0, z1) = p.outcome_latents(&[0.3; 14]);
+        let (z0b, z1b) = p.outcome_latents(&[0.3; 14]);
         assert_eq!((z0, z1), (z0b, z1b));
     }
 

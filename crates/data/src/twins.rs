@@ -98,44 +98,53 @@ impl TwinsSimulator {
             row[6] = f64::from((0.55..0.8).contains(&race)); // race group B
             row[7] = f64::from(race >= 0.8); // race group C
             row[8] = f64::from(sample_bernoulli(&mut rng, stable_sigmoid(-0.9 * ses))); // public insurance
-            row[9] = (1.0 + (-ses).max(0.0) + 0.5 * sample_standard_normal(&mut rng)).max(0.0).round(); // parity
+            row[9] =
+                (1.0 + (-ses).max(0.0) + 0.5 * sample_standard_normal(&mut rng)).max(0.0).round(); // parity
 
             // --- pregnancy block (X11..X20), deliberately redundant ---
             let visits = (10.0 + 2.5 * ses + health + sample_standard_normal(&mut rng)).max(0.0);
             row[10] = visits.round(); // prenatal visits
             row[11] = f64::from(visits < 6.0); // few-visits flag (function of X11)
-            row[12] = f64::from(sample_bernoulli(&mut rng, stable_sigmoid(-1.2 * health - 0.5 * ses))); // smoked
+            row[12] =
+                f64::from(sample_bernoulli(&mut rng, stable_sigmoid(-1.2 * health - 0.5 * ses))); // smoked
             row[13] = f64::from(sample_bernoulli(&mut rng, stable_sigmoid(-1.5 * health - 1.0))); // alcohol
             row[14] = f64::from(sample_bernoulli(&mut rng, stable_sigmoid(0.9 * risk - 1.2))); // diabetes
             row[15] = f64::from(sample_bernoulli(&mut rng, stable_sigmoid(1.1 * risk - 1.0))); // hypertension
             row[16] = f64::from(sample_bernoulli(&mut rng, stable_sigmoid(1.0 * risk - 1.5))); // eclampsia
-            row[17] = (20.0 + 6.0 * health - 3.0 * risk + 2.0 * sample_standard_normal(&mut rng)).max(0.0); // weight gain
+            row[17] = (20.0 + 6.0 * health - 3.0 * risk + 2.0 * sample_standard_normal(&mut rng))
+                .max(0.0); // weight gain
             row[18] = f64::from(row[17] < 15.0); // low weight gain flag
             row[19] = f64::from(sample_bernoulli(&mut rng, stable_sigmoid(0.8 * risk - 0.8))); // previous preterm
 
             // --- birth block (X21..X28) ---
-            let gestation = 34.0 + 2.2 * health - 1.8 * risk + 1.2 * sample_standard_normal(&mut rng);
+            let gestation =
+                34.0 + 2.2 * health - 1.8 * risk + 1.2 * sample_standard_normal(&mut rng);
             row[20] = gestation.clamp(22.0, 40.0); // gestation weeks
             row[21] = f64::from(gestation < 32.0); // very preterm flag
-            let w_light = (1350.0 + 120.0 * (gestation - 34.0) + 90.0 * health
+            let w_light = (1350.0
+                + 120.0 * (gestation - 34.0)
+                + 90.0 * health
                 + 60.0 * sample_standard_normal(&mut rng))
             .clamp(400.0, 1990.0);
             row[22] = w_light / 1000.0; // lighter-twin weight (kg, < 2)
-            let delta = (110.0 + 45.0 * sample_standard_normal(&mut rng).abs()).min(1990.0 - w_light);
+            let delta =
+                (110.0 + 45.0 * sample_standard_normal(&mut rng).abs()).min(1990.0 - w_light);
             row[23] = (w_light + delta.max(10.0)).min(1995.0) / 1000.0; // heavier-twin weight
             row[24] = f64::from(sample_bernoulli(&mut rng, 0.49)); // twins are female
             row[25] = f64::from(sample_bernoulli(&mut rng, stable_sigmoid(risk - 1.0))); // c-section
             row[26] = f64::from(sample_bernoulli(&mut rng, stable_sigmoid(-health))); // NICU admission proxy
-            row[27] = (5.0 + 2.5 * health - 1.5 * risk + sample_standard_normal(&mut rng)).clamp(0.0, 10.0); // APGAR-like score
+            row[27] = (5.0 + 2.5 * health - 1.5 * risk + sample_standard_normal(&mut rng))
+                .clamp(0.0, 10.0); // APGAR-like score
 
             // --- instruments X29..X38 and unstable X39..X43 ---
-            for j in NUM_REAL_COVARIATES..TOTAL_COVARIATES {
-                row[j] = sample_standard_normal(&mut rng);
+            for x in &mut row[NUM_REAL_COVARIATES..TOTAL_COVARIATES] {
+                *x = sample_standard_normal(&mut rng);
             }
 
             // Potential mortality outcomes. The heavier twin (t = 1) has a
             // survival advantage growing with the weight gap.
-            let frailty = -1.6 - 1.0 * health + 0.9 * risk - 0.09 * (gestation - 34.0)
+            let frailty = -1.6 - 1.0 * health + 0.9 * risk
+                - 0.09 * (gestation - 34.0)
                 - 0.9 * (w_light / 1000.0 - 1.4);
             let p0 = stable_sigmoid(frailty);
             let p1 = stable_sigmoid(frailty - 0.25 - 0.2 * (delta / 500.0));
@@ -209,7 +218,8 @@ impl TwinsSimulator {
         let in_test: std::collections::HashSet<usize> = test_idx.iter().copied().collect();
         let rest: Vec<usize> = (0..n).filter(|i| !in_test.contains(i)).collect();
 
-        let (tr_local, va_local) = train_val_indices(&mut rng, rest.len(), self.config.val_fraction);
+        let (tr_local, va_local) =
+            train_val_indices(&mut rng, rest.len(), self.config.val_fraction);
         let train_idx: Vec<usize> = tr_local.iter().map(|&k| rest[k]).collect();
         let val_idx: Vec<usize> = va_local.iter().map(|&k| rest[k]).collect();
 
@@ -300,7 +310,8 @@ mod tests {
         let sim = TwinsSimulator::new(TwinsConfig { n: 4000, ..Default::default() }, 5);
         let split = sim.partition(0);
         let col = TwinsSimulator::unstable_columns().start;
-        let mean_of = |d: &CausalDataset| (0..d.n()).map(|i| d.x[(i, col)]).sum::<f64>() / d.n() as f64;
+        let mean_of =
+            |d: &CausalDataset| (0..d.n()).map(|i| d.x[(i, col)]).sum::<f64>() / d.n() as f64;
         let shift = (mean_of(&split.test) - mean_of(&split.train)).abs();
         assert!(shift > 0.02, "test fold should shift X_V, got {shift}");
     }

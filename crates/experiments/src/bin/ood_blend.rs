@@ -48,7 +48,7 @@ fn main() {
         "rho", "OOD level", "blend c", "vanilla PEHE", "stable PEHE", "blended PEHE"
     );
     for &rho in &PAPER_BIAS_RATES {
-        let env = process.generate(rho, n_test, 100 + rho.to_bits() as u64 % 31);
+        let env = process.generate(rho, n_test, 100 + rho.to_bits() % 31);
         let c = blender.coefficient(&env.x);
         let level = blender_level(&blender, &env.x);
         let est_v = vanilla.predict(&env.x);

@@ -60,7 +60,12 @@ pub fn degradation_block(
     results: &[MethodEnvResults],
 ) -> (Vec<String>, Vec<Vec<String>>) {
     let idx_of = |target: f64| rhos.iter().position(|&r| r == target);
-    let header = vec!["Method".to_string(), "PEHE(rho=2.5)".into(), "PEHE(rho=-3)".into(), "Decrease".into()];
+    let header = vec![
+        "Method".to_string(),
+        "PEHE(rho=2.5)".into(),
+        "PEHE(rho=-3)".into(),
+        "Decrease".into(),
+    ];
     let mut rows = Vec::new();
     if let (Some(id_train), Some(id_far)) = (idx_of(2.5), idx_of(-3.0)) {
         for r in results {
@@ -90,11 +95,7 @@ pub fn run(scale: Scale) -> String {
 }
 
 /// Renders from precomputed results (shared with the bench harness).
-pub fn render(
-    exp: &SyntheticExperiment,
-    results: &[MethodEnvResults],
-    scale: Scale,
-) -> String {
+pub fn render(exp: &SyntheticExperiment, results: &[MethodEnvResults], scale: Scale) -> String {
     let mut out = String::new();
 
     let (h3, r3) = series_block(&exp.test_rhos, results, |e| e.pehe);

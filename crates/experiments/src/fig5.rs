@@ -89,10 +89,8 @@ pub fn text_heatmap(m: &Matrix) -> String {
 pub fn run(scale: Scale) -> String {
     let results = analyse(scale);
     let header = vec!["Method".to_string(), "avg HSIC_RFF".to_string()];
-    let rows: Vec<Vec<String>> = results
-        .iter()
-        .map(|r| vec![r.method.clone(), fmt_num(r.mean_hsic)])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        results.iter().map(|r| vec![r.method.clone(), fmt_num(r.mean_hsic)]).collect();
     let mut out = render_table(
         &format!("Fig. 5 — representation decorrelation, scale {}", scale.name()),
         &header,
@@ -100,7 +98,12 @@ pub fn run(scale: Scale) -> String {
     );
     write_tsv(results_dir().join("fig5_hsic.tsv"), &header, &rows).ok();
     for r in &results {
-        out.push_str(&format!("\n{} heat map ({}x{}):\n", r.method, r.matrix.rows(), r.matrix.cols()));
+        out.push_str(&format!(
+            "\n{} heat map ({}x{}):\n",
+            r.method,
+            r.matrix.rows(),
+            r.matrix.cols()
+        ));
         out.push_str(&text_heatmap(&r.matrix));
     }
     out

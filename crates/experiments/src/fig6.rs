@@ -71,7 +71,10 @@ pub fn analyse(scale: Scale) -> Vec<SweepPoint> {
             let mut fitted = fit_method(spec, &preset, &train_data, &val_data, &train_cfg);
             let id = fitted.evaluate(&test_id).expect("oracle");
             let ood = fitted.evaluate(&test_ood).expect("oracle");
-            eprintln!("[fig6] gamma{idx} = {value}: PEHE_id {:.3}, F1_ood {:.3}", id.pehe, ood.factual_score);
+            eprintln!(
+                "[fig6] gamma{idx} = {value}: PEHE_id {:.3}, F1_ood {:.3}",
+                id.pehe, ood.factual_score
+            );
             SweepPoint { gamma_index: idx, value, pehe_id: id.pehe, f1_ood: ood.factual_score }
         })
         .collect()

@@ -19,7 +19,8 @@ pub enum BackboneKind {
 
 impl BackboneKind {
     /// All backbones, in the paper's table order.
-    pub const ALL: [BackboneKind; 3] = [BackboneKind::Tarnet, BackboneKind::Cfr, BackboneKind::DerCfr];
+    pub const ALL: [BackboneKind; 3] =
+        [BackboneKind::Tarnet, BackboneKind::Cfr, BackboneKind::DerCfr];
 
     /// Table label.
     pub fn name(self) -> &'static str {
@@ -180,33 +181,27 @@ mod tests {
         let p = preset();
         for kind in BackboneKind::ALL {
             let model = p.build(kind, 7, &mut rng);
-            assert_eq!(model.name(), kind.name().replace("DeRCFR", "DeRCFR"));
-            assert!(model.store().len() > 0);
+            assert_eq!(model.name(), kind.name());
+            assert!(!model.store().is_empty());
         }
     }
 
     #[test]
     fn tarnet_framework_drops_the_balance_term() {
         let p = preset();
-        let cfg = p.sbrl_config(MethodSpec {
-            backbone: BackboneKind::Tarnet,
-            framework: Framework::Sbrl,
-        });
+        let cfg = p
+            .sbrl_config(MethodSpec { backbone: BackboneKind::Tarnet, framework: Framework::Sbrl });
         assert_eq!(cfg.alpha, 0.0);
-        let cfg_cfr = p.sbrl_config(MethodSpec {
-            backbone: BackboneKind::Cfr,
-            framework: Framework::Sbrl,
-        });
+        let cfg_cfr =
+            p.sbrl_config(MethodSpec { backbone: BackboneKind::Cfr, framework: Framework::Sbrl });
         assert_eq!(cfg_cfr.alpha, 0.5);
     }
 
     #[test]
     fn vanilla_config_disables_weights() {
         let p = preset();
-        let cfg = p.sbrl_config(MethodSpec {
-            backbone: BackboneKind::Cfr,
-            framework: Framework::Vanilla,
-        });
+        let cfg = p
+            .sbrl_config(MethodSpec { backbone: BackboneKind::Cfr, framework: Framework::Vanilla });
         assert!(!cfg.weights_enabled());
     }
 }

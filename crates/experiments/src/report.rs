@@ -26,11 +26,8 @@ pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> Str
         }
     }
     let fmt_row = |cells: &[String]| -> String {
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, &w)| format!("{c:<w$}"))
-            .collect();
+        let padded: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, &w)| format!("{c:<w$}")).collect();
         format!("| {} |", padded.join(" | "))
     };
     let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
@@ -70,7 +67,12 @@ pub fn write_tsv(
 /// via cargo, otherwise the current directory).
 pub fn results_dir() -> std::path::PathBuf {
     let base = std::env::var("CARGO_MANIFEST_DIR")
-        .map(|d| Path::new(&d).join("../..").canonicalize().unwrap_or_else(|_| Path::new(&d).to_path_buf()))
+        .map(|d| {
+            Path::new(&d)
+                .join("../..")
+                .canonicalize()
+                .unwrap_or_else(|_| Path::new(&d).to_path_buf())
+        })
         .unwrap_or_else(|_| Path::new(".").to_path_buf());
     base.join("results")
 }

@@ -107,11 +107,8 @@ pub fn run_synthetic_sweep(
             .collect();
 
         for (mi, spec) in methods.iter().enumerate() {
-            let train_cfg = exp.scale.train_config(
-                exp.preset.lr,
-                exp.preset.l2,
-                (rep * 97 + mi) as u64,
-            );
+            let train_cfg =
+                exp.scale.train_config(exp.preset.lr, exp.preset.l2, (rep * 97 + mi) as u64);
             let mut fitted = fit_method(*spec, &exp.preset, &train_data, &val_data, &train_cfg);
             for (env_idx, test) in test_envs.iter().enumerate() {
                 let eval = fitted.evaluate(test).expect("synthetic data carries the oracle");

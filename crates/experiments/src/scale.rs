@@ -77,9 +77,23 @@ impl Scale {
     pub fn train_config(self, lr: f64, l2: f64, seed: u64) -> TrainConfig {
         let base = TrainConfig { lr, l2, seed, ..TrainConfig::default() };
         match self {
-            Scale::Bench => TrainConfig { iterations: 60, batch_size: 64, eval_every: 30, patience: 20, ..base },
-            Scale::Quick => TrainConfig { iterations: 400, batch_size: 128, eval_every: 25, patience: 16, ..base },
-            Scale::Paper => TrainConfig { iterations: 3000, batch_size: 256, eval_every: 50, patience: 20, ..base },
+            Scale::Bench => {
+                TrainConfig { iterations: 60, batch_size: 64, eval_every: 30, patience: 20, ..base }
+            }
+            Scale::Quick => TrainConfig {
+                iterations: 400,
+                batch_size: 128,
+                eval_every: 25,
+                patience: 16,
+                ..base
+            },
+            Scale::Paper => TrainConfig {
+                iterations: 3000,
+                batch_size: 256,
+                eval_every: 50,
+                patience: 20,
+                ..base
+            },
         }
     }
 
@@ -116,8 +130,10 @@ mod tests {
         let (qt, _, _) = Scale::Quick.synthetic_samples();
         let (pt, _, _) = Scale::Paper.synthetic_samples();
         assert!(bt < qt && qt < pt);
-        assert!(Scale::Bench.train_config(1e-3, 1e-4, 0).iterations
-            < Scale::Paper.train_config(1e-3, 1e-4, 0).iterations);
+        assert!(
+            Scale::Bench.train_config(1e-3, 1e-4, 0).iterations
+                < Scale::Paper.train_config(1e-3, 1e-4, 0).iterations
+        );
         assert_eq!(Scale::Paper.train_config(1e-3, 1e-4, 0).iterations, 3000);
         assert_eq!(Scale::Paper.replications(), 10);
         assert_eq!(Scale::Paper.realworld_replications(), (10, 100));

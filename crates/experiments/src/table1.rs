@@ -106,7 +106,10 @@ mod tests {
     fn fake_results() -> Vec<MethodEnvResults> {
         let eval = |pehe: f64| Evaluation { pehe, ate_bias: pehe / 10.0, ..Default::default() };
         vec![
-            MethodEnvResults { method: "CFR".into(), per_env: vec![vec![eval(0.5)], vec![eval(0.6)]] },
+            MethodEnvResults {
+                method: "CFR".into(),
+                per_env: vec![vec![eval(0.5)], vec![eval(0.6)]],
+            },
             MethodEnvResults {
                 method: "CFR+SBRL".into(),
                 per_env: vec![vec![eval(0.45)], vec![eval(0.5)]],

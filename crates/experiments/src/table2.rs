@@ -68,10 +68,8 @@ pub fn run(scale: Scale) -> String {
     let (n_train, n_val, n_test) = scale.synthetic_samples();
     let reps = scale.replications();
 
-    let mut per_row: Vec<(String, Vec<f64>, Vec<f64>)> = AblationRow::ALL
-        .iter()
-        .map(|r| (r.label(), Vec::new(), Vec::new()))
-        .collect();
+    let mut per_row: Vec<(String, Vec<f64>, Vec<f64>)> =
+        AblationRow::ALL.iter().map(|r| (r.label(), Vec::new(), Vec::new())).collect();
 
     for rep in 0..reps {
         let process = SyntheticProcess::new(SyntheticConfig::syn_16_16_16_2(), 2000 + rep as u64);
@@ -93,11 +91,7 @@ pub fn run(scale: Scale) -> String {
         }
     }
 
-    let header = vec![
-        "Modules".to_string(),
-        "PEHE rho=2.5".to_string(),
-        "PEHE rho=-3".to_string(),
-    ];
+    let header = vec!["Modules".to_string(), "PEHE rho=2.5".to_string(), "PEHE rho=-3".to_string()];
     let rows: Vec<Vec<String>> = per_row
         .iter()
         .map(|(label, id, ood)| vec![label.clone(), fmt_mean_std(id), fmt_mean_std(ood)])

@@ -96,18 +96,12 @@ pub fn run_twins(scale: Scale, methods: &[MethodSpec]) -> String {
         Scale::Bench => bench_variant(paper_twins()),
     };
     let (rounds, _) = scale.realworld_replications();
-    let sim = TwinsSimulator::new(
-        TwinsConfig { n: scale.twins_records(), ..Default::default() },
-        7,
-    );
+    let sim =
+        TwinsSimulator::new(TwinsConfig { n: scale.twins_records(), ..Default::default() }, 7);
     let splits: Vec<DataSplit> = (0..rounds).map(|r| sim.partition(r as u64)).collect();
     let results = run_splits("twins", &splits, &preset, scale, methods);
     let (header, rows) = blocks(&results);
-    let out = render_table(
-        &format!("Table III (Twins) — scale {}", scale.name()),
-        &header,
-        &rows,
-    );
+    let out = render_table(&format!("Table III (Twins) — scale {}", scale.name()), &header, &rows);
     write_tsv(results_dir().join("table3_twins.tsv"), &header, &rows).ok();
     out
 }
@@ -124,11 +118,7 @@ pub fn run_ihdp(scale: Scale, methods: &[MethodSpec]) -> String {
     let splits: Vec<DataSplit> = (0..reps).map(|r| sim.replicate(r as u64)).collect();
     let results = run_splits("ihdp", &splits, &preset, scale, methods);
     let (header, rows) = blocks(&results);
-    let out = render_table(
-        &format!("Table III (IHDP) — scale {}", scale.name()),
-        &header,
-        &rows,
-    );
+    let out = render_table(&format!("Table III (IHDP) — scale {}", scale.name()), &header, &rows);
     write_tsv(results_dir().join("table3_ihdp.tsv"), &header, &rows).ok();
     out
 }

@@ -46,11 +46,7 @@ pub fn analyse(scale: Scale) -> Vec<Timing> {
 pub fn run(scale: Scale) -> String {
     let timings = analyse(scale);
     let base_of = |name: &str| {
-        timings
-            .iter()
-            .find(|t| t.method == name)
-            .map(|t| t.seconds)
-            .unwrap_or(f64::NAN)
+        timings.iter().find(|t| t.method == name).map(|t| t.seconds).unwrap_or(f64::NAN)
     };
     let header =
         vec!["Method".to_string(), "Time (s)".to_string(), "x vanilla backbone".to_string()];

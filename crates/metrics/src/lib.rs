@@ -62,11 +62,7 @@ pub fn pehe(ite_hat: &[f64], ite_true: &[f64]) -> f64 {
     if ite_hat.is_empty() {
         return 0.0;
     }
-    let mse: f64 = ite_hat
-        .iter()
-        .zip(ite_true)
-        .map(|(&a, &b)| (a - b) * (a - b))
-        .sum::<f64>()
+    let mse: f64 = ite_hat.iter().zip(ite_true).map(|(&a, &b)| (a - b) * (a - b)).sum::<f64>()
         / ite_hat.len() as f64;
     mse.sqrt()
 }

@@ -27,16 +27,10 @@ pub struct BatchContext {
 impl BatchContext {
     /// Builds the context from a treatment slice.
     pub fn new(t: &[f64]) -> Self {
-        let treated_idx = t
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &ti)| (ti > 0.5).then_some(i))
-            .collect();
-        let control_idx = t
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &ti)| (ti <= 0.5).then_some(i))
-            .collect();
+        let treated_idx =
+            t.iter().enumerate().filter_map(|(i, &ti)| (ti > 0.5).then_some(i)).collect();
+        let control_idx =
+            t.iter().enumerate().filter_map(|(i, &ti)| (ti <= 0.5).then_some(i)).collect();
         Self { t: t.to_vec(), treated_idx, control_idx }
     }
 

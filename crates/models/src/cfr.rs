@@ -140,10 +140,8 @@ mod tests {
         let pass = model.forward(&mut g, &mut binding, x, &ctx, true);
         g.backward(pass.reg_loss);
         // At least the representation weights must receive nonzero gradient.
-        let any_nonzero = binding
-            .bound()
-            .filter_map(|(_, id)| g.grad(id))
-            .any(|grad| grad.norm_fro() > 0.0);
+        let any_nonzero =
+            binding.bound().filter_map(|(_, id)| g.grad(id)).any(|grad| grad.norm_fro() > 0.0);
         assert!(any_nonzero, "IPM penalty should push gradients into the encoder");
     }
 

@@ -81,10 +81,9 @@ impl DerCfr {
     pub fn new(cfg: DerCfrConfig, rng: &mut StdRng) -> Self {
         let mut store = ParamStore::new();
         let arch = cfg.arch;
-        let input_bn =
-            arch.batch_norm.then(|| BatchNorm::new(&mut store, "input_bn", arch.in_dim));
+        let input_bn = arch.batch_norm.then(|| BatchNorm::new(&mut store, "input_bn", arch.in_dim));
         let mut rep_dims = vec![arch.in_dim];
-        rep_dims.extend(std::iter::repeat(arch.rep_width).take(arch.rep_layers.max(1)));
+        rep_dims.extend(std::iter::repeat_n(arch.rep_width, arch.rep_layers.max(1)));
         let mk_rep = |store: &mut ParamStore, rng: &mut StdRng, name: &str| {
             Mlp::new(
                 store,
@@ -112,7 +111,7 @@ impl DerCfr {
         );
         // Outcome heads on [C | A].
         let mut head_dims = vec![2 * arch.rep_width];
-        head_dims.extend(std::iter::repeat(arch.head_width).take(arch.head_layers.max(1)));
+        head_dims.extend(std::iter::repeat_n(arch.head_width, arch.head_layers.max(1)));
         head_dims.push(1);
         let head0 = Mlp::new(
             &mut store,
@@ -333,7 +332,8 @@ mod tests {
     fn orthogonality_loss_decreases_under_training() {
         use sbrl_nn::{Adam, Optimizer};
         let mut rng = rng_from_seed(3);
-        let cfg = DerCfrConfig { alpha: 0.0, beta: 0.0, gamma: 0.0, mu: 1.0, ..DerCfrConfig::small(4) };
+        let cfg =
+            DerCfrConfig { alpha: 0.0, beta: 0.0, gamma: 0.0, mu: 1.0, ..DerCfrConfig::small(4) };
         let mut model = DerCfr::new(cfg, &mut rng);
         let x = randn(&mut rng, 10, 4);
         let ctx = BatchContext::new(&[1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);

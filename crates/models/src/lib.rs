@@ -19,8 +19,7 @@ pub mod dercfr;
 pub mod tarnet;
 
 pub use backbone::{
-    predict_potential_outcomes, select_by_treatment, Backbone, BatchContext, ForwardPass,
-    LayerTaps,
+    predict_potential_outcomes, select_by_treatment, Backbone, BatchContext, ForwardPass, LayerTaps,
 };
 pub use cfr::{Cfr, CfrConfig};
 pub use dercfr::{DerCfr, DerCfrConfig};

@@ -72,7 +72,7 @@ impl Tarnet {
         let mut store = ParamStore::new();
         let input_bn = cfg.batch_norm.then(|| BatchNorm::new(&mut store, "input_bn", cfg.in_dim));
         let mut rep_dims = vec![cfg.in_dim];
-        rep_dims.extend(std::iter::repeat(cfg.rep_width).take(cfg.rep_layers.max(1)));
+        rep_dims.extend(std::iter::repeat_n(cfg.rep_width, cfg.rep_layers.max(1)));
         let rep = Mlp::new(
             &mut store,
             rng,
@@ -83,7 +83,7 @@ impl Tarnet {
             Init::HeNormal,
         );
         let mut head_dims = vec![cfg.rep_width];
-        head_dims.extend(std::iter::repeat(cfg.head_width).take(cfg.head_layers.max(1)));
+        head_dims.extend(std::iter::repeat_n(cfg.head_width, cfg.head_layers.max(1)));
         head_dims.push(1);
         let head0 = Mlp::new(
             &mut store,

@@ -1,7 +1,7 @@
 //! Weight initialisation schemes.
 
 use rand::rngs::StdRng;
-use sbrl_tensor::rng::{randn_scaled, rand_uniform};
+use sbrl_tensor::rng::{rand_uniform, randn_scaled};
 use sbrl_tensor::Matrix;
 
 /// Initialisation scheme for dense-layer weights.
@@ -48,7 +48,9 @@ mod tests {
     #[test]
     fn shapes_are_respected() {
         let mut rng = rng_from_seed(0);
-        for init in [Init::XavierNormal, Init::HeNormal, Init::Uniform(0.1), Init::Normal(0.5), Init::Zeros] {
+        for init in
+            [Init::XavierNormal, Init::HeNormal, Init::Uniform(0.1), Init::Normal(0.5), Init::Zeros]
+        {
             assert_eq!(init.sample(&mut rng, 7, 3).shape(), (7, 3));
         }
     }

@@ -18,7 +18,12 @@ pub fn mse(g: &mut Graph, pred: TensorId, target: TensorId) -> TensorId {
 /// Sample-weighted MSE `mean(w_i * (pred_i - target_i)^2)`.
 ///
 /// `weights` must be an `n x 1` column aligned with the rows of `pred`.
-pub fn weighted_mse(g: &mut Graph, pred: TensorId, target: TensorId, weights: TensorId) -> TensorId {
+pub fn weighted_mse(
+    g: &mut Graph,
+    pred: TensorId,
+    target: TensorId,
+    weights: TensorId,
+) -> TensorId {
     let d = g.sub(pred, target);
     let sq = g.square(d);
     let w = g.mul_col(sq, weights);
@@ -163,7 +168,7 @@ mod tests {
         let y = g.constant(Matrix::from_vec(2, 1, vec![1.0, 0.0]));
         let l = bce_with_logits(&mut g, z, y);
         let v = g.scalar(l);
-        assert!(v.is_finite() && v >= 0.0 && v < 1e-6, "loss {v}");
+        assert!(v.is_finite() && (0.0..1e-6).contains(&v), "loss {v}");
     }
 
     #[test]

@@ -64,10 +64,7 @@ impl ParamStore {
 
     /// Iterates over `(handle, name, value)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (ParamHandle, &str, &Matrix)> {
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (ParamHandle(i), self.names[i].as_str(), v))
+        self.values.iter().enumerate().map(|(i, v)| (ParamHandle(i), self.names[i].as_str(), v))
     }
 
     /// True when every parameter is finite — cheap NaN tripwire for trainers.
@@ -140,10 +137,7 @@ impl Binding {
 
     /// Iterates over `(handle, tensor_id)` for all parameters bound this step.
     pub fn bound(&self) -> impl Iterator<Item = (ParamHandle, TensorId)> + '_ {
-        self.ids
-            .iter()
-            .enumerate()
-            .filter_map(|(i, id)| id.map(|id| (ParamHandle(i), id)))
+        self.ids.iter().enumerate().filter_map(|(i, id)| id.map(|id| (ParamHandle(i), id)))
     }
 }
 

@@ -266,8 +266,7 @@ pub fn decorrelation_loss_graph(
 
     // Block masks: entry (p, q) belongs to feature pair (p mod d, q mod d).
     let kd = k * d;
-    let offdiag_mask =
-        Matrix::from_fn(kd, kd, |p, q| if p % d == q % d { 0.0 } else { 1.0 });
+    let offdiag_mask = Matrix::from_fn(kd, kd, |p, q| if p % d == q % d { 0.0 } else { 1.0 });
     let mask_c = g.constant(offdiag_mask);
     let masked = g.mul(cov, mask_c);
     let off_sum = g.sumsq(masked);
@@ -275,8 +274,7 @@ pub fn decorrelation_loss_graph(
 
     let mut num_pairs = (d * (d - 1) / 2) as f64;
     if cfg.include_diagonal {
-        let diag_mask =
-            Matrix::from_fn(kd, kd, |p, q| if p % d == q % d { 1.0 } else { 0.0 });
+        let diag_mask = Matrix::from_fn(kd, kd, |p, q| if p % d == q % d { 1.0 } else { 0.0 });
         let dmask_c = g.constant(diag_mask);
         let dmasked = g.mul(cov, dmask_c);
         let diag_sum = g.sumsq(dmasked);
@@ -447,11 +445,7 @@ mod tests {
         };
         let mut rng2 = rng_from_seed(0);
         let loss = decorrelation_loss_graph(&mut g, zc, w, &rff, &cfg, &mut rng2);
-        assert!(
-            (g.scalar(loss) - plain).abs() < 1e-9,
-            "graph {} vs plain {plain}",
-            g.scalar(loss)
-        );
+        assert!((g.scalar(loss) - plain).abs() < 1e-9, "graph {} vs plain {plain}", g.scalar(loss));
     }
 
     #[test]
@@ -471,11 +465,7 @@ mod tests {
         };
         let mut rng2 = rng_from_seed(0);
         let loss = decorrelation_loss_graph(&mut g, zc, w, &rff, &cfg, &mut rng2);
-        assert!(
-            (g.scalar(loss) - plain).abs() < 1e-9,
-            "graph {} vs plain {plain}",
-            g.scalar(loss)
-        );
+        assert!((g.scalar(loss) - plain).abs() < 1e-9, "graph {} vs plain {plain}", g.scalar(loss));
     }
 
     #[test]

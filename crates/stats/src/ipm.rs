@@ -172,6 +172,7 @@ fn sinkhorn_graph(
     let d2 = pairwise_sq_dists_graph(g, phi_t, phi_c);
     let d2e = g.add_scalar(d2, 1e-10);
     let m = g.sqrt(d2e); // ground cost: Euclidean distance
+
     // Scale-free temperature: divide by the mean ground cost, kept inside the
     // tape so the whole construction is differentiable.
     let mean_cost = g.mean(m);
@@ -227,8 +228,7 @@ pub fn ipm_weighted_plain(
             mt.iter().zip(&mc).map(|(a, b)| (a - b) * (a - b)).sum()
         }
         IpmKind::MmdRbf { sigma } => {
-            let sigma =
-                if sigma > 0.0 { sigma } else { median_bandwidth(&phi_t.vstack(phi_c)) };
+            let sigma = if sigma > 0.0 { sigma } else { median_bandwidth(&phi_t.vstack(phi_c)) };
             let ktt = rbf_kernel(phi_t, phi_t, sigma);
             let kcc = rbf_kernel(phi_c, phi_c, sigma);
             let ktc = rbf_kernel(phi_t, phi_c, sigma);
@@ -261,9 +261,9 @@ fn normalize_plain(w: Option<&[f64]>, n: usize) -> Vec<f64> {
 
 fn weighted_mean_rows(x: &Matrix, w: &[f64]) -> Vec<f64> {
     let mut mean = vec![0.0; x.cols()];
-    for i in 0..x.rows() {
+    for (i, &wi) in w.iter().enumerate() {
         for (m, &v) in mean.iter_mut().zip(x.row(i)) {
-            *m += w[i] * v;
+            *m += wi * v;
         }
     }
     mean
@@ -271,9 +271,8 @@ fn weighted_mean_rows(x: &Matrix, w: &[f64]) -> Vec<f64> {
 
 fn quad_plain(u: &[f64], k: &Matrix, v: &[f64]) -> f64 {
     let mut acc = 0.0;
-    for i in 0..k.rows() {
+    for (i, &ui) in u.iter().enumerate() {
         let row = k.row(i);
-        let ui = u[i];
         if ui == 0.0 {
             continue;
         }
@@ -388,8 +387,7 @@ mod tests {
         let unweighted = ipm_plain(IpmKind::MmdLin, &treated, &control);
         // Weight the 10 samples of cluster-1 twice as much.
         let w_c: Vec<f64> = (0..30).map(|i| if i < 20 { 1.0 } else { 2.0 }).collect();
-        let weighted =
-            ipm_weighted_plain(IpmKind::MmdLin, &treated, &control, None, Some(&w_c));
+        let weighted = ipm_weighted_plain(IpmKind::MmdLin, &treated, &control, None, Some(&w_c));
         assert!(
             weighted < unweighted * 0.5,
             "reweighting should reduce imbalance: {weighted} vs {unweighted}"
@@ -426,13 +424,8 @@ mod tests {
         for kind in all_kinds() {
             let t = treated.clone();
             let c = control.clone();
-            check_gradient(
-                &move |g, p| ipm_graph(g, kind, p, &t, &c),
-                &phi,
-                1e-5,
-                2e-4,
-            )
-            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            check_gradient(&move |g, p| ipm_graph(g, kind, p, &t, &c), &phi, 1e-5, 2e-4)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
         }
     }
 

@@ -70,7 +70,11 @@ pub fn check_gradient(
     let fd = finite_diff_grad(build, x, eps);
     let an = analytic_grad(build, x);
     if fd.shape() != an.shape() {
-        return Err(format!("gradient shape mismatch: fd {:?} vs analytic {:?}", fd.shape(), an.shape()));
+        return Err(format!(
+            "gradient shape mismatch: fd {:?} vs analytic {:?}",
+            fd.shape(),
+            an.shape()
+        ));
     }
     let mut max_abs = 0.0f64;
     let mut max_rel = 0.0f64;
@@ -100,10 +104,12 @@ mod tests {
     }
 
     #[test]
+    #[rustfmt::skip]
     fn grad_of_elementwise_unary_ops() {
         let mut rng = rng_from_seed(101);
         // Keep inputs away from non-differentiable points (0 for abs/relu) and
-        // in valid domains (positive for ln/sqrt).
+        // in valid domains (positive for ln/sqrt). One op per line so a
+        // missing backward rule is visible at a glance.
         let x = randn(&mut rng, 3, 4).map(|v| v.abs() + 0.5);
         check(&|g, a| { let t = g.ln(a); g.sum(t) }, &x);
         check(&|g, a| { let t = g.sqrt(a); g.sum(t) }, &x);
@@ -125,6 +131,7 @@ mod tests {
     }
 
     #[test]
+    #[rustfmt::skip]
     fn grad_of_reductions() {
         let mut rng = rng_from_seed(102);
         let x = randn(&mut rng, 4, 3);

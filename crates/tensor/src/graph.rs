@@ -243,8 +243,7 @@ impl Graph {
         assert!(cc == 1 && cr == ar, "add_col: {ar}x{ac} + {cr}x{cc}");
         let cv = self.value(col).as_slice().to_vec();
         let mut v = self.value(a).clone();
-        for i in 0..ar {
-            let c = cv[i];
+        for (i, &c) in cv.iter().enumerate() {
             for x in v.row_mut(i) {
                 *x += c;
             }
@@ -277,8 +276,7 @@ impl Graph {
         assert!(cc == 1 && cr == ar, "mul_col: {ar}x{ac} * {cr}x{cc}");
         let cv = self.value(col).as_slice().to_vec();
         let mut v = self.value(a).clone();
-        for i in 0..ar {
-            let c = cv[i];
+        for (i, &c) in cv.iter().enumerate() {
             for x in v.row_mut(i) {
                 *x *= c;
             }
@@ -646,8 +644,7 @@ impl Graph {
             Op::MulCol(a, col) => {
                 let cv = self.value(col).as_slice().to_vec();
                 let mut da = g.clone();
-                for r in 0..da.rows() {
-                    let s = cv[r];
+                for (r, &s) in cv.iter().enumerate() {
                     for x in da.row_mut(r) {
                         *x *= s;
                     }
@@ -922,7 +919,10 @@ mod tests {
         let sl = g.slice_cols(cat, 1, 4); // one col of a, two cols of b
         let loss = g.sum(sl);
         g.backward(loss);
-        assert!(g.grad(a).unwrap().approx_eq(&Matrix::from_vec(2, 2, vec![0.0, 1.0, 0.0, 1.0]), 1e-12));
+        assert!(g
+            .grad(a)
+            .unwrap()
+            .approx_eq(&Matrix::from_vec(2, 2, vec![0.0, 1.0, 0.0, 1.0]), 1e-12));
         assert!(g
             .grad(b)
             .unwrap()

@@ -558,11 +558,7 @@ impl Matrix {
     #[track_caller]
     pub fn max_abs_diff(&self, other: &Self) -> f64 {
         self.assert_same_shape(other, "max_abs_diff");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(&a, &b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// True when `self` and `other` agree within absolute tolerance `tol`.

@@ -33,7 +33,7 @@ pub fn sample_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
     lo + (hi - lo) * rng.random::<f64>()
 }
 
-/// Draws a Bernoulli sample with success probability `p` (clamped to [0,1]).
+/// Draws a Bernoulli sample with success probability `p` (clamped to `[0,1]`).
 pub fn sample_bernoulli(rng: &mut StdRng, p: f64) -> bool {
     rng.random::<f64>() < p.clamp(0.0, 1.0)
 }
@@ -129,7 +129,7 @@ mod tests {
     fn permutation_is_a_bijection() {
         let mut rng = rng_from_seed(5);
         let p = permutation(&mut rng, 100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

@@ -47,14 +47,9 @@ fn main() {
 
     println!("fitting on the urban observational cohort ({} patients)...\n", train_data.n());
     let mut rng = rng_from_seed(1);
-    let mut vanilla = train(
-        Cfr::new(cfg, &mut rng),
-        &train_data,
-        &val_data,
-        &SbrlConfig::vanilla(),
-        &budget,
-    )
-    .expect("vanilla training");
+    let mut vanilla =
+        train(Cfr::new(cfg, &mut rng), &train_data, &val_data, &SbrlConfig::vanilla(), &budget)
+            .expect("vanilla training");
     let mut rng = rng_from_seed(1);
     let mut stable = train(
         Cfr::new(cfg, &mut rng),
@@ -71,7 +66,7 @@ fn main() {
     );
     let mut base_id_pehe = None;
     for (name, rho) in DEPLOYMENTS {
-        let cohort = process.generate(rho, 1200, 7 + rho.to_bits() as u64 % 97);
+        let cohort = process.generate(rho, 1200, 7 + rho.to_bits() % 97);
         let ev = vanilla.evaluate(&cohort).expect("oracle");
         let es = stable.evaluate(&cohort).expect("oracle");
         base_id_pehe.get_or_insert(ev.pehe);

@@ -50,10 +50,7 @@ fn main() {
     let budget = TrainConfig { iterations: 400, ..TrainConfig::default() };
 
     println!("training on summer campaign logs, deploying on winter customers\n");
-    println!(
-        "{:<14} {:>12} {:>12} {:>18}",
-        "framework", "PEHE", "eATE", "top-20% uplift"
-    );
+    println!("{:<14} {:>12} {:>12} {:>18}", "framework", "PEHE", "eATE", "top-20% uplift");
 
     let random_policy = {
         let ite = winter.true_ite().expect("oracle");

@@ -21,7 +21,11 @@ fn main() {
     let id_test = process.generate(2.5, 1000, 2); // same distribution
     let ood_test = process.generate(-3.0, 1000, 3); // flipped correlation
 
-    println!("train: {} units, {:.0}% treated", train_data.n(), 100.0 * train_data.treated_fraction());
+    println!(
+        "train: {} units, {:.0}% treated",
+        train_data.n(),
+        100.0 * train_data.treated_fraction()
+    );
     println!("true ATE (train env): {:.3}\n", train_data.true_ate().unwrap());
 
     // 2. Shared backbone architecture and optimisation budget.
@@ -57,10 +61,11 @@ fn main() {
 
     // 4. Compare PEHE (individual-level error) and ATE bias in- and
     //    out-of-distribution.
-    println!("{:<16} {:>12} {:>12} {:>12} {:>12}", "method", "ID PEHE", "OOD PEHE", "ID eATE", "OOD eATE");
-    for (name, fitted) in
-        [("CFR", &mut fitted_vanilla), ("CFR+SBRL-HAP", &mut fitted_hap)]
-    {
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}",
+        "method", "ID PEHE", "OOD PEHE", "ID eATE", "OOD eATE"
+    );
+    for (name, fitted) in [("CFR", &mut fitted_vanilla), ("CFR+SBRL-HAP", &mut fitted_hap)] {
         let id = fitted.evaluate(&id_test).expect("oracle");
         let ood = fitted.evaluate(&ood_test).expect("oracle");
         println!(

@@ -36,14 +36,8 @@ fn main() {
         rep_normalization: true,
         in_dim: full.dim(),
     };
-    let dercfr_cfg = DerCfrConfig {
-        arch,
-        alpha: 0.01,
-        beta: 5.0,
-        gamma: 1e-4,
-        mu: 5.0,
-        ipm: IpmKind::MmdLin,
-    };
+    let dercfr_cfg =
+        DerCfrConfig { arch, alpha: 0.01, beta: 5.0, gamma: 1e-4, mu: 5.0, ipm: IpmKind::MmdLin };
     let budget = TrainConfig { iterations: 350, ..TrainConfig::default() };
 
     let mut results: Vec<(String, Vec<f64>, Vec<f64>)> = vec![
@@ -53,12 +47,9 @@ fn main() {
 
     for round in 0..ROUNDS {
         let split = sim.partition(round);
-        for (idx, sbrl) in [
-            SbrlConfig::vanilla(),
-            SbrlConfig::sbrl_hap(0.01, 1.0, 1.0, 0.01),
-        ]
-        .into_iter()
-        .enumerate()
+        for (idx, sbrl) in [SbrlConfig::vanilla(), SbrlConfig::sbrl_hap(0.01, 1.0, 1.0, 0.01)]
+            .into_iter()
+            .enumerate()
         {
             let mut rng = rng_from_seed(round * 13 + idx as u64);
             let model = DerCfr::new(dercfr_cfg, &mut rng);

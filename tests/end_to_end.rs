@@ -28,7 +28,13 @@ fn tiny_splits() -> (CausalDataset, CausalDataset, CausalDataset) {
 }
 
 fn smoke_budget() -> TrainConfig {
-    TrainConfig { iterations: 80, batch_size: 64, eval_every: 20, patience: 50, ..TrainConfig::default() }
+    TrainConfig {
+        iterations: 80,
+        batch_size: 64,
+        eval_every: 20,
+        patience: 50,
+        ..TrainConfig::default()
+    }
 }
 
 #[test]
@@ -104,8 +110,7 @@ fn sbrl_weights_reduce_the_objectives_they_minimise() {
     let w_c: Vec<f64> = control.iter().map(|&i| weights[i]).collect();
 
     let ipm_unit = ipm_weighted_plain(IpmKind::MmdLin, &rep_t, &rep_c, None, None);
-    let ipm_learned =
-        ipm_weighted_plain(IpmKind::MmdLin, &rep_t, &rep_c, Some(&w_t), Some(&w_c));
+    let ipm_learned = ipm_weighted_plain(IpmKind::MmdLin, &rep_t, &rep_c, Some(&w_t), Some(&w_c));
     assert!(
         ipm_learned <= ipm_unit + 1e-9,
         "learned weights must improve balance on a frozen network: {ipm_learned} vs {ipm_unit}"
@@ -157,8 +162,8 @@ fn reproducibility_same_seed_same_predictions() {
 
 #[test]
 fn all_nine_grid_methods_run_on_one_replication() {
-    use sbrl_hap::experiments::{fit_method, MethodSpec};
     use sbrl_hap::experiments::presets::{bench_variant, paper_syn_8_8_8_2};
+    use sbrl_hap::experiments::{fit_method, MethodSpec};
 
     let (train_data, val_data, ood) = tiny_splits();
     let preset = bench_variant(paper_syn_8_8_8_2());

@@ -31,7 +31,10 @@ fn empty_treatment_arm_is_a_typed_error() {
             assert_eq!(treated, 0);
             assert_eq!(control, 40);
         }
-        other => panic!("expected EmptyTreatmentArm, got {other:?}", other = other.err().map(|e| e.to_string())),
+        other => panic!(
+            "expected EmptyTreatmentArm, got {other:?}",
+            other = other.err().map(|e| e.to_string())
+        ),
     }
 }
 
@@ -52,10 +55,7 @@ fn invalid_treatment_value_is_rejected() {
     let mut rng = rng_from_seed(0);
     let model = Tarnet::new(TarnetConfig::small(4), &mut rng);
     let err = train(model, &data, &valid_data(20, 5), &SbrlConfig::vanilla(), &budget());
-    assert!(matches!(
-        err,
-        Err(TrainError::Data(DataError::InvalidTreatment { index: 7, .. }))
-    ));
+    assert!(matches!(err, Err(TrainError::Data(DataError::InvalidTreatment { index: 7, .. }))));
 }
 
 #[test]

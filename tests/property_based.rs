@@ -32,7 +32,7 @@ proptest! {
             &x,
             1e-5,
             1e-4,
-        ).map_err(|e| TestCaseError::fail(e))?;
+        ).map_err(TestCaseError::fail)?;
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Offline stand-in for the subset of the `proptest` framework this
+//! workspace uses: the [`proptest!`] macro, the [`strategy::Strategy`] trait
+//! with `prop_map`, range and tuple strategies, [`collection::vec()`], the
+//! `prop_assert*` macros, and [`test_runner::Config`] /
+//! [`test_runner::TestCaseError`].
+//!
+//! The build environment has no access to crates.io, so the property-based
+//! suite compiles against this shim. Semantics: each `proptest!` test runs
+//! `Config::cases` deterministic cases (the RNG is seeded from the test name
+//! and case index), and a failing case panics with the case's inputs left to
+//! the assertion message. There is **no shrinking** — the first failing case
+//! is reported as-is — and no persistence of failing seeds.
+//!
+//! Swapping back to the real `proptest` is a one-line change in the
+//! workspace manifest; the test sources already use the upstream names.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and primitive strategies over ranges/tuples.
+
+    use rand::rngs::StdRng;
+    use rand::SampleRange;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking: a
+    /// strategy is simply a seeded generator.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, map: f }
+        }
+    }
+
+    /// Strategy adaptor produced by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_single(rng)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_single(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u8, i64, i32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// The permitted lengths of a generated collection.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self { min: exact, max: exact }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// A strategy generating `Vec`s of `element`-generated values with a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.random_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case execution: configuration, error type, and the case loop driven
+    //! by the [`proptest!`](crate::proptest) macro expansion.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases to run for each test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// A failed test case.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case failed with the contained message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from any displayable reason.
+        pub fn fail<M: std::fmt::Display>(reason: M) -> Self {
+            Self::Fail(reason.to_string())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Self::Fail(msg) => write!(f, "{msg}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic per-test, per-case RNG seed.
+    fn case_seed(test_name: &str, case: u32) -> u64 {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^ ((case as u64) << 32 | case as u64)
+    }
+
+    /// Runs `body` for each case with a deterministically seeded RNG,
+    /// panicking on the first failure.
+    pub fn run_cases<F>(config: Config, test_name: &str, mut body: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..config.cases {
+            let mut rng = StdRng::seed_from_u64(case_seed(test_name, case));
+            if let Err(err) = body(&mut rng) {
+                panic!(
+                    "proptest case {case}/{total} of `{test_name}` failed: {err}",
+                    total = config.cases
+                );
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Map, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property-based tests. Each `fn name(arg in strategy, ...)` item
+/// becomes a `#[test]` running [`test_runner::Config::cases`] seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(
+                    $config,
+                    stringify!($name),
+                    |__proptest_rng| {
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::generate(&($strategy), __proptest_rng);
+                        )+
+                        let __proptest_result: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                        __proptest_result
+                    },
+                );
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{left:?}`\n right: `{right:?}`"
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{left:?}`"
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let x = (-3.0f64..3.0).generate(&mut rng);
+            assert!((-3.0..3.0).contains(&x));
+            let n = (1usize..50).generate(&mut rng);
+            assert!((1..50).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_honours_exact_and_ranged_sizes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let exact = crate::collection::vec(0.0f64..1.0, 12).generate(&mut rng);
+        assert_eq!(exact.len(), 12);
+        for _ in 0..100 {
+            let ranged = crate::collection::vec(0u8..2, 1..60).generate(&mut rng);
+            assert!((1..60).contains(&ranged.len()));
+            assert!(ranged.iter().all(|&v| v < 2));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strat = crate::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 10..60)
+            .prop_map(|pairs| pairs.len());
+        let len = strat.generate(&mut rng);
+        assert!((10..60).contains(&len));
+    }
+
+    // The macro path itself, exercised end to end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_runnable_cases(x in 0.0f64..1.0, n in 1usize..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert_eq!(n.min(9), n);
+            prop_assert_ne!(n, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_panics_with_context() {
+        crate::test_runner::run_cases(ProptestConfig::with_cases(4), "always_fails", |_rng| {
+            Err(TestCaseError::fail("expected failure"))
+        });
+    }
+}
