@@ -20,16 +20,14 @@ fn bench_fig3(c: &mut Criterion) {
     let budget = common::budget(&preset);
     c.benchmark_group("fig3").bench_function("cfr_sbrl_series", |b| {
         b.iter(|| {
-            let mut fitted = fit_method(
-                sbrl_experiments::MethodSpec {
-                    backbone: sbrl_experiments::BackboneKind::Cfr,
-                    framework: sbrl_core::Framework::Sbrl,
-                },
+            let fitted = fit_method(
+                "CFR+SBRL".parse().expect("grid method name"),
                 &preset,
                 &data.train,
                 &data.val,
                 &budget,
-            );
+            )
+            .expect("bench training");
             let series: Vec<f64> =
                 envs.iter().map(|e| fitted.evaluate(e).expect("oracle").pehe).collect();
             black_box(series)

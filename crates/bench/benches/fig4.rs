@@ -14,7 +14,8 @@ fn bench_fig4(c: &mut Criterion) {
     let preset = common::preset_syn16();
     let data = common::synthetic_fixture(SyntheticConfig::syn_16_16_16_2(), 3);
     let budget = common::budget(&preset);
-    let mut fitted = fit_method(common::hap_method(), &preset, &data.train, &data.val, &budget);
+    let fitted = fit_method(common::hap_method(), &preset, &data.train, &data.val, &budget)
+        .expect("bench training");
     let envs = [&data.test_id, &data.test_ood];
     c.benchmark_group("fig4").bench_function("f1_series_eval", |b| {
         b.iter(|| {

@@ -16,8 +16,8 @@ fn bench_fig6(c: &mut Criterion) {
     let budget = common::budget(&preset);
     c.benchmark_group("fig6").bench_function("sweep_point_gamma1_10", |b| {
         b.iter(|| {
-            let mut fitted =
-                fit_method(common::hap_method(), &preset, &data.train, &data.val, &budget);
+            let fitted = fit_method(common::hap_method(), &preset, &data.train, &data.val, &budget)
+                .expect("bench training");
             black_box((
                 fitted.evaluate(&data.test_id).expect("oracle").pehe,
                 fitted.evaluate(&data.test_ood).expect("oracle").factual_score,

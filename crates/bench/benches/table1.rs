@@ -19,7 +19,8 @@ fn bench_table1(c: &mut Criterion) {
     {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let mut fitted = fit_method(spec, &preset, &data.train, &data.val, &budget);
+                let fitted = fit_method(spec, &preset, &data.train, &data.val, &budget)
+                    .expect("bench training");
                 let id = fitted.evaluate(&data.test_id).expect("oracle");
                 let ood = fitted.evaluate(&data.test_ood).expect("oracle");
                 black_box((id.pehe, ood.pehe))

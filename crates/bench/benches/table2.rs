@@ -6,7 +6,6 @@ mod common;
 use criterion::{criterion_group, criterion_main, Criterion};
 use sbrl_data::SyntheticConfig;
 use sbrl_experiments::BackboneKind;
-use sbrl_tensor::rng::rng_from_seed;
 use std::hint::black_box;
 
 fn bench_table2(c: &mut Criterion) {
@@ -18,14 +17,17 @@ fn bench_table2(c: &mut Criterion) {
     for (label, hap) in [("row_br_ir", false), ("row_full", true)] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let mut rng = rng_from_seed(6);
-                let model = preset.build(BackboneKind::Cfr, data.train.dim(), &mut rng);
                 let (g1, g2, g3) = preset.gammas;
                 let mut cfg =
                     sbrl_core::SbrlConfig::sbrl_hap(preset.alpha, g1, g2, g3).with_ipm(preset.ipm);
                 cfg.use_hap = hap;
-                let mut fitted =
-                    sbrl_core::train(model, &data.train, &data.val, &cfg, &budget).expect("train");
+                let fitted = sbrl_core::Estimator::builder()
+                    .backbone(preset.backbone_config(BackboneKind::Cfr, data.train.dim()))
+                    .sbrl(cfg)
+                    .train(budget)
+                    .seed(6)
+                    .fit(&data.train, &data.val)
+                    .expect("train");
                 black_box((
                     fitted.evaluate(&data.test_id).expect("oracle").pehe,
                     fitted.evaluate(&data.test_ood).expect("oracle").pehe,

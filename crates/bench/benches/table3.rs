@@ -18,13 +18,14 @@ fn bench_table3(c: &mut Criterion) {
     let twins_budget = common::budget(&twins_preset);
     group.bench_function("twins_round_cfr_sbrl_hap", |b| {
         b.iter(|| {
-            let mut fitted = fit_method(
+            let fitted = fit_method(
                 common::hap_method(),
                 &twins_preset,
                 &split.train,
                 &split.val,
                 &twins_budget,
-            );
+            )
+            .expect("bench training");
             black_box(fitted.evaluate(&split.test).expect("oracle").pehe)
         });
     });
@@ -35,13 +36,14 @@ fn bench_table3(c: &mut Criterion) {
     let ihdp_budget = common::budget(&ihdp_preset);
     group.bench_function("ihdp_rep_cfr_sbrl_hap", |b| {
         b.iter(|| {
-            let mut fitted = fit_method(
+            let fitted = fit_method(
                 common::hap_method(),
                 &ihdp_preset,
                 &isplit.train,
                 &isplit.val,
                 &ihdp_budget,
-            );
+            )
+            .expect("bench training");
             black_box(fitted.evaluate(&isplit.test).expect("oracle").pehe)
         });
     });

@@ -25,7 +25,12 @@ fn bench_table6(c: &mut Criterion) {
     ] {
         let spec = MethodSpec { backbone: BackboneKind::Cfr, framework };
         group.bench_function(label, |b| {
-            b.iter(|| black_box(fit_method(spec, &preset, &split.train, &split.val, &budget)));
+            b.iter(|| {
+                black_box(
+                    fit_method(spec, &preset, &split.train, &split.val, &budget)
+                        .expect("bench training"),
+                )
+            });
         });
     }
     group.finish();

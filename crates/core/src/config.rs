@@ -1,11 +1,16 @@
 //! Framework configuration: which regularizers are active and with what
 //! coefficients (Eq. 11).
 
+use std::fmt;
+use std::str::FromStr;
+
 use sbrl_stats::{DecorrelationConfig, IpmKind};
+
+use crate::error::{ParseError, SbrlError};
 
 /// Which framework wraps the backbone (Sec. V-A's `Vanilla` / `+SBRL` /
 /// `+SBRL-HAP` columns).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Framework {
     /// The backbone alone.
     Vanilla,
@@ -16,12 +21,47 @@ pub enum Framework {
 }
 
 impl Framework {
+    /// All frameworks, in the paper's column order.
+    pub const ALL: [Framework; 3] = [Framework::Vanilla, Framework::Sbrl, Framework::SbrlHap];
+
     /// Table label used in results (`""`, `"+SBRL"`, `"+SBRL-HAP"`).
     pub fn suffix(self) -> &'static str {
         match self {
             Framework::Vanilla => "",
             Framework::Sbrl => "+SBRL",
             Framework::SbrlHap => "+SBRL-HAP",
+        }
+    }
+
+    /// Canonical standalone name (`"Vanilla"`, `"SBRL"`, `"SBRL-HAP"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Framework::Vanilla => "Vanilla",
+            Framework::Sbrl => "SBRL",
+            Framework::SbrlHap => "SBRL-HAP",
+        }
+    }
+}
+
+impl fmt::Display for Framework {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Framework {
+    type Err = ParseError;
+
+    /// Case-insensitive, separator-insensitive parse; the empty string (a
+    /// method name with no `+SUFFIX`) resolves to [`Framework::Vanilla`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm: String =
+            s.chars().filter(|c| *c != '-' && *c != '_').collect::<String>().to_ascii_lowercase();
+        match norm.as_str() {
+            "" | "vanilla" => Ok(Framework::Vanilla),
+            "sbrl" => Ok(Framework::Sbrl),
+            "sbrlhap" => Ok(Framework::SbrlHap),
+            _ => Err(ParseError::Framework { input: s.to_string() }),
         }
     }
 }
@@ -120,6 +160,32 @@ impl SbrlConfig {
         self.decor = decor;
         self
     }
+
+    /// Validates the coefficients: every weight must be finite and
+    /// non-negative, and the RFF bank non-empty.
+    pub fn validate(&self) -> Result<(), SbrlError> {
+        let coeffs = [
+            ("sbrl.alpha", self.alpha),
+            ("sbrl.gamma1", self.gamma1),
+            ("sbrl.gamma2", self.gamma2),
+            ("sbrl.gamma3", self.gamma3),
+        ];
+        for (what, v) in coeffs {
+            if !v.is_finite() || v < 0.0 {
+                return Err(SbrlError::InvalidConfig {
+                    what,
+                    message: format!("must be finite and non-negative, got {v}"),
+                });
+            }
+        }
+        if self.rff_functions == 0 {
+            return Err(SbrlError::InvalidConfig {
+                what: "sbrl.rff_functions",
+                message: "must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +213,28 @@ mod tests {
         assert_eq!(Framework::Vanilla.suffix(), "");
         assert_eq!(Framework::Sbrl.suffix(), "+SBRL");
         assert_eq!(Framework::SbrlHap.suffix(), "+SBRL-HAP");
+    }
+
+    #[test]
+    fn framework_names_round_trip() {
+        for fw in Framework::ALL {
+            assert_eq!(fw.name().parse::<Framework>().unwrap(), fw);
+            assert_eq!(fw.to_string().parse::<Framework>().unwrap(), fw);
+        }
+        assert_eq!("".parse::<Framework>().unwrap(), Framework::Vanilla);
+        assert_eq!("sbrl_hap".parse::<Framework>().unwrap(), Framework::SbrlHap);
+        assert!("JUNK".parse::<Framework>().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_coefficients() {
+        let mut bad = SbrlConfig::sbrl(1.0, 1.0);
+        bad.alpha = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut zero_rff = SbrlConfig::vanilla();
+        zero_rff.rff_functions = 0;
+        assert!(zero_rff.validate().is_err());
+        assert!(SbrlConfig::sbrl_hap(1.0, 1.0, 0.1, 0.01).validate().is_ok());
     }
 
     #[test]

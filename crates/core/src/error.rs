@@ -1,0 +1,130 @@
+//! The unified error type of the estimator pipeline.
+//!
+//! Everything that can go wrong between "configure an estimator" and "hold a
+//! fitted model" — structural data validation, training divergence, builder
+//! misconfiguration, and name parsing — surfaces as one [`SbrlError`], so
+//! callers (sweep runners, server endpoints) match a single enum instead of
+//! juggling per-layer error types.
+
+use std::fmt;
+
+use sbrl_data::DataError;
+use sbrl_models::ParseBackboneError;
+
+/// Typed failure of the fit/predict pipeline.
+#[derive(Debug)]
+pub enum SbrlError {
+    /// The training or validation data failed structural validation.
+    Data(DataError),
+    /// The loss became non-finite at the given iteration.
+    NonFiniteLoss {
+        /// Iteration at which the divergence was detected.
+        iteration: usize,
+    },
+    /// An estimator/training configuration failed validation.
+    InvalidConfig {
+        /// Which configuration field or builder step is at fault.
+        what: &'static str,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// A method/backbone/framework name failed to parse.
+    Parse(ParseError),
+}
+
+impl fmt::Display for SbrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SbrlError::Data(e) => write!(f, "invalid data: {e}"),
+            SbrlError::NonFiniteLoss { iteration } => {
+                write!(f, "loss became non-finite at iteration {iteration}")
+            }
+            SbrlError::InvalidConfig { what, message } => {
+                write!(f, "invalid configuration ({what}): {message}")
+            }
+            SbrlError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SbrlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SbrlError::Data(e) => Some(e),
+            SbrlError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for SbrlError {
+    fn from(e: DataError) -> Self {
+        SbrlError::Data(e)
+    }
+}
+
+impl From<ParseError> for SbrlError {
+    fn from(e: ParseError) -> Self {
+        SbrlError::Parse(e)
+    }
+}
+
+/// Typed error for a name that failed to parse into a grid component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The backbone segment of the name was not recognised.
+    Backbone {
+        /// The rejected segment.
+        input: String,
+    },
+    /// The framework segment of the name was not recognised.
+    Framework {
+        /// The rejected segment.
+        input: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Delegate so the expected-backbones list has a single source.
+            ParseError::Backbone { input } => ParseBackboneError { input: input.clone() }.fmt(f),
+            ParseError::Framework { input } => {
+                write!(f, "unknown framework '{input}' (expected one of: Vanilla, SBRL, SBRL-HAP)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseBackboneError> for ParseError {
+    fn from(e: ParseBackboneError) -> Self {
+        ParseError::Backbone { input: e.input }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let d = SbrlError::Data(DataError::Empty);
+        assert!(d.to_string().contains("invalid data"));
+        let n = SbrlError::NonFiniteLoss { iteration: 7 };
+        assert!(n.to_string().contains("iteration 7"));
+        let c = SbrlError::InvalidConfig { what: "train.lr", message: "must be finite".into() };
+        assert!(c.to_string().contains("train.lr"));
+        let p = SbrlError::Parse(ParseError::Framework { input: "JUNK".into() });
+        assert!(p.to_string().contains("JUNK"));
+    }
+
+    #[test]
+    fn conversions_preserve_payloads() {
+        let e: SbrlError = DataError::Empty.into();
+        assert!(matches!(e, SbrlError::Data(DataError::Empty)));
+        let p: ParseError = ParseBackboneError { input: "x".into() }.into();
+        assert_eq!(p, ParseError::Backbone { input: "x".into() });
+    }
+}

@@ -13,40 +13,54 @@
 //!   Independence Regularizer (weighted HSIC-RFF, Eq. 10) and the
 //!   Hierarchical-Attention terms assembled into `L_w`;
 //! * [`trainer`] — the alternating optimisation of Algorithm 1 and the
-//!   [`FittedModel`] inference wrapper.
+//!   [`FittedModel`] inference wrapper;
+//! * [`estimator`] — the fluent [`Estimator::builder`] fit pipeline;
+//! * [`method`] — the name-addressable 3 x 3 method grid;
+//! * [`error`] — the unified [`SbrlError`] type.
 //!
 //! ```no_run
-//! use sbrl_core::{train, SbrlConfig, TrainConfig};
+//! use sbrl_core::{Estimator, Framework, SbrlConfig, TrainConfig};
 //! use sbrl_data::{SyntheticConfig, SyntheticProcess};
-//! use sbrl_models::{Cfr, CfrConfig};
-//! use sbrl_tensor::rng::rng_from_seed;
+//! use sbrl_models::CfrConfig;
 //!
 //! let process = SyntheticProcess::new(SyntheticConfig::syn_8_8_8_2(), 0);
 //! let train_data = process.generate(2.5, 1000, 0);
 //! let val_data = process.generate(2.5, 300, 1);
-//! let mut rng = rng_from_seed(0);
-//! let model = Cfr::new(CfrConfig::small(train_data.dim()), &mut rng);
-//! let mut fitted = train(
-//!     model,
-//!     &train_data,
-//!     &val_data,
-//!     &SbrlConfig::sbrl_hap(1.0, 1.0, 1.0, 0.1),
-//!     &TrainConfig::default(),
-//! )
-//! .expect("training succeeds");
+//!
+//! let fitted = Estimator::builder()
+//!     .backbone(CfrConfig::small(train_data.dim()))
+//!     .sbrl(SbrlConfig::sbrl_hap(1.0, 1.0, 1.0, 0.1))
+//!     .train(TrainConfig::default())
+//!     .seed(0)
+//!     .fit(&train_data, &val_data)?;
 //! let ood = process.generate(-3.0, 500, 2);
 //! let eval = fitted.evaluate(&ood).expect("oracle available");
 //! println!("OOD PEHE = {:.3}", eval.pehe);
+//!
+//! // Grid cells are name-addressable, too:
+//! let fitted = Estimator::builder().method("CFR+SBRL-HAP".parse()?).fit(&train_data, &val_data)?;
+//! # Ok::<(), sbrl_core::SbrlError>(())
 //! ```
+//!
+//! The positional `train()` free function of the 0.1 API survives as a
+//! deprecated shim for one release; migrate to [`Estimator::builder`].
 
 pub mod config;
+pub mod error;
+pub mod estimator;
+pub mod method;
 pub mod ood;
 pub mod regularizers;
 pub mod trainer;
 pub mod weights;
 
 pub use config::{Framework, SbrlConfig};
+pub use error::{ParseError, SbrlError};
+pub use estimator::{Estimator, EstimatorBuilder};
+pub use method::MethodSpec;
 pub use ood::{BlendedEstimator, OodDetector, OodDetectorConfig};
 pub use regularizers::{weight_objective, WeightLossTerms};
-pub use trainer::{train, FittedModel, TrainConfig, TrainError, TrainReport};
+#[allow(deprecated)]
+pub use trainer::{train, TrainError};
+pub use trainer::{FittedModel, TrainConfig, TrainReport};
 pub use weights::SampleWeights;

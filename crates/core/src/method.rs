@@ -1,0 +1,103 @@
+//! The paper's 3 x 3 method grid as a name-addressable specification:
+//! {TARNet, CFR, DeR-CFR} x {Vanilla, +SBRL, +SBRL-HAP}.
+//!
+//! [`MethodSpec`] round-trips through strings (`"CFR+SBRL-HAP".parse()`), so
+//! runners, examples and server endpoints can select grid cells by name
+//! instead of compiled-in match arms.
+
+use std::fmt;
+use std::str::FromStr;
+
+use sbrl_models::BackboneKind;
+
+use crate::config::Framework;
+use crate::error::ParseError;
+
+/// One method of the evaluation grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MethodSpec {
+    /// Backbone architecture.
+    pub backbone: BackboneKind,
+    /// Wrapping framework.
+    pub framework: Framework,
+}
+
+impl MethodSpec {
+    /// Table label, e.g. `"CFR+SBRL-HAP"`.
+    pub fn name(self) -> String {
+        format!("{}{}", self.backbone.name(), self.framework.suffix())
+    }
+
+    /// The full 9-method grid in the paper's row order.
+    pub fn grid() -> Vec<MethodSpec> {
+        let mut out = Vec::with_capacity(9);
+        for backbone in BackboneKind::ALL {
+            for framework in Framework::ALL {
+                out.push(MethodSpec { backbone, framework });
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for MethodSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.backbone.name(), self.framework.suffix())
+    }
+}
+
+impl FromStr for MethodSpec {
+    type Err = ParseError;
+
+    /// Parses `"BACKBONE"` or `"BACKBONE+FRAMEWORK"` (e.g. `"TARNet"`,
+    /// `"CFR+SBRL-HAP"`), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (backbone_part, framework_part) = match s.split_once('+') {
+            Some((b, f)) => (b, f),
+            None => (s, ""),
+        };
+        let backbone = backbone_part.trim().parse::<BackboneKind>().map_err(ParseError::from)?;
+        let framework = framework_part.trim().parse::<Framework>()?;
+        Ok(MethodSpec { backbone, framework })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_nine_methods_in_paper_order() {
+        let grid = MethodSpec::grid();
+        assert_eq!(grid.len(), 9);
+        assert_eq!(grid[0].name(), "TARNet");
+        assert_eq!(grid[1].name(), "TARNet+SBRL");
+        assert_eq!(grid[2].name(), "TARNet+SBRL-HAP");
+        assert_eq!(grid[8].name(), "DeRCFR+SBRL-HAP");
+    }
+
+    #[test]
+    fn every_grid_name_round_trips() {
+        for spec in MethodSpec::grid() {
+            assert_eq!(spec.name().parse::<MethodSpec>().unwrap(), spec);
+            assert_eq!(spec.to_string(), spec.name());
+        }
+    }
+
+    #[test]
+    fn parse_is_case_and_separator_insensitive() {
+        let spec: MethodSpec = "cfr+sbrl-hap".parse().unwrap();
+        assert_eq!(spec.name(), "CFR+SBRL-HAP");
+        let spec: MethodSpec = "DeR-CFR + SBRL".parse().unwrap();
+        assert_eq!(spec.name(), "DeRCFR+SBRL");
+        let spec: MethodSpec = "TARNet+Vanilla".parse().unwrap();
+        assert_eq!(spec.name(), "TARNet");
+    }
+
+    #[test]
+    fn junk_segments_yield_typed_errors() {
+        assert!(matches!("GRU+SBRL".parse::<MethodSpec>(), Err(ParseError::Backbone { .. })));
+        assert!(matches!("CFR+JUNK".parse::<MethodSpec>(), Err(ParseError::Framework { .. })));
+        assert!(matches!("".parse::<MethodSpec>(), Err(ParseError::Backbone { .. })));
+    }
+}

@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use sbrl_data::{CausalDataset, DataError, OutcomeKind, Scaler};
+use sbrl_data::{CausalDataset, OutcomeKind, Scaler};
 use sbrl_metrics::{evaluate, EffectEstimate, Evaluation};
 use sbrl_models::{select_by_treatment, Backbone, BatchContext};
 use sbrl_nn::{
@@ -25,6 +25,7 @@ use sbrl_tensor::rng::rng_from_seed;
 use sbrl_tensor::{Graph, Matrix};
 
 use crate::config::SbrlConfig;
+use crate::error::SbrlError;
 use crate::regularizers::weight_objective;
 use crate::weights::SampleWeights;
 
@@ -99,38 +100,50 @@ impl TrainConfig {
     pub fn smoke() -> Self {
         Self { iterations: 60, batch_size: 64, eval_every: 20, patience: 50, ..Self::default() }
     }
-}
 
-/// Typed training failures.
-#[derive(Debug)]
-pub enum TrainError {
-    /// The training or validation data failed structural validation.
-    Data(DataError),
-    /// The loss became non-finite at the given iteration.
-    NonFiniteLoss {
-        /// Iteration at which the divergence was detected.
-        iteration: usize,
-    },
-}
-
-impl std::fmt::Display for TrainError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TrainError::Data(e) => write!(f, "invalid data: {e}"),
-            TrainError::NonFiniteLoss { iteration } => {
-                write!(f, "loss became non-finite at iteration {iteration}")
+    /// Validates the optimisation budget: counts must be positive and every
+    /// rate finite and non-negative.
+    pub fn validate(&self) -> Result<(), SbrlError> {
+        let counts = [
+            ("train.iterations", self.iterations),
+            ("train.batch_size", self.batch_size),
+            ("train.eval_every", self.eval_every),
+        ];
+        for (what, v) in counts {
+            if v == 0 {
+                return Err(SbrlError::InvalidConfig {
+                    what,
+                    message: "must be at least 1".into(),
+                });
             }
         }
+        let rates =
+            [("train.lr", self.lr), ("train.weight_lr", self.weight_lr), ("train.l2", self.l2)];
+        for (what, v) in rates {
+            if !v.is_finite() || v < 0.0 {
+                return Err(SbrlError::InvalidConfig {
+                    what,
+                    message: format!("must be finite and non-negative, got {v}"),
+                });
+            }
+        }
+        if let Some((rate, steps)) = self.lr_decay {
+            if !rate.is_finite() || rate <= 0.0 || steps == 0 {
+                return Err(SbrlError::InvalidConfig {
+                    what: "train.lr_decay",
+                    message: format!(
+                        "needs a positive finite rate and steps >= 1, got ({rate}, {steps})"
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
-impl std::error::Error for TrainError {}
-
-impl From<DataError> for TrainError {
-    fn from(e: DataError) -> Self {
-        TrainError::Data(e)
-    }
-}
+/// Former name of the unified error type, kept for one release.
+#[deprecated(since = "0.2.0", note = "use `SbrlError` (the unified error enum) instead")]
+pub type TrainError = SbrlError;
 
 /// Summary of one training run.
 #[derive(Clone, Debug, Default)]
@@ -150,6 +163,12 @@ pub struct TrainReport {
 }
 
 /// A trained backbone bundled with its preprocessing and sample weights.
+///
+/// A fitted model is an **immutable inference artifact**: every serving
+/// entry point ([`FittedModel::predict`], [`FittedModel::evaluate`],
+/// [`FittedModel::representation`], ...) takes `&self`, and because
+/// [`Backbone`] requires `Send + Sync` the model can fan out across threads
+/// — see [`FittedModel::predict_batched`].
 pub struct FittedModel<B: Backbone> {
     model: B,
     scaler: Option<Scaler>,
@@ -160,14 +179,24 @@ pub struct FittedModel<B: Backbone> {
     report: TrainReport,
 }
 
+impl<B: Backbone> std::fmt::Debug for FittedModel<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FittedModel")
+            .field("model", &self.model.name())
+            .field("loss_kind", &self.loss_kind)
+            .field("report", &self.report)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<B: Backbone> FittedModel<B> {
     /// Predicted potential outcomes for raw (unstandardised) covariates.
-    pub fn predict(&mut self, x: &Matrix) -> EffectEstimate {
+    pub fn predict(&self, x: &Matrix) -> EffectEstimate {
         let x = prep(&self.scaler, x);
         let n = x.rows();
         let t_dummy = vec![0.0; n];
         let (mut y0_hat, mut y1_hat) =
-            sbrl_models::predict_potential_outcomes(&mut self.model, &x, &t_dummy, self.loss_kind);
+            sbrl_models::predict_potential_outcomes(&self.model, &x, &t_dummy, self.loss_kind);
         let (shift, scale) = self.y_transform;
         if shift != 0.0 || scale != 1.0 {
             for v in y0_hat.iter_mut().chain(y1_hat.iter_mut()) {
@@ -177,36 +206,75 @@ impl<B: Backbone> FittedModel<B> {
         EffectEstimate { y0_hat, y1_hat }
     }
 
+    /// [`FittedModel::predict`] sharded across `workers` scoped threads —
+    /// the serving-shaped hot path for large inference matrices.
+    ///
+    /// Rows are split into contiguous shards, each shard is predicted on its
+    /// own thread, and the pieces are reassembled in order. Every per-row
+    /// operation of the inference path is independent of the other rows, so
+    /// the result is **bit-identical** to a single-threaded
+    /// [`FittedModel::predict`] for any worker count.
+    pub fn predict_batched(&self, x: &Matrix, workers: usize) -> EffectEstimate {
+        let n = x.rows();
+        let workers = workers.clamp(1, n.max(1));
+        if workers == 1 {
+            return self.predict(x);
+        }
+        let chunk = n.div_ceil(workers);
+        let ranges: Vec<(usize, usize)> = (0..workers)
+            .map(|w| ((w * chunk).min(n), ((w + 1) * chunk).min(n)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let shards: Vec<EffectEstimate> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    let rows: Vec<usize> = (lo..hi).collect();
+                    let piece = x.select_rows(&rows);
+                    s.spawn(move || self.predict(&piece))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("predict worker panicked")).collect()
+        });
+        let mut y0_hat = Vec::with_capacity(n);
+        let mut y1_hat = Vec::with_capacity(n);
+        for shard in shards {
+            y0_hat.extend(shard.y0_hat);
+            y1_hat.extend(shard.y1_hat);
+        }
+        EffectEstimate { y0_hat, y1_hat }
+    }
+
     /// Evaluates against a dataset carrying the counterfactual oracle.
-    pub fn evaluate(&mut self, data: &CausalDataset) -> Option<Evaluation> {
+    pub fn evaluate(&self, data: &CausalDataset) -> Option<Evaluation> {
         let est = self.predict(&data.x);
         evaluate(&est, data)
     }
 
     /// The balanced representation `Z_r` for given covariates (used by the
     /// Fig. 5 decorrelation analysis).
-    pub fn representation(&mut self, x: &Matrix) -> Matrix {
+    pub fn representation(&self, x: &Matrix) -> Matrix {
         let x = prep(&self.scaler, x);
         let mut g = Graph::new();
-        let mut binding = Binding::new(self.model.store());
+        let mut binding = Binding::new_frozen(self.model.store());
         let xc = g.constant(x);
         let n = g.value(xc).rows();
         let ctx = BatchContext::new(&vec![0.0; n]);
-        let pass = self.model.forward(&mut g, &mut binding, xc, &ctx, false);
+        let pass = self.model.forward(&mut g, &mut binding, xc, &ctx);
         g.value(pass.taps.z_r).clone()
     }
 
     /// The last hidden layer `Z_p` for given covariates (the layer the
     /// Independence Regularizer decorrelates). Computed with a zero
     /// treatment column, i.e. the control head's path.
-    pub fn last_layer(&mut self, x: &Matrix) -> Matrix {
+    pub fn last_layer(&self, x: &Matrix) -> Matrix {
         let x = prep(&self.scaler, x);
         let mut g = Graph::new();
-        let mut binding = Binding::new(self.model.store());
+        let mut binding = Binding::new_frozen(self.model.store());
         let xc = g.constant(x);
         let n = g.value(xc).rows();
         let ctx = BatchContext::new(&vec![0.0; n]);
-        let pass = self.model.forward(&mut g, &mut binding, xc, &ctx, false);
+        let pass = self.model.forward(&mut g, &mut binding, xc, &ctx);
         g.value(pass.taps.z_p).clone()
     }
 
@@ -245,7 +313,7 @@ fn loss_kind_for(outcome: OutcomeKind) -> OutcomeLoss {
 
 /// Unweighted factual loss of the current model on a dataset (validation).
 fn factual_loss(
-    model: &mut dyn Backbone,
+    model: &dyn Backbone,
     x: &Matrix,
     t: &[f64],
     yf: &[f64],
@@ -255,7 +323,7 @@ fn factual_loss(
     let mut binding = Binding::new_frozen(model.store());
     let xc = g.constant(x.clone());
     let ctx = BatchContext::new(t);
-    let pass = model.forward(&mut g, &mut binding, xc, &ctx, false);
+    let pass = model.forward(&mut g, &mut binding, xc, &ctx);
     let fac = select_by_treatment(&mut g, &ctx, pass.y1_raw, pass.y0_raw);
     let target = g.constant(Matrix::col_vec(yf));
     let loss = loss_kind.loss(&mut g, fac, target);
@@ -263,15 +331,19 @@ fn factual_loss(
 }
 
 /// Trains `model` on `train`, early-stopping on `val`, with the SBRL /
-/// SBRL-HAP weight objective given by `sbrl` (use
-/// [`SbrlConfig::vanilla`] for the plain backbone).
-pub fn train<B: Backbone>(
+/// SBRL-HAP weight objective given by `sbrl`.
+///
+/// Prefer [`crate::Estimator::builder`]; this free function survives only to
+/// back the builder and the deprecated [`train`] shim.
+pub(crate) fn fit_backbone<B: Backbone>(
     mut model: B,
     train: &CausalDataset,
     val: &CausalDataset,
     sbrl: &SbrlConfig,
     cfg: &TrainConfig,
-) -> Result<FittedModel<B>, TrainError> {
+) -> Result<FittedModel<B>, SbrlError> {
+    sbrl.validate()?;
+    cfg.validate()?;
     train.validate()?;
     val.validate()?;
     let started = Instant::now();
@@ -327,7 +399,7 @@ pub fn train<B: Backbone>(
             let mut g = Graph::new();
             let mut binding = Binding::new(model.store());
             let x = g.constant(xb.clone());
-            let pass = model.forward(&mut g, &mut binding, x, &ctx, true);
+            let pass = model.train_step().forward(&mut g, &mut binding, x, &ctx);
             let fac = select_by_treatment(&mut g, &ctx, pass.y1_raw, pass.y0_raw);
             let target = g.constant(Matrix::col_vec(&yb));
             let w_node = if sbrl.weights_enabled() {
@@ -340,7 +412,7 @@ pub fn train<B: Backbone>(
             let l2 = l2_penalty(&mut g, model.store(), &mut binding, &l2_handles, cfg.l2);
             let total = g.add(with_reg, l2);
             if !g.scalar(total).is_finite() {
-                return Err(TrainError::NonFiniteLoss { iteration: iter });
+                return Err(SbrlError::NonFiniteLoss { iteration: iter });
             }
             g.backward(total);
             opt.step(model.store_mut(), &g, &binding);
@@ -351,13 +423,13 @@ pub fn train<B: Backbone>(
             let mut g = Graph::new();
             let mut frozen = Binding::new_frozen(model.store());
             let x = g.constant(xb);
-            let pass = model.forward(&mut g, &mut frozen, x, &ctx, true);
+            let pass = model.train_step().forward(&mut g, &mut frozen, x, &ctx);
             let mut w_binding = weights.new_binding();
             let w = weights.bind_trainable(&mut g, &mut w_binding, &batch);
             let r_w = weights.r_w(&mut g, w);
             let terms = weight_objective(&mut g, sbrl, &pass.taps, &ctx, w, r_w, &rff, &mut rng);
             if !g.scalar(terms.total).is_finite() {
-                return Err(TrainError::NonFiniteLoss { iteration: iter });
+                return Err(SbrlError::NonFiniteLoss { iteration: iter });
             }
             g.backward(terms.total);
             weights.step(&g, &w_binding);
@@ -365,7 +437,7 @@ pub fn train<B: Backbone>(
 
         // ---- Validation / early stopping ----
         if iter % cfg.eval_every == 0 || iter + 1 == cfg.iterations {
-            let vl = factual_loss(&mut model, &x_val, &val.t, &yf_val, loss_kind);
+            let vl = factual_loss(&model, &x_val, &val.t, &yf_val, loss_kind);
             val_curve.push((iter, vl));
             if vl.is_finite() && vl < best_val {
                 best_val = vl;
@@ -390,10 +462,38 @@ pub fn train<B: Backbone>(
     Ok(FittedModel { model, scaler, loss_kind, y_transform, weights: weights.values(), report })
 }
 
+/// Trains a prebuilt backbone with the positional argument list of the 0.1
+/// API. Deprecated shim kept for one release: migrate to the fluent builder,
+///
+/// ```no_run
+/// # use sbrl_core::{Estimator, Framework, TrainConfig};
+/// # use sbrl_models::CfrConfig;
+/// # let (train_data, val_data) = unimplemented!();
+/// let fitted = Estimator::builder()
+///     .backbone(CfrConfig::small(10))
+///     .framework(Framework::SbrlHap)
+///     .train(TrainConfig::default())
+///     .fit(&train_data, &val_data)?;
+/// # Ok::<(), sbrl_core::SbrlError>(())
+/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Estimator::builder().backbone(..).framework(..).train(..).fit(train, val)`"
+)]
+pub fn train<B: Backbone>(
+    model: B,
+    train: &CausalDataset,
+    val: &CausalDataset,
+    sbrl: &SbrlConfig,
+    cfg: &TrainConfig,
+) -> Result<FittedModel<B>, SbrlError> {
+    fit_backbone(model, train, val, sbrl, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbrl_data::{SyntheticConfig, SyntheticProcess};
+    use sbrl_data::{DataError, SyntheticConfig, SyntheticProcess};
     use sbrl_models::{Cfr, CfrConfig, Tarnet, TarnetConfig};
     use sbrl_tensor::rng::rng_from_seed;
 
@@ -417,7 +517,7 @@ mod tests {
         let (train, val) = tiny_data();
         let mut rng = rng_from_seed(0);
         let model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
-        let fitted = super::train(
+        let fitted = super::fit_backbone(
             model,
             &train,
             &val,
@@ -438,9 +538,14 @@ mod tests {
         let (train, val) = tiny_data();
         let mut rng = rng_from_seed(1);
         let model = Cfr::new(CfrConfig::small(train.dim()), &mut rng);
-        let fitted =
-            super::train(model, &train, &val, &SbrlConfig::sbrl(1.0, 1.0), &TrainConfig::smoke())
-                .unwrap();
+        let fitted = super::fit_backbone(
+            model,
+            &train,
+            &val,
+            &SbrlConfig::sbrl(1.0, 1.0),
+            &TrainConfig::smoke(),
+        )
+        .unwrap();
         let (min, _, max) = fitted.report().weight_stats;
         assert!(max - min > 1e-4, "weights should differentiate, got [{min}, {max}]");
         assert!(min > 0.0, "weights stay positive");
@@ -451,7 +556,7 @@ mod tests {
         let (train, val) = tiny_data();
         let mut rng = rng_from_seed(2);
         let model = Cfr::new(CfrConfig::small(train.dim()), &mut rng);
-        let mut fitted = super::train(
+        let fitted = super::fit_backbone(
             model,
             &train,
             &val,
@@ -472,11 +577,11 @@ mod tests {
         let (train, val) = tiny_data();
         let mut rng = rng_from_seed(3);
         let model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
-        let mut untrained_model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
+        let untrained_model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
         let x_val = Scaler::fit(&train.x).transform(&val.x);
         let before =
-            factual_loss(&mut untrained_model, &x_val, &val.t, &val.yf, OutcomeLoss::BceWithLogits);
-        let fitted = super::train(
+            factual_loss(&untrained_model, &x_val, &val.t, &val.yf, OutcomeLoss::BceWithLogits);
+        let fitted = super::fit_backbone(
             model,
             &train,
             &val,
@@ -499,8 +604,14 @@ mod tests {
         broken.t = vec![1.0; broken.n()]; // kill overlap
         let mut rng = rng_from_seed(4);
         let model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
-        let err = super::train(model, &broken, &val, &SbrlConfig::vanilla(), &TrainConfig::smoke());
-        assert!(matches!(err, Err(TrainError::Data(DataError::EmptyTreatmentArm { .. }))));
+        let err = super::fit_backbone(
+            model,
+            &broken,
+            &val,
+            &SbrlConfig::vanilla(),
+            &TrainConfig::smoke(),
+        );
+        assert!(matches!(err, Err(SbrlError::Data(DataError::EmptyTreatmentArm { .. }))));
     }
 
     #[test]
@@ -508,7 +619,7 @@ mod tests {
         let (train, val) = tiny_data();
         let mut rng = rng_from_seed(5);
         let model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
-        let mut fitted = super::train(
+        let fitted = super::fit_backbone(
             model,
             &train,
             &val,

@@ -48,6 +48,13 @@ pub enum DataError {
     },
     /// The dataset holds no samples.
     Empty,
+    /// A dataset name was not found in the registry.
+    UnknownDataset {
+        /// The rejected name.
+        name: String,
+        /// Comma-separated list of registered names.
+        known: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -65,6 +72,9 @@ impl fmt::Display for DataError {
                 write!(f, "treatment[{index}] = {value} is not 0/1")
             }
             DataError::Empty => write!(f, "dataset holds no samples"),
+            DataError::UnknownDataset { name, known } => {
+                write!(f, "unknown dataset '{name}' (registered datasets: {known})")
+            }
         }
     }
 }

@@ -15,6 +15,7 @@
 
 pub mod dataset;
 pub mod ihdp;
+pub mod registry;
 pub mod sampling;
 pub mod splits;
 pub mod synthetic;
@@ -22,6 +23,7 @@ pub mod twins;
 
 pub use dataset::{CausalDataset, DataError, OutcomeKind, Scaler};
 pub use ihdp::{IhdpConfig, IhdpSimulator, ResponseSurface};
+pub use registry::{DatasetGenerator, DatasetOptions, DatasetRegistry};
 pub use sampling::{selection_log_weight, weighted_sample_without_replacement};
 pub use splits::{split_train_val, train_val_indices, DataSplit};
 pub use synthetic::{SyntheticConfig, SyntheticProcess, PAPER_BIAS_RATES, TRAIN_BIAS_RATE};

@@ -2,7 +2,7 @@
 //! Usage: `cargo run -p sbrl-experiments --release --bin fig4 [--scale bench|quick|paper]`.
 
 fn main() {
-    let scale = sbrl_experiments::Scale::from_args();
+    let scale = sbrl_experiments::Scale::from_args_or_exit();
     eprintln!("running fig4 at scale {}", scale.name());
     let report = sbrl_experiments::fig34::run(scale);
     println!("{report}");

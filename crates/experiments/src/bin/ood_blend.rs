@@ -5,14 +5,14 @@
 //!
 //! Usage: `cargo run -p sbrl-experiments --release --bin ood_blend [--scale ...]`
 
-use sbrl_core::{BlendedEstimator, Framework, OodDetector, OodDetectorConfig};
+use sbrl_core::{BlendedEstimator, OodDetector, OodDetectorConfig};
 use sbrl_data::{SyntheticConfig, SyntheticProcess, PAPER_BIAS_RATES};
 use sbrl_experiments::presets::{bench_variant, paper_syn_8_8_8_2, quick_variant};
-use sbrl_experiments::{fit_method, BackboneKind, MethodSpec, Scale};
+use sbrl_experiments::{fit_method, MethodSpec, Scale};
 use sbrl_metrics::evaluate;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = Scale::from_args_or_exit();
     let preset = match scale {
         Scale::Paper => paper_syn_8_8_8_2(),
         Scale::Quick => quick_variant(paper_syn_8_8_8_2()),
@@ -25,20 +25,17 @@ fn main() {
 
     eprintln!("fitting the vanilla and stable experts...");
     let budget = scale.train_config(preset.lr, preset.l2, 3);
-    let mut vanilla = fit_method(
-        MethodSpec { backbone: BackboneKind::Cfr, framework: Framework::Vanilla },
-        &preset,
-        &train_data,
-        &val_data,
-        &budget,
-    );
-    let mut stable = fit_method(
-        MethodSpec { backbone: BackboneKind::Cfr, framework: Framework::SbrlHap },
-        &preset,
-        &train_data,
-        &val_data,
-        &budget,
-    );
+    // Experts are selected by name — the same strings a server endpoint
+    // would accept.
+    let fit_by_name = |name: &str| {
+        let spec: MethodSpec = name.parse().expect("grid method name");
+        fit_method(spec, &preset, &train_data, &val_data, &budget).unwrap_or_else(|e| {
+            eprintln!("error: training {name} failed: {e}");
+            std::process::exit(1);
+        })
+    };
+    let vanilla = fit_by_name("CFR");
+    let stable = fit_by_name("CFR+SBRL-HAP");
 
     let detector = OodDetector::fit(&train_data.x, &OodDetectorConfig::default());
     let blender = BlendedEstimator::new(detector, 5.0);

@@ -4,7 +4,7 @@
 //! `cargo run -p sbrl-experiments --release --bin run_all [--scale ...]`.
 
 fn main() {
-    let scale = sbrl_experiments::Scale::from_args();
+    let scale = sbrl_experiments::Scale::from_args_or_exit();
     eprintln!("running the full experiment suite at scale {}", scale.name());
     let mut report = String::new();
     report.push_str(&sbrl_experiments::table1::run(scale));

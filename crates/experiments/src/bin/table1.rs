@@ -2,7 +2,7 @@
 //! Usage: `cargo run -p sbrl-experiments --release --bin table1 [--scale bench|quick|paper]`.
 
 fn main() {
-    let scale = sbrl_experiments::Scale::from_args();
+    let scale = sbrl_experiments::Scale::from_args_or_exit();
     eprintln!("running table1 at scale {}", scale.name());
     let report = sbrl_experiments::table1::run(scale);
     println!("{report}");

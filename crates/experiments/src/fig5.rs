@@ -32,8 +32,9 @@ pub struct DecorrelationResult {
 /// Number of representation dimensions sampled by the paper.
 pub const SAMPLED_DIMS: usize = 25;
 
-/// Runs the Fig. 5 analysis.
-pub fn analyse(scale: Scale) -> Vec<DecorrelationResult> {
+/// Runs the Fig. 5 analysis; failed fits are skipped and described in the
+/// second element so the report can record them.
+pub fn analyse(scale: Scale) -> (Vec<DecorrelationResult>, Vec<String>) {
     let preset = match scale {
         Scale::Paper => paper_syn_16_16_16_2(),
         Scale::Quick => quick_variant(paper_syn_16_16_16_2()),
@@ -48,12 +49,20 @@ pub fn analyse(scale: Scale) -> Vec<DecorrelationResult> {
     let mut rng = rng_from_seed(55);
     let rff = Rff::sample(&mut rng, Rff::DEFAULT_NUM_FUNCTIONS);
 
-    [Framework::Vanilla, Framework::Sbrl, Framework::SbrlHap]
+    let mut failures = Vec::new();
+    let results = Framework::ALL
         .into_iter()
-        .map(|framework| {
+        .filter_map(|framework| {
             let spec = MethodSpec { backbone: BackboneKind::Cfr, framework };
             let train_cfg = scale.train_config(preset.lr, preset.l2, 7);
-            let mut fitted = fit_method(spec, &preset, &train_data, &val_data, &train_cfg);
+            let fitted = match fit_method(spec, &preset, &train_data, &val_data, &train_cfg) {
+                Ok(fitted) => fitted,
+                Err(e) => {
+                    let msg = format!("method {} FAILED: {e}", spec.name());
+                    crate::runner::record_failure("fig5", msg, &mut failures);
+                    return None;
+                }
+            };
             let rep = fitted.representation(&probe.x);
             // Sample 25 dimensions (or all, when the rep is narrower) and
             // standardise them so HSIC magnitudes are comparable.
@@ -65,9 +74,10 @@ pub fn analyse(scale: Scale) -> Vec<DecorrelationResult> {
             let matrix = pairwise_hsic_matrix(&sub, &rff, None);
             let mean_hsic = mean_offdiag_hsic(&sub, &rff, None);
             eprintln!("[fig5] {} mean HSIC_RFF = {mean_hsic:.4}", spec.name());
-            DecorrelationResult { method: spec.name(), mean_hsic, matrix }
+            Some(DecorrelationResult { method: spec.name(), mean_hsic, matrix })
         })
-        .collect()
+        .collect();
+    (results, failures)
 }
 
 /// Coarse text heat map of a pairwise matrix (darker = more dependent).
@@ -87,7 +97,7 @@ pub fn text_heatmap(m: &Matrix) -> String {
 
 /// Runs Fig. 5 and renders the report.
 pub fn run(scale: Scale) -> String {
-    let results = analyse(scale);
+    let (results, failures) = analyse(scale);
     let header = vec!["Method".to_string(), "avg HSIC_RFF".to_string()];
     let rows: Vec<Vec<String>> =
         results.iter().map(|r| vec![r.method.clone(), fmt_num(r.mean_hsic)]).collect();
@@ -97,6 +107,7 @@ pub fn run(scale: Scale) -> String {
         &rows,
     );
     write_tsv(results_dir().join("fig5_hsic.tsv"), &header, &rows).ok();
+    out.push_str(&crate::runner::render_failures(&failures));
     for r in &results {
         out.push_str(&format!(
             "\n{} heat map ({}x{}):\n",
@@ -131,8 +142,9 @@ mod tests {
     #[test]
     #[ignore = "trains three models; run with --ignored"]
     fn bench_scale_ordering_smoke() {
-        let results = analyse(Scale::Bench);
+        let (results, failures) = analyse(Scale::Bench);
         assert_eq!(results.len(), 3);
+        assert!(failures.is_empty());
         assert!(results.iter().all(|r| r.mean_hsic.is_finite()));
     }
 }

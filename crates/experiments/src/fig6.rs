@@ -48,8 +48,9 @@ pub fn sweep_grid(optimum: (f64, f64, f64)) -> Vec<(usize, f64, (f64, f64, f64))
     grid
 }
 
-/// Runs the sweep and returns the points.
-pub fn analyse(scale: Scale) -> Vec<SweepPoint> {
+/// Runs the sweep and returns the points; failed sweep points are skipped
+/// and described in the second element so the report can record them.
+pub fn analyse(scale: Scale) -> (Vec<SweepPoint>, Vec<String>) {
     let base_preset = match scale {
         Scale::Paper => paper_syn_16_16_16_2(),
         Scale::Quick => quick_variant(paper_syn_16_16_16_2()),
@@ -63,26 +64,40 @@ pub fn analyse(scale: Scale) -> Vec<SweepPoint> {
     let test_ood = process.generate(-3.0, n_test, 3);
     let spec = MethodSpec { backbone: BackboneKind::Cfr, framework: Framework::SbrlHap };
 
-    sweep_grid(base_preset.gammas)
+    let mut failures = Vec::new();
+    let points = sweep_grid(base_preset.gammas)
         .into_iter()
-        .map(|(idx, value, gammas)| {
+        .filter_map(|(idx, value, gammas)| {
             let preset = crate::methods::ExperimentPreset { gammas, ..base_preset };
             let train_cfg = scale.train_config(preset.lr, preset.l2, (idx * 17) as u64);
-            let mut fitted = fit_method(spec, &preset, &train_data, &val_data, &train_cfg);
+            let fitted = match fit_method(spec, &preset, &train_data, &val_data, &train_cfg) {
+                Ok(fitted) => fitted,
+                Err(e) => {
+                    let msg = format!("sweep point gamma{idx} = {value} FAILED: {e}");
+                    crate::runner::record_failure("fig6", msg, &mut failures);
+                    return None;
+                }
+            };
             let id = fitted.evaluate(&test_id).expect("oracle");
             let ood = fitted.evaluate(&test_ood).expect("oracle");
             eprintln!(
                 "[fig6] gamma{idx} = {value}: PEHE_id {:.3}, F1_ood {:.3}",
                 id.pehe, ood.factual_score
             );
-            SweepPoint { gamma_index: idx, value, pehe_id: id.pehe, f1_ood: ood.factual_score }
+            Some(SweepPoint {
+                gamma_index: idx,
+                value,
+                pehe_id: id.pehe,
+                f1_ood: ood.factual_score,
+            })
         })
-        .collect()
+        .collect();
+    (points, failures)
 }
 
 /// Runs Fig. 6 and renders the report.
 pub fn run(scale: Scale) -> String {
-    let points = analyse(scale);
+    let (points, failures) = analyse(scale);
     let header = vec![
         "Coefficient".to_string(),
         "Value".into(),
@@ -100,12 +115,13 @@ pub fn run(scale: Scale) -> String {
             ]
         })
         .collect();
-    let out = render_table(
+    let mut out = render_table(
         &format!("Fig. 6 — gamma sensitivity (CFR+SBRL-HAP), scale {}", scale.name()),
         &header,
         &rows,
     );
     write_tsv(results_dir().join("fig6_gamma_sensitivity.tsv"), &header, &rows).ok();
+    out.push_str(&crate::runner::render_failures(&failures));
     out
 }
 

@@ -30,6 +30,8 @@ pub mod table2;
 pub mod table3;
 pub mod table6;
 
-pub use methods::{BackboneKind, ExperimentPreset, MethodSpec};
-pub use runner::{fit_method, run_synthetic_sweep, MethodEnvResults, SyntheticExperiment};
-pub use scale::Scale;
+pub use methods::{BackboneConfig, BackboneKind, ExperimentPreset, MethodSpec};
+pub use runner::{
+    fit_method, render_failures, run_synthetic_sweep, MethodEnvResults, SyntheticExperiment,
+};
+pub use scale::{ParseScaleError, Scale};

@@ -1,63 +1,17 @@
 //! The 3 x 3 method grid of the paper's evaluation: {TARNet, CFR, DeR-CFR}
 //! x {Vanilla, +SBRL, +SBRL-HAP}.
+//!
+//! [`BackboneKind`] lives in `sbrl-models` and [`MethodSpec`] in `sbrl-core`
+//! (both re-exported here for compatibility); this module keeps the
+//! experiment-specific [`ExperimentPreset`] that maps a grid cell to the
+//! paper's tuned hyper-parameters.
 
-use rand::rngs::StdRng;
+pub use sbrl_core::MethodSpec;
+pub use sbrl_models::{BackboneConfig, BackboneKind};
+
 use sbrl_core::{Framework, SbrlConfig};
-use sbrl_models::{Backbone, Cfr, CfrConfig, DerCfr, DerCfrConfig, Tarnet, TarnetConfig};
+use sbrl_models::{CfrConfig, DerCfrConfig, TarnetConfig};
 use sbrl_stats::{DecorrelationConfig, IpmKind};
-
-/// Which backbone architecture a method uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BackboneKind {
-    /// TARNet (no balancing penalty).
-    Tarnet,
-    /// CFR (TARNet + `α·IPM`).
-    Cfr,
-    /// DeR-CFR (decomposed representations).
-    DerCfr,
-}
-
-impl BackboneKind {
-    /// All backbones, in the paper's table order.
-    pub const ALL: [BackboneKind; 3] =
-        [BackboneKind::Tarnet, BackboneKind::Cfr, BackboneKind::DerCfr];
-
-    /// Table label.
-    pub fn name(self) -> &'static str {
-        match self {
-            BackboneKind::Tarnet => "TARNet",
-            BackboneKind::Cfr => "CFR",
-            BackboneKind::DerCfr => "DeRCFR",
-        }
-    }
-}
-
-/// One method of the evaluation grid.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct MethodSpec {
-    /// Backbone architecture.
-    pub backbone: BackboneKind,
-    /// Wrapping framework.
-    pub framework: Framework,
-}
-
-impl MethodSpec {
-    /// Table label, e.g. `"CFR+SBRL-HAP"`.
-    pub fn name(self) -> String {
-        format!("{}{}", self.backbone.name(), self.framework.suffix())
-    }
-
-    /// The full 9-method grid in the paper's row order.
-    pub fn grid() -> Vec<MethodSpec> {
-        let mut out = Vec::with_capacity(9);
-        for backbone in BackboneKind::ALL {
-            for framework in [Framework::Vanilla, Framework::Sbrl, Framework::SbrlHap] {
-                out.push(MethodSpec { backbone, framework });
-            }
-        }
-        out
-    }
-}
 
 /// Architecture + regulariser hyper-parameters for one dataset (the
 /// distilled content of the paper's Tables IV & V).
@@ -103,20 +57,18 @@ impl ExperimentPreset {
         }
     }
 
-    /// Builds the backbone model for a method.
-    pub fn build(&self, kind: BackboneKind, in_dim: usize, rng: &mut StdRng) -> Box<dyn Backbone> {
+    /// Builds the backbone configuration for a method — the input of
+    /// [`sbrl_core::EstimatorBuilder::backbone`].
+    pub fn backbone_config(&self, kind: BackboneKind, in_dim: usize) -> BackboneConfig {
         let arch = self.tarnet_config(in_dim);
         match kind {
-            BackboneKind::Tarnet => Box::new(Tarnet::new(arch, rng)),
+            BackboneKind::Tarnet => BackboneConfig::Tarnet(arch),
             BackboneKind::Cfr => {
-                Box::new(Cfr::new(CfrConfig { arch, alpha: self.alpha, ipm: self.ipm }, rng))
+                BackboneConfig::Cfr(CfrConfig { arch, alpha: self.alpha, ipm: self.ipm })
             }
             BackboneKind::DerCfr => {
                 let (alpha, beta, gamma, mu) = self.dercfr;
-                Box::new(DerCfr::new(
-                    DerCfrConfig { arch, alpha, beta, gamma, mu, ipm: self.ipm },
-                    rng,
-                ))
+                BackboneConfig::DerCfr(DerCfrConfig { arch, alpha, beta, gamma, mu, ipm: self.ipm })
             }
         }
     }
@@ -176,11 +128,14 @@ mod tests {
     }
 
     #[test]
-    fn build_produces_each_backbone() {
+    fn backbone_config_produces_each_backbone() {
         let mut rng = rng_from_seed(0);
         let p = preset();
         for kind in BackboneKind::ALL {
-            let model = p.build(kind, 7, &mut rng);
+            let cfg = p.backbone_config(kind, 7);
+            assert_eq!(cfg.kind(), kind);
+            assert_eq!(cfg.in_dim(), 7);
+            let model = cfg.build(&mut rng);
             assert_eq!(model.name(), kind.name());
             assert!(!model.store().is_empty());
         }

@@ -6,8 +6,13 @@ use std::path::Path;
 
 use sbrl_metrics::mean_std;
 
-/// Formats replicate values as the paper's `mean±std` cell.
+/// Formats replicate values as the paper's `mean±std` cell. An empty slice
+/// (every replication of the cell failed and was skipped) renders as `n/a`
+/// so a fully-failed method can never masquerade as a perfect score.
 pub fn fmt_mean_std(values: &[f64]) -> String {
+    if values.is_empty() {
+        return "n/a".to_string();
+    }
     let (m, s) = mean_std(values);
     format!("{m:.3}±{s:.3}")
 }
@@ -84,6 +89,7 @@ mod tests {
     #[test]
     fn mean_std_formatting() {
         assert_eq!(fmt_mean_std(&[1.0, 3.0]), "2.000±1.000");
+        assert_eq!(fmt_mean_std(&[]), "n/a");
         assert_eq!(fmt_num(0.12345), "0.123");
     }
 

@@ -1,31 +1,29 @@
 //! Shared experiment execution: fit one method on one split, and run the
 //! full method grid over synthetic environment sweeps with replications.
 
-use sbrl_core::{train, FittedModel, SbrlConfig, TrainConfig};
+use sbrl_core::{Estimator, FittedModel, SbrlError, TrainConfig};
 use sbrl_data::{CausalDataset, SyntheticConfig, SyntheticProcess};
 use sbrl_metrics::Evaluation;
 use sbrl_models::Backbone;
-use sbrl_tensor::rng::rng_from_seed;
 
 use crate::methods::{ExperimentPreset, MethodSpec};
 use crate::scale::Scale;
 
-/// Fits one method specification on a train/val split.
-///
-/// # Panics
-/// Panics if training diverges (the experiment presets are tuned not to).
+/// Fits one method specification on a train/val split through the fluent
+/// estimator pipeline. Training failures (divergence, invalid data) surface
+/// as typed errors so sweep runners can skip and report them.
 pub fn fit_method(
     spec: MethodSpec,
     preset: &ExperimentPreset,
     train_data: &CausalDataset,
     val_data: &CausalDataset,
     train_cfg: &TrainConfig,
-) -> FittedModel<Box<dyn Backbone>> {
-    let mut rng = rng_from_seed(train_cfg.seed ^ 0x00f1_77ed);
-    let model = preset.build(spec.backbone, train_data.dim(), &mut rng);
-    let sbrl: SbrlConfig = preset.sbrl_config(spec);
-    train(model, train_data, val_data, &sbrl, train_cfg)
-        .unwrap_or_else(|e| panic!("training {} failed: {e}", spec.name()))
+) -> Result<FittedModel<Box<dyn Backbone>>, SbrlError> {
+    Estimator::builder()
+        .backbone(preset.backbone_config(spec.backbone, train_data.dim()))
+        .sbrl(preset.sbrl_config(spec))
+        .train(*train_cfg)
+        .fit(train_data, val_data)
 }
 
 /// Configuration of one synthetic environment-sweep experiment (Table I /
@@ -59,12 +57,15 @@ impl SyntheticExperiment {
 
 /// Evaluations of one method across environments, accumulated over
 /// replications: `per_env[env_index][replication]`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct MethodEnvResults {
     /// Method label.
     pub method: String,
     /// One vector of per-replication evaluations per test environment.
     pub per_env: Vec<Vec<Evaluation>>,
+    /// Human-readable descriptions of failed replications (the sweep skips
+    /// them instead of aborting).
+    pub failures: Vec<String>,
 }
 
 impl MethodEnvResults {
@@ -79,7 +80,9 @@ impl MethodEnvResults {
 /// For every replication a fresh causal mechanism is drawn (process seed =
 /// replication index), one training/validation pair is generated at
 /// `train_rho`, every method is fitted once, and each fitted model is
-/// evaluated on every test environment.
+/// evaluated on every test environment. A failed fit is reported through
+/// `progress` and recorded in [`MethodEnvResults::failures`] instead of
+/// aborting the whole sweep.
 pub fn run_synthetic_sweep(
     exp: &SyntheticExperiment,
     methods: &[MethodSpec],
@@ -92,6 +95,7 @@ pub fn run_synthetic_sweep(
         .map(|m| MethodEnvResults {
             method: m.name(),
             per_env: vec![Vec::with_capacity(reps); exp.test_rhos.len()],
+            failures: Vec::new(),
         })
         .collect();
 
@@ -109,7 +113,16 @@ pub fn run_synthetic_sweep(
         for (mi, spec) in methods.iter().enumerate() {
             let train_cfg =
                 exp.scale.train_config(exp.preset.lr, exp.preset.l2, (rep * 97 + mi) as u64);
-            let mut fitted = fit_method(*spec, &exp.preset, &train_data, &val_data, &train_cfg);
+            let fitted = match fit_method(*spec, &exp.preset, &train_data, &val_data, &train_cfg) {
+                Ok(fitted) => fitted,
+                Err(e) => {
+                    let msg =
+                        format!("rep {}/{} method {} FAILED: {e}", rep + 1, reps, spec.name());
+                    progress(&msg);
+                    results[mi].failures.push(msg);
+                    continue;
+                }
+            };
             for (env_idx, test) in test_envs.iter().enumerate() {
                 let eval = fitted.evaluate(test).expect("synthetic data carries the oracle");
                 results[mi].per_env[env_idx].push(eval);
@@ -126,6 +139,29 @@ pub fn run_synthetic_sweep(
         }
     }
     results
+}
+
+/// Records one skipped fit: logs it to stderr under the runner's tag and
+/// appends it to the runner's failure list (later rendered by
+/// [`render_failures`]). The single code path for skip-and-report handling
+/// in the eprintln-driven runners.
+pub fn record_failure(tag: &str, message: String, failures: &mut Vec<String>) {
+    eprintln!("[{tag}] {message}");
+    failures.push(message);
+}
+
+/// Renders failed-replication messages as a report block (empty string when
+/// every fit succeeded). The single formatting point for every runner's
+/// skipped-replication output.
+pub fn render_failures<'a>(failures: impl IntoIterator<Item = &'a String>) -> String {
+    let mut out = String::new();
+    for failure in failures {
+        out.push_str(&format!("SKIPPED {failure}\n"));
+    }
+    if !out.is_empty() {
+        out.insert_str(0, "\nFailed replications (skipped):\n");
+    }
+    out
 }
 
 #[cfg(test)]
@@ -171,5 +207,30 @@ mod tests {
         }
         let pehes = results[0].metric(0, |e| e.pehe);
         assert_eq!(pehes.len(), 1);
+    }
+
+    #[test]
+    fn sweep_reports_failures_instead_of_aborting() {
+        let mut exp = tiny_exp();
+        exp.preset.lr = f64::NAN; // invalid config: every fit fails fast
+        let methods =
+            vec![MethodSpec { backbone: BackboneKind::Tarnet, framework: Framework::Vanilla }];
+        let mut messages = Vec::new();
+        let results = run_synthetic_sweep(&exp, &methods, |m| messages.push(m.to_string()));
+        assert_eq!(results[0].failures.len(), 1);
+        assert!(results[0].per_env.iter().all(Vec::is_empty));
+        assert!(messages.iter().any(|m| m.contains("FAILED")));
+    }
+
+    #[test]
+    fn fit_method_surfaces_typed_errors() {
+        let exp = tiny_exp();
+        let process = SyntheticProcess::new(exp.data_cfg, 1);
+        let train_data = process.generate(2.5, 120, 0);
+        let val_data = process.generate(2.5, 60, 1);
+        let spec = MethodSpec { backbone: BackboneKind::Cfr, framework: Framework::Vanilla };
+        let bad = TrainConfig { iterations: 0, ..TrainConfig::smoke() };
+        let err = fit_method(spec, &exp.preset, &train_data, &val_data, &bad).unwrap_err();
+        assert!(matches!(err, SbrlError::InvalidConfig { what: "train.iterations", .. }));
     }
 }

@@ -1,7 +1,34 @@
 //! Experiment scales: the paper's full settings versus CPU-friendly
 //! variants for quick runs and Criterion benches.
 
+use std::fmt;
+use std::str::FromStr;
+
 use sbrl_core::TrainConfig;
+
+/// Typed error for an unrecognised `--scale` value, listing the valid
+/// scales so experiment binaries can fail with an actionable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseScaleError {
+    /// The rejected value, or `None` when `--scale` had no value at all.
+    pub input: Option<String>,
+}
+
+impl fmt::Display for ParseScaleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.input {
+            Some(input) => {
+                write!(
+                    f,
+                    "unrecognised --scale value '{input}' (valid scales: bench, quick, paper)"
+                )
+            }
+            None => write!(f, "--scale needs a value (valid scales: bench, quick, paper)"),
+        }
+    }
+}
+
+impl std::error::Error for ParseScaleError {}
 
 /// How big an experiment run should be.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -16,25 +43,47 @@ pub enum Scale {
     Paper,
 }
 
+impl FromStr for Scale {
+    type Err = ParseScaleError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "bench" => Ok(Scale::Bench),
+            "quick" => Ok(Scale::Quick),
+            "paper" => Ok(Scale::Paper),
+            other => Err(ParseScaleError { input: Some(other.to_string()) }),
+        }
+    }
+}
+
 impl Scale {
-    /// Parses `--scale bench|quick|paper` from process args (default Quick).
-    pub fn from_args() -> Self {
+    /// Parses `--scale bench|quick|paper` from process args (default Quick);
+    /// an unrecognised value is a typed error, not a silent fallback.
+    pub fn from_args() -> Result<Self, ParseScaleError> {
         let args: Vec<String> = std::env::args().collect();
         Self::from_arg_list(&args)
     }
 
     /// Parses from an explicit argument list (testable).
-    pub fn from_arg_list(args: &[String]) -> Self {
+    pub fn from_arg_list(args: &[String]) -> Result<Self, ParseScaleError> {
         for pair in args.windows(2) {
             if pair[0] == "--scale" {
-                return match pair[1].as_str() {
-                    "bench" => Scale::Bench,
-                    "paper" => Scale::Paper,
-                    _ => Scale::Quick,
-                };
+                return pair[1].parse();
             }
         }
-        Scale::Quick
+        if args.last().map(String::as_str) == Some("--scale") {
+            return Err(ParseScaleError { input: None });
+        }
+        Ok(Scale::Quick)
+    }
+
+    /// CLI entry-point helper: parse `--scale`, or print the error (with the
+    /// valid scales) to stderr and exit non-zero.
+    pub fn from_args_or_exit() -> Self {
+        Self::from_args().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// `(n_train, n_val, n_test)` for synthetic environments.
@@ -117,11 +166,21 @@ mod tests {
 
     #[test]
     fn parses_scale_flag() {
-        assert_eq!(Scale::from_arg_list(&args(&["bin", "--scale", "bench"])), Scale::Bench);
-        assert_eq!(Scale::from_arg_list(&args(&["bin", "--scale", "paper"])), Scale::Paper);
-        assert_eq!(Scale::from_arg_list(&args(&["bin", "--scale", "quick"])), Scale::Quick);
-        assert_eq!(Scale::from_arg_list(&args(&["bin"])), Scale::Quick);
-        assert_eq!(Scale::from_arg_list(&args(&["bin", "--scale"])), Scale::Quick);
+        assert_eq!(Scale::from_arg_list(&args(&["bin", "--scale", "bench"])), Ok(Scale::Bench));
+        assert_eq!(Scale::from_arg_list(&args(&["bin", "--scale", "paper"])), Ok(Scale::Paper));
+        assert_eq!(Scale::from_arg_list(&args(&["bin", "--scale", "quick"])), Ok(Scale::Quick));
+        assert_eq!(Scale::from_arg_list(&args(&["bin"])), Ok(Scale::Quick));
+    }
+
+    #[test]
+    fn bad_scale_values_are_typed_errors_listing_valid_scales() {
+        let err = Scale::from_arg_list(&args(&["bin", "--scale", "huge"])).unwrap_err();
+        assert_eq!(err.input.as_deref(), Some("huge"));
+        let msg = err.to_string();
+        assert!(msg.contains("bench") && msg.contains("quick") && msg.contains("paper"));
+        // A trailing `--scale` with no value is also an error, not a default.
+        let err = Scale::from_arg_list(&args(&["bin", "--scale"])).unwrap_err();
+        assert_eq!(err.input, None);
     }
 
     #[test]

@@ -3,9 +3,8 @@
 //! PEHE on the ID environment (`ρ = 2.5`) and the far OOD environment
 //! (`ρ = −3`), with the CFR backbone.
 
-use sbrl_core::SbrlConfig;
+use sbrl_core::{Estimator, SbrlConfig};
 use sbrl_data::{SyntheticConfig, SyntheticProcess};
-use sbrl_tensor::rng::rng_from_seed;
 
 use crate::methods::{BackboneKind, ExperimentPreset};
 use crate::presets::{bench_variant, paper_syn_16_16_16_2, quick_variant};
@@ -70,6 +69,7 @@ pub fn run(scale: Scale) -> String {
 
     let mut per_row: Vec<(String, Vec<f64>, Vec<f64>)> =
         AblationRow::ALL.iter().map(|r| (r.label(), Vec::new(), Vec::new())).collect();
+    let mut failures: Vec<String> = Vec::new();
 
     for rep in 0..reps {
         let process = SyntheticProcess::new(SyntheticConfig::syn_16_16_16_2(), 2000 + rep as u64);
@@ -79,12 +79,21 @@ pub fn run(scale: Scale) -> String {
         let test_ood = process.generate(-3.0, n_test, 20 * rep as u64 + 3);
 
         for (k, row) in AblationRow::ALL.iter().enumerate() {
-            let mut rng = rng_from_seed((rep * 31 + k) as u64);
-            let model = preset.build(BackboneKind::Cfr, train_data.dim(), &mut rng);
             let cfg = row.config(&preset);
             let train_cfg = scale.train_config(preset.lr, preset.l2, (rep * 31 + k) as u64);
-            let mut fitted = sbrl_core::train(model, &train_data, &val_data, &cfg, &train_cfg)
-                .expect("ablation training");
+            let fitted = Estimator::builder()
+                .backbone(preset.backbone_config(BackboneKind::Cfr, train_data.dim()))
+                .sbrl(cfg)
+                .train(train_cfg)
+                .fit(&train_data, &val_data);
+            let fitted = match fitted {
+                Ok(fitted) => fitted,
+                Err(e) => {
+                    let msg = format!("rep {} row {} FAILED: {e}", rep + 1, per_row[k].0);
+                    crate::runner::record_failure("table2", msg, &mut failures);
+                    continue;
+                }
+            };
             per_row[k].1.push(fitted.evaluate(&test_id).expect("oracle").pehe);
             per_row[k].2.push(fitted.evaluate(&test_ood).expect("oracle").pehe);
             eprintln!("[table2] rep {} row {} done", rep + 1, per_row[k].0);
@@ -96,12 +105,13 @@ pub fn run(scale: Scale) -> String {
         .iter()
         .map(|(label, id, ood)| vec![label.clone(), fmt_mean_std(id), fmt_mean_std(ood)])
         .collect();
-    let out = render_table(
+    let mut out = render_table(
         &format!("Table II — sub-module ablation (CFR backbone), scale {}", scale.name()),
         &header,
         &rows,
     );
     write_tsv(results_dir().join("table2_ablation.tsv"), &header, &rows).ok();
+    out.push_str(&crate::runner::render_failures(&failures));
     out
 }
 

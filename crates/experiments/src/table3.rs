@@ -9,7 +9,7 @@ use sbrl_metrics::Evaluation;
 use crate::methods::MethodSpec;
 use crate::presets::{bench_variant, paper_ihdp, paper_twins, quick_variant};
 use crate::report::{fmt_mean_std, render_table, results_dir, write_tsv};
-use crate::runner::fit_method;
+use crate::runner::{fit_method, render_failures};
 use crate::scale::Scale;
 
 /// Per-method, per-fold evaluations across replications.
@@ -22,6 +22,8 @@ pub struct RealWorldResults {
     pub val: Vec<Evaluation>,
     /// Evaluations on the (distribution-shifted) test fold.
     pub test: Vec<Evaluation>,
+    /// Failed replications, skipped rather than fatal.
+    pub failures: Vec<String>,
 }
 
 fn run_splits(
@@ -38,12 +40,29 @@ fn run_splits(
             train: Vec::new(),
             val: Vec::new(),
             test: Vec::new(),
+            failures: Vec::new(),
         })
         .collect();
     for (rep, split) in splits.iter().enumerate() {
         for (mi, spec) in methods.iter().enumerate() {
             let train_cfg = scale.train_config(preset.lr, preset.l2, (rep * 131 + mi) as u64);
-            let mut fitted = fit_method(*spec, preset, &split.train, &split.val, &train_cfg);
+            let fitted = match fit_method(*spec, preset, &split.train, &split.val, &train_cfg) {
+                Ok(fitted) => fitted,
+                Err(e) => {
+                    let msg = format!(
+                        "rep {}/{} method {} FAILED: {e}",
+                        rep + 1,
+                        splits.len(),
+                        spec.name()
+                    );
+                    crate::runner::record_failure(
+                        &format!("table3:{name}"),
+                        msg,
+                        &mut results[mi].failures,
+                    );
+                    continue;
+                }
+            };
             results[mi].train.push(fitted.evaluate(&split.train).expect("oracle"));
             results[mi].val.push(fitted.evaluate(&split.val).expect("oracle"));
             results[mi].test.push(fitted.evaluate(&split.test).expect("oracle"));
@@ -101,8 +120,10 @@ pub fn run_twins(scale: Scale, methods: &[MethodSpec]) -> String {
     let splits: Vec<DataSplit> = (0..rounds).map(|r| sim.partition(r as u64)).collect();
     let results = run_splits("twins", &splits, &preset, scale, methods);
     let (header, rows) = blocks(&results);
-    let out = render_table(&format!("Table III (Twins) — scale {}", scale.name()), &header, &rows);
+    let mut out =
+        render_table(&format!("Table III (Twins) — scale {}", scale.name()), &header, &rows);
     write_tsv(results_dir().join("table3_twins.tsv"), &header, &rows).ok();
+    out.push_str(&render_failures(results.iter().flat_map(|r| &r.failures)));
     out
 }
 
@@ -118,8 +139,10 @@ pub fn run_ihdp(scale: Scale, methods: &[MethodSpec]) -> String {
     let splits: Vec<DataSplit> = (0..reps).map(|r| sim.replicate(r as u64)).collect();
     let results = run_splits("ihdp", &splits, &preset, scale, methods);
     let (header, rows) = blocks(&results);
-    let out = render_table(&format!("Table III (IHDP) — scale {}", scale.name()), &header, &rows);
+    let mut out =
+        render_table(&format!("Table III (IHDP) — scale {}", scale.name()), &header, &rows);
     write_tsv(results_dir().join("table3_ihdp.tsv"), &header, &rows).ok();
+    out.push_str(&render_failures(results.iter().flat_map(|r| &r.failures)));
     out
 }
 
@@ -143,6 +166,7 @@ mod tests {
             train: vec![eval],
             val: vec![eval],
             test: vec![eval],
+            failures: Vec::new(),
         }];
         let (header, rows) = blocks(&results);
         assert_eq!(header.len(), 7);

@@ -21,8 +21,10 @@ pub struct Timing {
     pub seconds: f64,
 }
 
-/// Measures a single training execution per method on one IHDP replication.
-pub fn analyse(scale: Scale) -> Vec<Timing> {
+/// Measures a single training execution per method on one IHDP replication;
+/// failed fits are skipped and described in the second element so the
+/// report can record them.
+pub fn analyse(scale: Scale) -> (Vec<Timing>, Vec<String>) {
     let preset = match scale {
         Scale::Paper => paper_ihdp(),
         Scale::Quick => quick_variant(paper_ihdp()),
@@ -30,21 +32,30 @@ pub fn analyse(scale: Scale) -> Vec<Timing> {
     };
     let sim = IhdpSimulator::new(IhdpConfig::default(), 3);
     let split = sim.replicate(0);
-    MethodSpec::grid()
+    let mut failures = Vec::new();
+    let timings = MethodSpec::grid()
         .into_iter()
-        .map(|spec| {
+        .filter_map(|spec| {
             let train_cfg = scale.train_config(preset.lr, preset.l2, 1);
-            let fitted = fit_method(spec, &preset, &split.train, &split.val, &train_cfg);
+            let fitted = match fit_method(spec, &preset, &split.train, &split.val, &train_cfg) {
+                Ok(fitted) => fitted,
+                Err(e) => {
+                    let msg = format!("method {} FAILED: {e}", spec.name());
+                    crate::runner::record_failure("table6", msg, &mut failures);
+                    return None;
+                }
+            };
             let seconds = fitted.report().train_seconds;
             eprintln!("[table6] {} trained in {seconds:.2}s", spec.name());
-            Timing { method: spec.name(), seconds }
+            Some(Timing { method: spec.name(), seconds })
         })
-        .collect()
+        .collect();
+    (timings, failures)
 }
 
 /// Runs Table VI and renders the report, including per-backbone ratios.
 pub fn run(scale: Scale) -> String {
-    let timings = analyse(scale);
+    let (timings, failures) = analyse(scale);
     let base_of = |name: &str| {
         timings.iter().find(|t| t.method == name).map(|t| t.seconds).unwrap_or(f64::NAN)
     };
@@ -58,12 +69,13 @@ pub fn run(scale: Scale) -> String {
             vec![t.method.clone(), format!("{:.2}", t.seconds), format!("{ratio:.2}x")]
         })
         .collect();
-    let out = render_table(
+    let mut out = render_table(
         &format!("Table VI — training time per execution on IHDP, scale {}", scale.name()),
         &header,
         &rows,
     );
     write_tsv(results_dir().join("table6_time.tsv"), &header, &rows).ok();
+    out.push_str(&crate::runner::render_failures(&failures));
     out
 }
 
@@ -74,8 +86,9 @@ mod tests {
     #[test]
     #[ignore = "trains nine models; run with --ignored"]
     fn bench_scale_cost_ordering() {
-        let t = analyse(Scale::Bench);
+        let (t, failures) = analyse(Scale::Bench);
         assert_eq!(t.len(), 9);
+        assert!(failures.is_empty());
         let sec = |name: &str| t.iter().find(|x| x.method == name).unwrap().seconds;
         // The weight phase must make +SBRL strictly more expensive than
         // vanilla, and HAP more expensive than SBRL.

@@ -74,18 +74,39 @@ pub struct ForwardPass {
 }
 
 /// A wrappable balanced-representation backbone.
-pub trait Backbone {
+///
+/// The trait separates the two forward paths by mutability:
+///
+/// * [`Backbone::forward`] is the **inference** path. It takes `&self`, never
+///   touches training-only state (batch-norm running statistics), and never
+///   emits regularisation terms, so a fitted model is an immutable artifact
+///   that can fan out across threads (the trait requires `Send + Sync`).
+/// * The **training** path lives behind the explicit [`TrainStep`] handle
+///   obtained from [`Backbone::train_step`]; it may update training-only
+///   state and attaches the backbone's own regularisation losses.
+pub trait Backbone: Send + Sync {
     /// Human-readable name used in result tables ("TARNet", "CFR", ...).
     fn name(&self) -> String;
 
-    /// Forward pass over a batch of covariates `x` (graph node, `n x d`).
+    /// Inference-mode forward pass over a batch of covariates `x` (graph
+    /// node, `n x d`). `reg_loss` is always the zero scalar.
     fn forward(
+        &self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        x: TensorId,
+        ctx: &BatchContext,
+    ) -> ForwardPass;
+
+    /// Training-mode forward pass. Implementors put batch-statistic updates
+    /// and regularisation terms here; callers should reach it through
+    /// [`Backbone::train_step`] so the mutable path stays explicit.
+    fn forward_train(
         &mut self,
         g: &mut Graph,
         binding: &mut Binding,
         x: TensorId,
         ctx: &BatchContext,
-        training: bool,
     ) -> ForwardPass;
 
     /// The parameter store holding all trainable parameters.
@@ -96,6 +117,39 @@ pub trait Backbone {
 
     /// Weight (not bias) handles for L2 regularisation.
     fn l2_handles(&self) -> Vec<ParamHandle>;
+
+    /// The explicit handle to the mutable training-mode forward path.
+    fn train_step(&mut self) -> TrainStep<'_, Self>
+    where
+        Self: Sized,
+    {
+        TrainStep { model: self }
+    }
+}
+
+/// Explicit train-step handle: the only sanctioned route to the
+/// training-mode forward pass, which may mutate training-only state such as
+/// batch-norm running statistics (Algorithm 1's per-iteration phases).
+pub struct TrainStep<'a, B: Backbone + ?Sized> {
+    model: &'a mut B,
+}
+
+impl<B: Backbone + ?Sized> TrainStep<'_, B> {
+    /// Training-mode forward pass through the wrapped backbone.
+    pub fn forward(
+        &mut self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        x: TensorId,
+        ctx: &BatchContext,
+    ) -> ForwardPass {
+        self.model.forward_train(g, binding, x, ctx)
+    }
+
+    /// Shared view of the wrapped backbone.
+    pub fn model(&self) -> &B {
+        self.model
+    }
 }
 
 impl Backbone for Box<dyn Backbone> {
@@ -104,14 +158,23 @@ impl Backbone for Box<dyn Backbone> {
     }
 
     fn forward(
+        &self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        x: TensorId,
+        ctx: &BatchContext,
+    ) -> ForwardPass {
+        self.as_ref().forward(g, binding, x, ctx)
+    }
+
+    fn forward_train(
         &mut self,
         g: &mut Graph,
         binding: &mut Binding,
         x: TensorId,
         ctx: &BatchContext,
-        training: bool,
     ) -> ForwardPass {
-        self.as_mut().forward(g, binding, x, ctx, training)
+        self.as_mut().forward_train(g, binding, x, ctx)
     }
 
     fn store(&self) -> &ParamStore {
@@ -144,18 +207,19 @@ pub fn select_by_treatment(
 }
 
 /// Runs a backbone in inference mode over a full covariate matrix and maps
-/// raw head outputs to outcome space (sigmoid for binary outcomes).
+/// raw head outputs to outcome space (sigmoid for binary outcomes). Takes
+/// `&dyn Backbone`, so callers can share one fitted backbone across threads.
 pub fn predict_potential_outcomes(
-    model: &mut dyn Backbone,
+    model: &dyn Backbone,
     x: &Matrix,
     t: &[f64],
     loss_kind: OutcomeLoss,
 ) -> (Vec<f64>, Vec<f64>) {
     let mut g = Graph::new();
-    let mut binding = Binding::new(model.store());
+    let mut binding = Binding::new_frozen(model.store());
     let xc = g.constant(x.clone());
     let ctx = BatchContext::new(t);
-    let pass = model.forward(&mut g, &mut binding, xc, &ctx, false);
+    let pass = model.forward(&mut g, &mut binding, xc, &ctx);
     let y0 = loss_kind.predict(&mut g, pass.y0_raw);
     let y1 = loss_kind.predict(&mut g, pass.y1_raw);
     (g.value(y0).as_slice().to_vec(), g.value(y1).as_slice().to_vec())

@@ -58,15 +58,24 @@ impl Backbone for Cfr {
     }
 
     fn forward(
+        &self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        x: TensorId,
+        ctx: &BatchContext,
+    ) -> ForwardPass {
+        self.tarnet.forward_with_rep(g, binding, x, ctx).0
+    }
+
+    fn forward_train(
         &mut self,
         g: &mut Graph,
         binding: &mut Binding,
         x: TensorId,
         ctx: &BatchContext,
-        training: bool,
     ) -> ForwardPass {
-        let (mut pass, phi) = self.tarnet.forward_with_rep(g, binding, x, ctx, training);
-        if training && self.alpha > 0.0 {
+        let (mut pass, phi) = self.tarnet.forward_with_rep_train(g, binding, x, ctx);
+        if self.alpha > 0.0 {
             let ipm = ipm_graph(g, self.ipm, phi, &ctx.treated_idx, &ctx.control_idx);
             let scaled = g.scale(ipm, self.alpha);
             pass.reg_loss = g.add(pass.reg_loss, scaled);
@@ -103,19 +112,19 @@ mod tests {
         let xc = randn(&mut rng, 5, 4);
         let x = g.constant(xt.vstack(&xc));
         let ctx = BatchContext::new(&[1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
-        let pass = model.forward(&mut g, &mut binding, x, &ctx, true);
+        let pass = model.train_step().forward(&mut g, &mut binding, x, &ctx);
         assert!(g.scalar(pass.reg_loss) > 0.0, "IPM penalty should fire");
     }
 
     #[test]
     fn reg_loss_absent_in_eval_mode_and_at_zero_alpha() {
         let mut rng = rng_from_seed(1);
-        let mut model = Cfr::new(CfrConfig::small(4), &mut rng);
+        let model = Cfr::new(CfrConfig::small(4), &mut rng);
         let mut g = Graph::new();
         let mut binding = Binding::new(model.store());
         let x = g.constant(randn(&mut rng, 6, 4));
         let ctx = BatchContext::new(&[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
-        let pass = model.forward(&mut g, &mut binding, x, &ctx, false);
+        let pass = model.forward(&mut g, &mut binding, x, &ctx);
         assert_eq!(g.scalar(pass.reg_loss), 0.0);
 
         let cfg = CfrConfig { alpha: 0.0, ..CfrConfig::small(4) };
@@ -123,7 +132,7 @@ mod tests {
         let mut g2 = Graph::new();
         let mut b2 = Binding::new(model0.store());
         let x2 = g2.constant(randn(&mut rng, 6, 4));
-        let pass2 = model0.forward(&mut g2, &mut b2, x2, &ctx, true);
+        let pass2 = model0.train_step().forward(&mut g2, &mut b2, x2, &ctx);
         assert_eq!(g2.scalar(pass2.reg_loss), 0.0);
     }
 
@@ -137,7 +146,7 @@ mod tests {
         let xc = randn(&mut rng, 4, 3);
         let x = g.constant(xt.vstack(&xc));
         let ctx = BatchContext::new(&[1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
-        let pass = model.forward(&mut g, &mut binding, x, &ctx, true);
+        let pass = model.train_step().forward(&mut g, &mut binding, x, &ctx);
         g.backward(pass.reg_loss);
         // At least the representation weights must receive nonzero gradient.
         let any_nonzero =
@@ -157,28 +166,28 @@ mod tests {
         let t: Vec<f64> = (0..32).map(|i| f64::from(i < 16)).collect();
         let ctx = BatchContext::new(&t);
 
-        let measure = |model: &mut Cfr| {
+        let measure = |model: &Cfr| {
             let mut g = Graph::new();
             let mut binding = Binding::new(model.store());
             let x = g.constant(x_all.clone());
-            let pass = model.forward(&mut g, &mut binding, x, &ctx, false);
+            let pass = model.forward(&mut g, &mut binding, x, &ctx);
             let phi = g.value(pass.taps.z_r).clone();
             let pt = phi.select_rows(&ctx.treated_idx);
             let pc = phi.select_rows(&ctx.control_idx);
             ipm_plain(IpmKind::MmdLin, &pt, &pc)
         };
 
-        let before = measure(&mut model);
+        let before = measure(&model);
         let mut opt = Adam::new(model.store(), 1e-2);
         for _ in 0..60 {
             let mut g = Graph::new();
             let mut binding = Binding::new(model.store());
             let x = g.constant(x_all.clone());
-            let pass = model.forward(&mut g, &mut binding, x, &ctx, true);
+            let pass = model.train_step().forward(&mut g, &mut binding, x, &ctx);
             g.backward(pass.reg_loss);
             opt.step(model.store_mut(), &g, &binding);
         }
-        let after = measure(&mut model);
+        let after = measure(&model);
         assert!(after < before * 0.5, "IPM training should balance: {before} -> {after}");
     }
 }

@@ -158,23 +158,17 @@ impl DerCfr {
     }
 }
 
-impl Backbone for DerCfr {
-    fn name(&self) -> String {
-        "DeRCFR".to_string()
-    }
-
-    fn forward(
-        &mut self,
+impl DerCfr {
+    /// Mode-independent network body after the (optional) input batch norm;
+    /// `with_reg` attaches the decomposition losses (training only).
+    fn body(
+        &self,
         g: &mut Graph,
         binding: &mut Binding,
         x: TensorId,
         ctx: &BatchContext,
-        training: bool,
+        with_reg: bool,
     ) -> ForwardPass {
-        let x = match &mut self.input_bn {
-            Some(bn) => bn.forward(&self.store, binding, g, x, training),
-            None => x,
-        };
         let out_i = self.rep_i.forward(&self.store, binding, g, x);
         let out_c = self.rep_c.forward(&self.store, binding, g, x);
         let out_a = self.rep_a.forward(&self.store, binding, g, x);
@@ -188,7 +182,7 @@ impl Backbone for DerCfr {
 
         // Decomposition losses (training only).
         let mut reg = g.scalar_const(0.0);
-        if training {
+        if with_reg {
             let c = self.cfg;
             if c.alpha > 0.0 {
                 let bal_a = ipm_graph(g, c.ipm, rep_a, &ctx.treated_idx, &ctx.control_idx);
@@ -239,6 +233,40 @@ impl Backbone for DerCfr {
             reg_loss: reg,
         }
     }
+}
+
+impl Backbone for DerCfr {
+    fn name(&self) -> String {
+        "DeRCFR".to_string()
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        x: TensorId,
+        ctx: &BatchContext,
+    ) -> ForwardPass {
+        let x = match &self.input_bn {
+            Some(bn) => bn.forward_infer(&self.store, binding, g, x),
+            None => x,
+        };
+        self.body(g, binding, x, ctx, false)
+    }
+
+    fn forward_train(
+        &mut self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        x: TensorId,
+        ctx: &BatchContext,
+    ) -> ForwardPass {
+        let x = match &mut self.input_bn {
+            Some(bn) => bn.forward_train(&self.store, binding, g, x),
+            None => x,
+        };
+        self.body(g, binding, x, ctx, true)
+    }
 
     fn store(&self) -> &ParamStore {
         &self.store
@@ -275,7 +303,7 @@ mod tests {
         let mut binding = Binding::new(model.store());
         let x = g.constant(randn(&mut rng, 8, 6));
         let ctx = BatchContext::new(&[1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
-        let pass = model.forward(&mut g, &mut binding, x, &ctx, true);
+        let pass = model.train_step().forward(&mut g, &mut binding, x, &ctx);
         assert_eq!(g.value(pass.y0_raw).shape(), (8, 1));
         assert_eq!(g.value(pass.taps.z_r).shape(), (8, 32));
         assert_eq!(g.value(pass.taps.z_p).shape(), (8, 16));
@@ -287,12 +315,12 @@ mod tests {
     #[test]
     fn eval_mode_has_no_reg_loss() {
         let mut rng = rng_from_seed(1);
-        let mut model = DerCfr::new(DerCfrConfig::small(4), &mut rng);
+        let model = DerCfr::new(DerCfrConfig::small(4), &mut rng);
         let mut g = Graph::new();
         let mut binding = Binding::new(model.store());
         let x = g.constant(randn(&mut rng, 6, 4));
         let ctx = BatchContext::new(&[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
-        let pass = model.forward(&mut g, &mut binding, x, &ctx, false);
+        let pass = model.forward(&mut g, &mut binding, x, &ctx);
         assert_eq!(g.scalar(pass.reg_loss), 0.0);
     }
 
@@ -311,7 +339,7 @@ mod tests {
             let mut g = Graph::new();
             let mut binding = Binding::new(model.store());
             let xc = g.constant(x.clone());
-            let pass = model.forward(&mut g, &mut binding, xc, &ctx, true);
+            let pass = model.train_step().forward(&mut g, &mut binding, xc, &ctx);
             g.scalar(pass.reg_loss)
         };
         let before = reg_at(&mut model); // pure β·BCE at this config
@@ -320,7 +348,7 @@ mod tests {
             let mut g = Graph::new();
             let mut binding = Binding::new(model.store());
             let xc = g.constant(x.clone());
-            let pass = model.forward(&mut g, &mut binding, xc, &ctx, true);
+            let pass = model.train_step().forward(&mut g, &mut binding, xc, &ctx);
             g.backward(pass.reg_loss);
             opt.step(model.store_mut(), &g, &binding);
         }
@@ -341,7 +369,7 @@ mod tests {
             let mut g = Graph::new();
             let mut binding = Binding::new(model.store());
             let xc = g.constant(x.clone());
-            let pass = model.forward(&mut g, &mut binding, xc, &ctx, true);
+            let pass = model.train_step().forward(&mut g, &mut binding, xc, &ctx);
             g.scalar(pass.reg_loss)
         };
         let before = reg_at(&mut model);
@@ -350,7 +378,7 @@ mod tests {
             let mut g = Graph::new();
             let mut binding = Binding::new(model.store());
             let xc = g.constant(x.clone());
-            let pass = model.forward(&mut g, &mut binding, xc, &ctx, true);
+            let pass = model.train_step().forward(&mut g, &mut binding, xc, &ctx);
             g.backward(pass.reg_loss);
             opt.step(model.store_mut(), &g, &binding);
         }

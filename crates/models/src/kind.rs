@@ -1,0 +1,193 @@
+//! Name-addressable backbone selection: [`BackboneKind`] enumerates the
+//! grid's architectures with `FromStr`/`Display` round-trips, and
+//! [`BackboneConfig`] is the configuration sum type the estimator builder
+//! consumes to construct a backbone at fit time.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::rngs::StdRng;
+
+use crate::backbone::Backbone;
+use crate::cfr::{Cfr, CfrConfig};
+use crate::dercfr::{DerCfr, DerCfrConfig};
+use crate::tarnet::{Tarnet, TarnetConfig};
+
+/// Which backbone architecture a method uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackboneKind {
+    /// TARNet (no balancing penalty).
+    Tarnet,
+    /// CFR (TARNet + `α·IPM`).
+    Cfr,
+    /// DeR-CFR (decomposed representations).
+    DerCfr,
+}
+
+impl BackboneKind {
+    /// All backbones, in the paper's table order.
+    pub const ALL: [BackboneKind; 3] =
+        [BackboneKind::Tarnet, BackboneKind::Cfr, BackboneKind::DerCfr];
+
+    /// Table label.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackboneKind::Tarnet => "TARNet",
+            BackboneKind::Cfr => "CFR",
+            BackboneKind::DerCfr => "DeRCFR",
+        }
+    }
+
+    /// The kind's `small()` configuration for `in_dim` covariates — the
+    /// default architecture used when only a name selects the backbone.
+    pub fn small_config(self, in_dim: usize) -> BackboneConfig {
+        match self {
+            BackboneKind::Tarnet => BackboneConfig::Tarnet(TarnetConfig::small(in_dim)),
+            BackboneKind::Cfr => BackboneConfig::Cfr(CfrConfig::small(in_dim)),
+            BackboneKind::DerCfr => BackboneConfig::DerCfr(DerCfrConfig::small(in_dim)),
+        }
+    }
+}
+
+impl fmt::Display for BackboneKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Typed error for a backbone name that failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBackboneError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseBackboneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown backbone '{}' (expected one of: TARNet, CFR, DeRCFR)", self.input)
+    }
+}
+
+impl std::error::Error for ParseBackboneError {}
+
+impl FromStr for BackboneKind {
+    type Err = ParseBackboneError;
+
+    /// Case-insensitive, separator-insensitive parse: `"TARNet"`, `"cfr"`,
+    /// `"DeR-CFR"` and `"dercfr"` all resolve.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm: String =
+            s.chars().filter(|c| *c != '-' && *c != '_').collect::<String>().to_ascii_lowercase();
+        match norm.as_str() {
+            "tarnet" => Ok(BackboneKind::Tarnet),
+            "cfr" => Ok(BackboneKind::Cfr),
+            "dercfr" => Ok(BackboneKind::DerCfr),
+            _ => Err(ParseBackboneError { input: s.to_string() }),
+        }
+    }
+}
+
+/// A fully specified backbone configuration: everything the estimator
+/// builder needs to construct the model at fit time (with a seeded RNG).
+#[derive(Clone, Copy, Debug)]
+pub enum BackboneConfig {
+    /// TARNet architecture.
+    Tarnet(TarnetConfig),
+    /// CFR architecture plus IPM penalty.
+    Cfr(CfrConfig),
+    /// DeR-CFR architecture plus decomposition weights.
+    DerCfr(DerCfrConfig),
+}
+
+impl BackboneConfig {
+    /// Which backbone kind this configuration builds.
+    pub fn kind(&self) -> BackboneKind {
+        match self {
+            BackboneConfig::Tarnet(_) => BackboneKind::Tarnet,
+            BackboneConfig::Cfr(_) => BackboneKind::Cfr,
+            BackboneConfig::DerCfr(_) => BackboneKind::DerCfr,
+        }
+    }
+
+    /// Covariate dimension the built model will expect.
+    pub fn in_dim(&self) -> usize {
+        match self {
+            BackboneConfig::Tarnet(c) => c.in_dim,
+            BackboneConfig::Cfr(c) => c.arch.in_dim,
+            BackboneConfig::DerCfr(c) => c.arch.in_dim,
+        }
+    }
+
+    /// Constructs the backbone with the given RNG.
+    pub fn build(&self, rng: &mut StdRng) -> Box<dyn Backbone> {
+        match self {
+            BackboneConfig::Tarnet(c) => Box::new(Tarnet::new(*c, rng)),
+            BackboneConfig::Cfr(c) => Box::new(Cfr::new(*c, rng)),
+            BackboneConfig::DerCfr(c) => Box::new(DerCfr::new(*c, rng)),
+        }
+    }
+}
+
+impl From<TarnetConfig> for BackboneConfig {
+    fn from(c: TarnetConfig) -> Self {
+        BackboneConfig::Tarnet(c)
+    }
+}
+
+impl From<CfrConfig> for BackboneConfig {
+    fn from(c: CfrConfig) -> Self {
+        BackboneConfig::Cfr(c)
+    }
+}
+
+impl From<DerCfrConfig> for BackboneConfig {
+    fn from(c: DerCfrConfig) -> Self {
+        BackboneConfig::DerCfr(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbrl_tensor::rng::rng_from_seed;
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for kind in BackboneKind::ALL {
+            assert_eq!(kind.name().parse::<BackboneKind>(), Ok(kind));
+            assert_eq!(kind.to_string().parse::<BackboneKind>(), Ok(kind));
+        }
+        assert_eq!("DeR-CFR".parse::<BackboneKind>(), Ok(BackboneKind::DerCfr));
+        assert_eq!("tarnet".parse::<BackboneKind>(), Ok(BackboneKind::Tarnet));
+    }
+
+    #[test]
+    fn junk_names_yield_typed_errors() {
+        let err = "GRU".parse::<BackboneKind>().unwrap_err();
+        assert_eq!(err.input, "GRU");
+        assert!(err.to_string().contains("unknown backbone"));
+    }
+
+    #[test]
+    fn configs_build_matching_backbones() {
+        let mut rng = rng_from_seed(0);
+        for kind in BackboneKind::ALL {
+            let cfg = kind.small_config(7);
+            assert_eq!(cfg.kind(), kind);
+            assert_eq!(cfg.in_dim(), 7);
+            let model = cfg.build(&mut rng);
+            assert_eq!(model.name(), kind.name());
+            assert!(!model.store().is_empty());
+        }
+    }
+
+    #[test]
+    fn concrete_configs_convert_into_the_sum_type() {
+        let cfg: BackboneConfig = CfrConfig::small(4).into();
+        assert_eq!(cfg.kind(), BackboneKind::Cfr);
+        let cfg: BackboneConfig = TarnetConfig::small(3).into();
+        assert_eq!(cfg.in_dim(), 3);
+        let cfg: BackboneConfig = DerCfrConfig::small(5).into();
+        assert_eq!(cfg.kind(), BackboneKind::DerCfr);
+    }
+}

@@ -16,11 +16,14 @@
 pub mod backbone;
 pub mod cfr;
 pub mod dercfr;
+pub mod kind;
 pub mod tarnet;
 
 pub use backbone::{
-    predict_potential_outcomes, select_by_treatment, Backbone, BatchContext, ForwardPass, LayerTaps,
+    predict_potential_outcomes, select_by_treatment, Backbone, BatchContext, ForwardPass,
+    LayerTaps, TrainStep,
 };
 pub use cfr::{Cfr, CfrConfig};
 pub use dercfr::{DerCfr, DerCfrConfig};
+pub use kind::{BackboneConfig, BackboneKind, ParseBackboneError};
 pub use tarnet::{Tarnet, TarnetConfig};

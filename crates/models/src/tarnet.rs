@@ -111,20 +111,46 @@ impl Tarnet {
         &self.cfg
     }
 
-    /// Forward pass shared with CFR: returns the pass plus the
+    /// Inference-mode forward shared with CFR: returns the pass plus the
     /// representation node so CFR can attach its IPM penalty.
     pub(crate) fn forward_with_rep(
+        &self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        x: TensorId,
+        ctx: &BatchContext,
+    ) -> (ForwardPass, TensorId) {
+        let x = match &self.input_bn {
+            Some(bn) => bn.forward_infer(&self.store, binding, g, x),
+            None => x,
+        };
+        self.body(g, binding, x, ctx)
+    }
+
+    /// Training-mode forward shared with CFR (updates batch-norm running
+    /// statistics).
+    pub(crate) fn forward_with_rep_train(
         &mut self,
         g: &mut Graph,
         binding: &mut Binding,
         x: TensorId,
         ctx: &BatchContext,
-        training: bool,
     ) -> (ForwardPass, TensorId) {
         let x = match &mut self.input_bn {
-            Some(bn) => bn.forward(&self.store, binding, g, x, training),
+            Some(bn) => bn.forward_train(&self.store, binding, g, x),
             None => x,
         };
+        self.body(g, binding, x, ctx)
+    }
+
+    /// Mode-independent network body after the (optional) input batch norm.
+    fn body(
+        &self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        x: TensorId,
+        ctx: &BatchContext,
+    ) -> (ForwardPass, TensorId) {
         let rep_out = self.rep.forward(&self.store, binding, g, x);
         let mut phi = rep_out.output;
         if self.cfg.rep_normalization {
@@ -176,14 +202,23 @@ impl Backbone for Tarnet {
     }
 
     fn forward(
+        &self,
+        g: &mut Graph,
+        binding: &mut Binding,
+        x: TensorId,
+        ctx: &BatchContext,
+    ) -> ForwardPass {
+        self.forward_with_rep(g, binding, x, ctx).0
+    }
+
+    fn forward_train(
         &mut self,
         g: &mut Graph,
         binding: &mut Binding,
         x: TensorId,
         ctx: &BatchContext,
-        training: bool,
     ) -> ForwardPass {
-        self.forward_with_rep(g, binding, x, ctx, training).0
+        self.forward_with_rep_train(g, binding, x, ctx).0
     }
 
     fn store(&self) -> &ParamStore {
@@ -213,7 +248,7 @@ mod tests {
         let mut binding = Binding::new(model.store());
         let x = g.constant(randn(&mut rng, 8, 5));
         let ctx = BatchContext::new(&[1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
-        let pass = model.forward(&mut g, &mut binding, x, &ctx, true);
+        let pass = model.train_step().forward(&mut g, &mut binding, x, &ctx);
         assert_eq!(g.value(pass.y0_raw).shape(), (8, 1));
         assert_eq!(g.value(pass.y1_raw).shape(), (8, 1));
         assert_eq!(g.value(pass.taps.z_r).shape(), (8, 32));
@@ -226,12 +261,12 @@ mod tests {
     #[test]
     fn heads_differ_after_initialisation() {
         let mut rng = rng_from_seed(1);
-        let mut model = Tarnet::new(TarnetConfig::small(4), &mut rng);
+        let model = Tarnet::new(TarnetConfig::small(4), &mut rng);
         let mut g = Graph::new();
         let mut binding = Binding::new(model.store());
         let x = g.constant(randn(&mut rng, 4, 4));
         let ctx = BatchContext::new(&[1.0, 1.0, 0.0, 0.0]);
-        let pass = model.forward(&mut g, &mut binding, x, &ctx, false);
+        let pass = model.forward(&mut g, &mut binding, x, &ctx);
         let y0 = g.value(pass.y0_raw).clone();
         let y1 = g.value(pass.y1_raw).clone();
         assert!(!y0.approx_eq(&y1, 1e-9), "independent heads should differ");
@@ -246,7 +281,7 @@ mod tests {
         let mut binding = Binding::new(model.store());
         let x = g.constant(randn(&mut rng, 6, 4));
         let ctx = BatchContext::new(&[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
-        let pass = model.forward(&mut g, &mut binding, x, &ctx, true);
+        let pass = model.train_step().forward(&mut g, &mut binding, x, &ctx);
         let phi = g.value(pass.taps.z_r);
         for i in 0..6 {
             let norm: f64 = phi.row(i).iter().map(|v| v * v).sum::<f64>().sqrt();
@@ -262,7 +297,7 @@ mod tests {
         let mut binding = Binding::new(model.store());
         let x = g.constant(randn(&mut rng, 6, 3));
         let ctx = BatchContext::new(&[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
-        let pass = model.forward(&mut g, &mut binding, x, &ctx, true);
+        let pass = model.train_step().forward(&mut g, &mut binding, x, &ctx);
         // Train on the factual mix so both heads receive gradient.
         let fact = select_by_treatment(&mut g, &ctx, pass.y1_raw, pass.y0_raw);
         let loss = g.sumsq(fact);

@@ -131,43 +131,55 @@ impl BatchNorm {
         self.dim
     }
 
-    /// Forward pass; `training` selects batch statistics (and updates the
-    /// running averages) versus the frozen running statistics.
-    pub fn forward(
+    /// Training-mode forward pass: normalises by the batch statistics (which
+    /// flow through the tape and are differentiated) and updates the running
+    /// averages used at inference. This is the only mutating path — keep it
+    /// out of serving code.
+    pub fn forward_train(
         &mut self,
         store: &ParamStore,
         binding: &mut Binding,
         g: &mut Graph,
         x: TensorId,
-        training: bool,
     ) -> TensorId {
         let gamma = binding.bind(store, g, self.gamma);
         let beta = binding.bind(store, g, self.beta);
-        let normalised = if training {
-            let mean = g.mean_axis0(x);
-            let centred = g.sub_row(x, mean);
-            let sq = g.square(centred);
-            let var = g.mean_axis0(sq);
-            let var_eps = g.add_scalar(var, self.eps);
-            let std = g.sqrt(var_eps);
-            // Track running stats outside the tape.
-            let mean_v = g.value(mean).as_slice().to_vec();
-            let var_v = g.value(var).as_slice().to_vec();
-            for j in 0..self.dim {
-                self.running_mean[j] =
-                    self.momentum * self.running_mean[j] + (1.0 - self.momentum) * mean_v[j];
-                self.running_var[j] =
-                    self.momentum * self.running_var[j] + (1.0 - self.momentum) * var_v[j];
-            }
-            g.div_row(centred, std)
-        } else {
-            let mean = g.constant(sbrl_tensor::Matrix::row_vec(&self.running_mean));
-            let std_vals: Vec<f64> =
-                self.running_var.iter().map(|v| (v + self.eps).sqrt()).collect();
-            let std = g.constant(sbrl_tensor::Matrix::row_vec(&std_vals));
-            let centred = g.sub_row(x, mean);
-            g.div_row(centred, std)
-        };
+        let mean = g.mean_axis0(x);
+        let centred = g.sub_row(x, mean);
+        let sq = g.square(centred);
+        let var = g.mean_axis0(sq);
+        let var_eps = g.add_scalar(var, self.eps);
+        let std = g.sqrt(var_eps);
+        // Track running stats outside the tape.
+        let mean_v = g.value(mean).as_slice().to_vec();
+        let var_v = g.value(var).as_slice().to_vec();
+        for j in 0..self.dim {
+            self.running_mean[j] =
+                self.momentum * self.running_mean[j] + (1.0 - self.momentum) * mean_v[j];
+            self.running_var[j] =
+                self.momentum * self.running_var[j] + (1.0 - self.momentum) * var_v[j];
+        }
+        let normalised = g.div_row(centred, std);
+        let scaled = g.mul_row(normalised, gamma);
+        g.add_row(scaled, beta)
+    }
+
+    /// Inference-mode forward pass: normalises by the frozen running
+    /// statistics. Takes `&self`, so fitted models can serve concurrently.
+    pub fn forward_infer(
+        &self,
+        store: &ParamStore,
+        binding: &mut Binding,
+        g: &mut Graph,
+        x: TensorId,
+    ) -> TensorId {
+        let gamma = binding.bind(store, g, self.gamma);
+        let beta = binding.bind(store, g, self.beta);
+        let mean = g.constant(sbrl_tensor::Matrix::row_vec(&self.running_mean));
+        let std_vals: Vec<f64> = self.running_var.iter().map(|v| (v + self.eps).sqrt()).collect();
+        let std = g.constant(sbrl_tensor::Matrix::row_vec(&std_vals));
+        let centred = g.sub_row(x, mean);
+        let normalised = g.div_row(centred, std);
         let scaled = g.mul_row(normalised, gamma);
         g.add_row(scaled, beta)
     }
@@ -329,7 +341,7 @@ mod tests {
         let mut g = Graph::new();
         let mut binding = Binding::new(&store);
         let x = g.constant(randn(&mut rng, 64, 3).scale(4.0).add_scalar(10.0));
-        let y = bn.forward(&store, &mut binding, &mut g, x, true);
+        let y = bn.forward_train(&store, &mut binding, &mut g, x);
         let v = g.value(y);
         let mean = v.mean_axis0();
         let std = v.std_axis0();
@@ -349,13 +361,13 @@ mod tests {
             let mut g = Graph::new();
             let mut binding = Binding::new(&store);
             let x = g.constant(randn(&mut rng, 32, 2).add_scalar(5.0));
-            let _ = bn.forward(&store, &mut binding, &mut g, x, true);
+            let _ = bn.forward_train(&store, &mut binding, &mut g, x);
         }
         // Eval pass on the same distribution should be roughly standardised.
         let mut g = Graph::new();
         let mut binding = Binding::new(&store);
         let x = g.constant(randn(&mut rng, 256, 2).add_scalar(5.0));
-        let y = bn.forward(&store, &mut binding, &mut g, x, false);
+        let y = bn.forward_infer(&store, &mut binding, &mut g, x);
         let mean = g.value(y).mean_axis0();
         assert!(mean.as_slice().iter().all(|m| m.abs() < 0.5), "eval mean {mean:?}");
     }

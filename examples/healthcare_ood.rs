@@ -10,11 +10,10 @@
 //!
 //! Run with: `cargo run --release --example healthcare_ood`
 
-use sbrl_hap::core::{train, SbrlConfig, TrainConfig};
+use sbrl_hap::core::{Estimator, Framework, SbrlConfig, TrainConfig};
 use sbrl_hap::data::{SyntheticConfig, SyntheticProcess};
-use sbrl_hap::models::{Cfr, CfrConfig, TarnetConfig};
+use sbrl_hap::models::{CfrConfig, TarnetConfig};
 use sbrl_hap::stats::IpmKind;
-use sbrl_hap::tensor::rng::rng_from_seed;
 
 /// Deployment populations, ordered from "most like training" to "least".
 const DEPLOYMENTS: [(&str, f64); 5] = [
@@ -46,19 +45,20 @@ fn main() {
     let budget = TrainConfig { iterations: 400, ..TrainConfig::default() };
 
     println!("fitting on the urban observational cohort ({} patients)...\n", train_data.n());
-    let mut rng = rng_from_seed(1);
-    let mut vanilla =
-        train(Cfr::new(cfg, &mut rng), &train_data, &val_data, &SbrlConfig::vanilla(), &budget)
-            .expect("vanilla training");
-    let mut rng = rng_from_seed(1);
-    let mut stable = train(
-        Cfr::new(cfg, &mut rng),
-        &train_data,
-        &val_data,
-        &SbrlConfig::sbrl_hap(0.05, 1.0, 1.0, 0.1),
-        &budget,
-    )
-    .expect("stable training");
+    let vanilla = Estimator::builder()
+        .backbone(cfg)
+        .framework(Framework::Vanilla)
+        .train(budget)
+        .seed(1)
+        .fit(&train_data, &val_data)
+        .expect("vanilla training");
+    let stable = Estimator::builder()
+        .backbone(cfg)
+        .sbrl(SbrlConfig::sbrl_hap(0.05, 1.0, 1.0, 0.1))
+        .train(budget)
+        .seed(1)
+        .fit(&train_data, &val_data)
+        .expect("stable training");
 
     println!(
         "{:<24} {:>12} {:>16} {:>10}",

@@ -10,12 +10,11 @@
 //!
 //! Run with: `cargo run --release --example marketing_uplift`
 
-use sbrl_hap::core::{train, Framework, SbrlConfig, TrainConfig};
+use sbrl_hap::core::{Estimator, Framework, SbrlConfig, TrainConfig};
 use sbrl_hap::data::{CausalDataset, SyntheticConfig, SyntheticProcess};
 use sbrl_hap::metrics::EffectEstimate;
-use sbrl_hap::models::{Cfr, CfrConfig, TarnetConfig};
+use sbrl_hap::models::{CfrConfig, TarnetConfig};
 use sbrl_hap::stats::IpmKind;
-use sbrl_hap::tensor::rng::rng_from_seed;
 
 /// Average true uplift captured when treating the `k` customers with the
 /// highest *predicted* uplift (a policy-quality proxy).
@@ -57,14 +56,18 @@ fn main() {
         ite.iter().sum::<f64>() / ite.len() as f64
     };
 
-    for framework in [Framework::Vanilla, Framework::Sbrl, Framework::SbrlHap] {
+    for framework in Framework::ALL {
         let sbrl = match framework {
             Framework::Vanilla => SbrlConfig::vanilla(),
             Framework::Sbrl => SbrlConfig::sbrl(0.05, 1.0),
             Framework::SbrlHap => SbrlConfig::sbrl_hap(0.05, 1.0, 1.0, 0.1),
         };
-        let mut rng = rng_from_seed(5);
-        let mut fitted = train(Cfr::new(cfg, &mut rng), &summer_logs, &summer_val, &sbrl, &budget)
+        let fitted = Estimator::builder()
+            .backbone(cfg)
+            .sbrl(sbrl)
+            .train(budget)
+            .seed(5)
+            .fit(&summer_logs, &summer_val)
             .expect("training");
         let est = fitted.predict(&winter.x);
         let eval = fitted.evaluate(&winter).expect("oracle");

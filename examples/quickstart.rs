@@ -1,25 +1,36 @@
-//! Five-minute tour of the library: generate a selection-biased synthetic
-//! population, train a vanilla CFR and a CFR+SBRL-HAP on it, and compare
+//! Five-minute tour of the library: pull a selection-biased synthetic
+//! population from the name-addressable dataset registry, fit a vanilla CFR
+//! and a CFR+SBRL-HAP through the fluent `Estimator` builder, and compare
 //! their heterogeneous-treatment-effect error in-distribution versus on a
 //! strongly shifted out-of-distribution population.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use sbrl_hap::core::{train, SbrlConfig, TrainConfig};
-use sbrl_hap::data::{SyntheticConfig, SyntheticProcess};
-use sbrl_hap::models::{Cfr, CfrConfig, TarnetConfig};
+use sbrl_hap::core::{Estimator, Framework, SbrlConfig, TrainConfig};
+use sbrl_hap::data::{DatasetOptions, DatasetRegistry};
+use sbrl_hap::models::{CfrConfig, TarnetConfig};
 use sbrl_hap::stats::IpmKind;
-use sbrl_hap::tensor::rng::rng_from_seed;
 
 fn main() {
-    // 1. A synthetic benchmark: 8 instruments, 8 confounders, 8 adjustment
+    // 1. Benchmarks are selected by name. "syn_8_8_8_2" is the paper's
+    //    synthetic process: 8 instruments, 8 confounders, 8 adjustment
     //    variables and 2 unstable features whose correlation with the
     //    outcome flips across environments.
-    let process = SyntheticProcess::new(SyntheticConfig::syn_8_8_8_2(), 7);
-    let train_data = process.generate(2.5, 2000, 0); // training environment
-    let val_data = process.generate(2.5, 600, 1);
-    let id_test = process.generate(2.5, 1000, 2); // same distribution
-    let ood_test = process.generate(-3.0, 1000, 3); // flipped correlation
+    let registry = DatasetRegistry::builtin();
+    let opts = DatasetOptions {
+        n_train: 2000,
+        n_val: 600,
+        n_test: 1000,
+        train_shift: 2.5, // training environment
+        test_shift: 2.5,  // same distribution
+        seed: 7,
+    };
+    let id = registry.generate("syn_8_8_8_2", &opts).expect("registered dataset");
+    // Same seed, shifted test environment: train/val folds are identical.
+    let ood = registry
+        .generate("syn_8_8_8_2", &DatasetOptions { test_shift: -3.0, ..opts })
+        .expect("registered dataset");
+    let (train_data, val_data, id_test, ood_test) = (id.train, id.val, id.test, ood.test);
 
     println!(
         "train: {} units, {:.0}% treated",
@@ -41,23 +52,22 @@ fn main() {
     let cfr_config = CfrConfig { arch, alpha: 0.05, ipm: IpmKind::MmdLin };
     let train_cfg = TrainConfig { iterations: 400, ..TrainConfig::default() };
 
-    // 3. Train the vanilla CFR baseline and the full SBRL-HAP wrapper.
-    let mut rng = rng_from_seed(0);
-    let vanilla = Cfr::new(cfr_config, &mut rng);
-    let mut fitted_vanilla =
-        train(vanilla, &train_data, &val_data, &SbrlConfig::vanilla(), &train_cfg)
-            .expect("vanilla training");
-
-    let mut rng = rng_from_seed(0);
-    let wrapped = Cfr::new(cfr_config, &mut rng);
-    let mut fitted_hap = train(
-        wrapped,
-        &train_data,
-        &val_data,
-        &SbrlConfig::sbrl_hap(0.05, 1.0, 1.0, 0.1),
-        &train_cfg,
-    )
-    .expect("SBRL-HAP training");
+    // 3. Fit the vanilla CFR baseline and the full SBRL-HAP wrapper through
+    //    the fluent builder. A fitted model is immutable and thread-safe.
+    let fitted_vanilla = Estimator::builder()
+        .backbone(cfr_config)
+        .framework(Framework::Vanilla)
+        .train(train_cfg)
+        .seed(0)
+        .fit(&train_data, &val_data)
+        .expect("vanilla training");
+    let fitted_hap = Estimator::builder()
+        .backbone(cfr_config)
+        .sbrl(SbrlConfig::sbrl_hap(0.05, 1.0, 1.0, 0.1))
+        .train(train_cfg)
+        .seed(0)
+        .fit(&train_data, &val_data)
+        .expect("SBRL-HAP training");
 
     // 4. Compare PEHE (individual-level error) and ATE bias in- and
     //    out-of-distribution.
@@ -65,21 +75,30 @@ fn main() {
         "{:<16} {:>12} {:>12} {:>12} {:>12}",
         "method", "ID PEHE", "OOD PEHE", "ID eATE", "OOD eATE"
     );
-    for (name, fitted) in [("CFR", &mut fitted_vanilla), ("CFR+SBRL-HAP", &mut fitted_hap)] {
-        let id = fitted.evaluate(&id_test).expect("oracle");
-        let ood = fitted.evaluate(&ood_test).expect("oracle");
+    for (name, fitted) in [("CFR", &fitted_vanilla), ("CFR+SBRL-HAP", &fitted_hap)] {
+        let id_eval = fitted.evaluate(&id_test).expect("oracle");
+        let ood_eval = fitted.evaluate(&ood_test).expect("oracle");
         println!(
             "{name:<16} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
-            id.pehe, ood.pehe, id.ate_bias, ood.ate_bias
+            id_eval.pehe, ood_eval.pehe, id_eval.ate_bias, ood_eval.ate_bias
         );
     }
+
+    // 5. Serving-shaped inference: predict_batched shards the rows across
+    //    scoped threads and returns bit-identical outputs.
+    let sequential = fitted_hap.predict(&ood_test.x);
+    let sharded = fitted_hap.predict_batched(&ood_test.x, 4);
+    assert_eq!(sequential.y0_hat, sharded.y0_hat);
+    assert_eq!(sequential.y1_hat, sharded.y1_hat);
+    println!("\npredict_batched(4 workers) is bit-identical to sequential predict");
+
     let (min, mean, max) = {
         let w = fitted_hap.weights();
         let min = w.iter().copied().fold(f64::INFINITY, f64::min);
         let max = w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         (min, w.iter().sum::<f64>() / w.len() as f64, max)
     };
-    println!("\nlearned sample weights: min {min:.3}, mean {mean:.3}, max {max:.3}");
+    println!("learned sample weights: min {min:.3}, mean {mean:.3}, max {max:.3}");
     println!(
         "(expected shape: SBRL-HAP degrades less from the ID to the OOD column;\n\
          single runs are noisy — the table1 binary averages replications)"

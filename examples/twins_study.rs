@@ -8,12 +8,11 @@
 //!
 //! Run with: `cargo run --release --example twins_study`
 
-use sbrl_hap::core::{train, SbrlConfig, TrainConfig};
+use sbrl_hap::core::{Estimator, SbrlConfig, TrainConfig};
 use sbrl_hap::data::{TwinsConfig, TwinsSimulator};
 use sbrl_hap::metrics::mean_std;
-use sbrl_hap::models::{DerCfr, DerCfrConfig, TarnetConfig};
+use sbrl_hap::models::{DerCfrConfig, TarnetConfig};
 use sbrl_hap::stats::IpmKind;
-use sbrl_hap::tensor::rng::rng_from_seed;
 
 const ROUNDS: u64 = 3;
 
@@ -51,10 +50,13 @@ fn main() {
             .into_iter()
             .enumerate()
         {
-            let mut rng = rng_from_seed(round * 13 + idx as u64);
-            let model = DerCfr::new(dercfr_cfg, &mut rng);
-            let mut fitted =
-                train(model, &split.train, &split.val, &sbrl, &budget).expect("training");
+            let fitted = Estimator::builder()
+                .backbone(dercfr_cfg)
+                .sbrl(sbrl)
+                .train(budget)
+                .seed(round * 13 + idx as u64)
+                .fit(&split.train, &split.val)
+                .expect("training");
             let test_eval = fitted.evaluate(&split.test).expect("oracle");
             let train_eval = fitted.evaluate(&split.train).expect("oracle");
             results[idx].1.push(test_eval.pehe);

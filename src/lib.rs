@@ -21,28 +21,33 @@
 //! ## Quickstart
 //!
 //! ```no_run
-//! use sbrl_hap::core::{train, SbrlConfig, TrainConfig};
-//! use sbrl_hap::data::{SyntheticConfig, SyntheticProcess};
-//! use sbrl_hap::models::{Cfr, CfrConfig};
-//! use sbrl_hap::tensor::rng::rng_from_seed;
+//! use sbrl_hap::core::{Estimator, SbrlConfig, TrainConfig};
+//! use sbrl_hap::data::{DatasetOptions, DatasetRegistry};
+//! use sbrl_hap::models::CfrConfig;
 //!
-//! let process = SyntheticProcess::new(SyntheticConfig::syn_8_8_8_2(), 0);
-//! let train_data = process.generate(2.5, 2000, 0); // in-distribution
-//! let val_data = process.generate(2.5, 600, 1);
-//! let ood_data = process.generate(-3.0, 1000, 2); // strong covariate shift
+//! // Datasets are name-addressable through the registry.
+//! let registry = DatasetRegistry::builtin();
+//! let opts = DatasetOptions { n_train: 2000, n_val: 600, n_test: 1000, ..Default::default() };
+//! let split = registry.generate("syn_8_8_8_2", &opts)?; // OOD test at rho = -3
 //!
-//! let mut rng = rng_from_seed(0);
-//! let model = Cfr::new(CfrConfig::small(train_data.dim()), &mut rng);
-//! let mut fitted = train(
-//!     model,
-//!     &train_data,
-//!     &val_data,
-//!     &SbrlConfig::sbrl_hap(1.0, 1.0, 1.0, 0.1),
-//!     &TrainConfig::default(),
-//! )
-//! .expect("training succeeds");
-//! println!("OOD PEHE: {:.3}", fitted.evaluate(&ood_data).unwrap().pehe);
+//! // Fit through the fluent builder; the result is an immutable,
+//! // thread-safe artifact.
+//! let fitted = Estimator::builder()
+//!     .backbone(CfrConfig::small(split.train.dim()))
+//!     .sbrl(SbrlConfig::sbrl_hap(1.0, 1.0, 1.0, 0.1))
+//!     .train(TrainConfig::default())
+//!     .seed(0)
+//!     .fit(&split.train, &split.val)?;
+//! println!("OOD PEHE: {:.3}", fitted.evaluate(&split.test).unwrap().pehe);
+//!
+//! // Grid cells parse from strings, and inference shards across threads.
+//! let hap = Estimator::builder().method("CFR+SBRL-HAP".parse()?).fit(&split.train, &split.val)?;
+//! let est = hap.predict_batched(&split.test.x, 8); // bit-identical to predict()
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The 0.1 positional `train()` entry point survives as a deprecated shim
+//! for one release; see [`core::Estimator`] for the migration path.
 
 pub use sbrl_core as core;
 pub use sbrl_data as data;

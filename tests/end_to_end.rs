@@ -2,11 +2,10 @@
 //! through training to evaluation, exercised through the public meta-crate
 //! API exactly as a downstream user would.
 
-use sbrl_hap::core::{train, SbrlConfig, TrainConfig};
+use sbrl_hap::core::{Estimator, SbrlConfig, TrainConfig};
 use sbrl_hap::data::{CausalDataset, SyntheticConfig, SyntheticProcess};
 use sbrl_hap::metrics::pehe;
-use sbrl_hap::models::{Cfr, CfrConfig, DerCfr, DerCfrConfig, Tarnet, TarnetConfig};
-use sbrl_hap::tensor::rng::rng_from_seed;
+use sbrl_hap::models::{BackboneKind, CfrConfig};
 
 fn tiny_process() -> SyntheticProcess {
     SyntheticProcess::new(
@@ -48,27 +47,18 @@ fn every_backbone_trains_and_tracks_the_zero_effect_predictor_in_distribution() 
     // — that instability is precisely the paper's problem statement.)
     let zero_pehe = pehe(&vec![0.0; id_test.n()], &ite_true);
 
-    let mut rng = rng_from_seed(0);
-    let backbones: Vec<Box<dyn sbrl_hap::models::Backbone>> = vec![
-        Box::new(Tarnet::new(TarnetConfig::small(train_data.dim()), &mut rng)),
-        Box::new(Cfr::new(CfrConfig::small(train_data.dim()), &mut rng)),
-        Box::new(DerCfr::new(DerCfrConfig::small(train_data.dim()), &mut rng)),
-    ];
-    for model in backbones {
-        let name = model.name();
-        let mut fitted = train(
-            model,
-            &train_data,
-            &val_data,
-            &SbrlConfig::vanilla(),
-            &TrainConfig { iterations: 150, ..smoke_budget() },
-        )
-        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    for kind in BackboneKind::ALL {
+        let fitted = Estimator::builder()
+            .backbone_kind(kind)
+            .train(TrainConfig { iterations: 150, ..smoke_budget() })
+            .fit(&train_data, &val_data)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
         let eval = fitted.evaluate(&id_test).expect("oracle");
-        assert!(eval.pehe.is_finite(), "{name}: PEHE finite");
+        assert!(eval.pehe.is_finite(), "{}: PEHE finite", kind.name());
         assert!(
             eval.pehe < zero_pehe * 1.2,
-            "{name}: ID PEHE {} should be competitive with the zero baseline {zero_pehe}",
+            "{}: ID PEHE {} should be competitive with the zero baseline {zero_pehe}",
+            kind.name(),
             eval.pehe
         );
     }
@@ -81,6 +71,7 @@ fn sbrl_weights_reduce_the_objectives_they_minimise() {
     // learned weights must not end with a worse weighted balance or weighted
     // decorrelation than the unit weights they started from.
     use sbrl_hap::stats::{decorrelation_loss_plain, ipm_weighted_plain, IpmKind, Rff};
+    use sbrl_hap::tensor::rng::rng_from_seed;
 
     let (train_data, val_data, _) = tiny_splits();
     let n = train_data.n();
@@ -93,11 +84,14 @@ fn sbrl_weights_reduce_the_objectives_they_minimise() {
         ..TrainConfig::default()
     };
     // --- BR only: the learned weights must improve the weighted IPM. ---
-    let mut rng = rng_from_seed(1);
-    let model = Cfr::new(CfrConfig::small(train_data.dim()), &mut rng);
     let br_only = SbrlConfig { use_ir: false, ..SbrlConfig::sbrl(10.0, 0.0) };
-    let mut fitted =
-        train(model, &train_data, &val_data, &br_only, &frozen_budget).expect("training");
+    let fitted = Estimator::builder()
+        .backbone(CfrConfig::small(train_data.dim()))
+        .sbrl(br_only)
+        .train(frozen_budget)
+        .seed(1)
+        .fit(&train_data, &val_data)
+        .expect("training");
 
     let rep = fitted.representation(&train_data.x);
     let weights = fitted.weights().to_vec();
@@ -118,16 +112,20 @@ fn sbrl_weights_reduce_the_objectives_they_minimise() {
 
     // --- IR only: the learned weights must improve weighted decorrelation
     //     of the last layer Z_p. ---
-    let mut rng = rng_from_seed(2);
-    let model = Cfr::new(CfrConfig::small(train_data.dim()), &mut rng);
     let ir_only = SbrlConfig::sbrl(0.0, 10.0);
-    let mut fitted_ir =
-        train(model, &train_data, &val_data, &ir_only, &frozen_budget).expect("training");
+    let fitted_ir = Estimator::builder()
+        .backbone(CfrConfig::small(train_data.dim()))
+        .sbrl(ir_only)
+        .train(frozen_budget)
+        .seed(2)
+        .fit(&train_data, &val_data)
+        .expect("training");
     let z_p = fitted_ir.last_layer(&train_data.x);
     let z_p = sbrl_hap::data::Scaler::fit(&z_p).transform(&z_p); // align with training-time standardisation
     let weights_ir = fitted_ir.weights().to_vec();
     // A fresh RFF bank estimates the same dependence the trainer minimised,
     // so a modest tolerance absorbs the estimator change.
+    let mut rng = rng_from_seed(2);
     let rff = Rff::sample(&mut rng, 5);
     let d_unit = decorrelation_loss_plain(&z_p, None, &rff, false, true);
     let d_learned = decorrelation_loss_plain(&z_p, Some(&weights_ir), &rff, false, true);
@@ -141,17 +139,15 @@ fn sbrl_weights_reduce_the_objectives_they_minimise() {
 fn reproducibility_same_seed_same_predictions() {
     let (train_data, val_data, ood) = tiny_splits();
     let run = |seed: u64| {
-        let mut rng = rng_from_seed(seed);
-        let model = Cfr::new(CfrConfig::small(train_data.dim()), &mut rng);
-        let mut fitted = train(
-            model,
-            &train_data,
-            &val_data,
-            &SbrlConfig::sbrl_hap(1.0, 1.0, 0.1, 0.01),
-            &TrainConfig { seed, ..smoke_budget() },
-        )
-        .expect("training");
-        fitted.predict(&ood.x).ite_hat()
+        Estimator::builder()
+            .backbone(CfrConfig::small(train_data.dim()))
+            .sbrl(SbrlConfig::sbrl_hap(1.0, 1.0, 0.1, 0.01))
+            .train(smoke_budget())
+            .seed(seed)
+            .fit(&train_data, &val_data)
+            .expect("training")
+            .predict(&ood.x)
+            .ite_hat()
     };
     let a = run(3);
     let b = run(3);
@@ -169,7 +165,8 @@ fn all_nine_grid_methods_run_on_one_replication() {
     let preset = bench_variant(paper_syn_8_8_8_2());
     for spec in MethodSpec::grid() {
         let cfg = sbrl_hap::experiments::Scale::Bench.train_config(preset.lr, preset.l2, 5);
-        let mut fitted = fit_method(spec, &preset, &train_data, &val_data, &cfg);
+        let fitted = fit_method(spec, &preset, &train_data, &val_data, &cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
         let eval = fitted.evaluate(&ood).expect("oracle");
         assert!(eval.pehe.is_finite() && eval.ate_bias.is_finite(), "{}", spec.name());
     }
@@ -181,19 +178,22 @@ fn twins_and_ihdp_pipelines_run_end_to_end() {
 
     let twins = TwinsSimulator::new(TwinsConfig { n: 500, ..Default::default() }, 3);
     let split = twins.partition(0);
-    let mut rng = rng_from_seed(9);
-    let model = Tarnet::new(TarnetConfig::small(split.train.dim()), &mut rng);
-    let mut fitted =
-        train(model, &split.train, &split.val, &SbrlConfig::vanilla(), &smoke_budget())
-            .expect("twins training");
+    let fitted = Estimator::builder()
+        .backbone_kind(BackboneKind::Tarnet)
+        .train(smoke_budget())
+        .seed(9)
+        .fit(&split.train, &split.val)
+        .expect("twins training");
     assert!(fitted.evaluate(&split.test).expect("oracle").pehe.is_finite());
 
     let ihdp = IhdpSimulator::new(IhdpConfig::default(), 4);
     let split = ihdp.replicate(0);
-    let model = Tarnet::new(TarnetConfig::small(split.train.dim()), &mut rng);
-    let mut fitted =
-        train(model, &split.train, &split.val, &SbrlConfig::vanilla(), &smoke_budget())
-            .expect("ihdp training");
+    let fitted = Estimator::builder()
+        .backbone_kind(BackboneKind::Tarnet)
+        .train(smoke_budget())
+        .seed(10)
+        .fit(&split.train, &split.val)
+        .expect("ihdp training");
     let eval = fitted.evaluate(&split.test).expect("oracle");
     assert!(eval.pehe.is_finite());
     // IHDP is continuous-outcome: predictions need not be probabilities.

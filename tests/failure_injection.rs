@@ -1,9 +1,9 @@
 //! Failure-injection tests: degenerate and malformed inputs must surface as
 //! typed errors (or documented panics), never as silent NaN propagation.
 
-use sbrl_hap::core::{train, SbrlConfig, TrainConfig, TrainError};
+use sbrl_hap::core::{Estimator, SbrlConfig, SbrlError, TrainConfig};
 use sbrl_hap::data::{CausalDataset, DataError, OutcomeKind};
-use sbrl_hap::models::{Tarnet, TarnetConfig};
+use sbrl_hap::models::TarnetConfig;
 use sbrl_hap::tensor::rng::{randn, rng_from_seed};
 use sbrl_hap::tensor::Matrix;
 
@@ -19,15 +19,21 @@ fn budget() -> TrainConfig {
     TrainConfig { iterations: 20, batch_size: 16, ..TrainConfig::default() }
 }
 
+fn fit(train: &CausalDataset, val: &CausalDataset) -> Result<(), SbrlError> {
+    Estimator::builder()
+        .backbone(TarnetConfig::small(4))
+        .train(budget())
+        .fit(train, val)
+        .map(|_| ())
+}
+
 #[test]
 fn empty_treatment_arm_is_a_typed_error() {
     let mut data = valid_data(40, 0);
     data.t = vec![0.0; 40];
-    let mut rng = rng_from_seed(0);
-    let model = Tarnet::new(TarnetConfig::small(4), &mut rng);
-    let err = train(model, &data, &valid_data(20, 1), &SbrlConfig::vanilla(), &budget());
+    let err = fit(&data, &valid_data(20, 1));
     match err {
-        Err(TrainError::Data(DataError::EmptyTreatmentArm { treated, control })) => {
+        Err(SbrlError::Data(DataError::EmptyTreatmentArm { treated, control })) => {
             assert_eq!(treated, 0);
             assert_eq!(control, 40);
         }
@@ -42,20 +48,16 @@ fn empty_treatment_arm_is_a_typed_error() {
 fn nan_covariates_are_rejected_before_training() {
     let mut data = valid_data(40, 2);
     data.x[(3, 1)] = f64::NAN;
-    let mut rng = rng_from_seed(0);
-    let model = Tarnet::new(TarnetConfig::small(4), &mut rng);
-    let err = train(model, &data, &valid_data(20, 3), &SbrlConfig::vanilla(), &budget());
-    assert!(matches!(err, Err(TrainError::Data(DataError::NonFinite { field: "x" }))));
+    let err = fit(&data, &valid_data(20, 3));
+    assert!(matches!(err, Err(SbrlError::Data(DataError::NonFinite { field: "x" }))));
 }
 
 #[test]
 fn invalid_treatment_value_is_rejected() {
     let mut data = valid_data(40, 4);
     data.t[7] = 0.5;
-    let mut rng = rng_from_seed(0);
-    let model = Tarnet::new(TarnetConfig::small(4), &mut rng);
-    let err = train(model, &data, &valid_data(20, 5), &SbrlConfig::vanilla(), &budget());
-    assert!(matches!(err, Err(TrainError::Data(DataError::InvalidTreatment { index: 7, .. }))));
+    let err = fit(&data, &valid_data(20, 5));
+    assert!(matches!(err, Err(SbrlError::Data(DataError::InvalidTreatment { index: 7, .. }))));
 }
 
 #[test]
@@ -74,12 +76,10 @@ fn empty_dataset_is_rejected() {
 
 #[test]
 fn validation_fold_is_checked_too() {
-    let mut rng = rng_from_seed(0);
-    let model = Tarnet::new(TarnetConfig::small(4), &mut rng);
     let mut bad_val = valid_data(20, 6);
     bad_val.yf[0] = f64::INFINITY;
-    let err = train(model, &valid_data(40, 7), &bad_val, &SbrlConfig::vanilla(), &budget());
-    assert!(matches!(err, Err(TrainError::Data(DataError::NonFinite { field: "yf" }))));
+    let err = fit(&valid_data(40, 7), &bad_val);
+    assert!(matches!(err, Err(SbrlError::Data(DataError::NonFinite { field: "yf" }))));
 }
 
 #[test]
@@ -90,6 +90,34 @@ fn mismatched_lengths_are_typed() {
         data.validate(),
         Err(DataError::LengthMismatch { field: "yf", got: 39, expected: 40 })
     ));
+}
+
+#[test]
+fn misconfigured_builders_are_typed_errors() {
+    let train = valid_data(40, 12);
+    let val = valid_data(20, 13);
+    // No backbone selected at all.
+    let err = Estimator::builder().train(budget()).fit(&train, &val);
+    assert!(matches!(err, Err(SbrlError::InvalidConfig { what: "backbone", .. })));
+    // Architecture/data dimension mismatch.
+    let err =
+        Estimator::builder().backbone(TarnetConfig::small(9)).train(budget()).fit(&train, &val);
+    assert!(matches!(err, Err(SbrlError::InvalidConfig { what: "backbone.in_dim", .. })));
+    // Degenerate optimisation budget.
+    let err = Estimator::builder()
+        .backbone(TarnetConfig::small(4))
+        .train(TrainConfig { batch_size: 0, ..budget() })
+        .fit(&train, &val);
+    assert!(matches!(err, Err(SbrlError::InvalidConfig { what: "train.batch_size", .. })));
+}
+
+#[test]
+fn unknown_dataset_names_are_typed_errors() {
+    use sbrl_hap::data::{DatasetOptions, DatasetRegistry};
+    let err =
+        DatasetRegistry::builtin().generate("imagenet", &DatasetOptions::default()).unwrap_err();
+    assert!(matches!(err, DataError::UnknownDataset { .. }));
+    assert!(err.to_string().contains("syn_8_8_8_2"));
 }
 
 #[test]
@@ -116,9 +144,11 @@ fn zero_variance_feature_does_not_produce_nan() {
         }
         v
     };
-    let mut rng = rng_from_seed(0);
-    let model = Tarnet::new(TarnetConfig::small(4), &mut rng);
-    let mut fitted = train(model, &data, &val, &SbrlConfig::sbrl(1.0, 1.0), &budget())
+    let fitted = Estimator::builder()
+        .backbone(TarnetConfig::small(4))
+        .sbrl(SbrlConfig::sbrl(1.0, 1.0))
+        .train(budget())
+        .fit(&data, &val)
         .expect("constant features must not break training");
     let est = fitted.predict(&val.x);
     assert!(est.y0_hat.iter().all(|v| v.is_finite()));

@@ -1,8 +1,9 @@
 //! Property-based tests (proptest) over the workspace's core invariants:
-//! autodiff correctness, metric axioms, IPM/HSIC behaviour and dataset
-//! generator guarantees.
+//! autodiff correctness, metric axioms, IPM/HSIC behaviour, dataset
+//! generator guarantees and the name-addressable method grid.
 
 use proptest::prelude::*;
+use sbrl_hap::core::MethodSpec;
 use sbrl_hap::metrics::{ate_bias, env_aggregate, f1_score, pehe};
 use sbrl_hap::stats::{hsic_rff_pair, ipm_plain, ipm_weighted_plain, IpmKind, Rff};
 use sbrl_hap::tensor::gradcheck::check_gradient;
@@ -155,6 +156,56 @@ proptest! {
         // Overlap at generation scale: both arms populated.
         let frac = d.treated_fraction();
         prop_assert!(frac > 0.02 && frac < 0.98, "treated fraction {frac}");
+    }
+
+    #[test]
+    fn grid_method_names_round_trip(idx in 0usize..9) {
+        // Covers all nine grid cells across cases: every table label parses
+        // back to the spec that produced it, and Display agrees with name().
+        let spec = MethodSpec::grid()[idx];
+        let parsed: MethodSpec =
+            spec.name().parse().map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(parsed, spec);
+        prop_assert_eq!(parsed.to_string(), spec.name());
+        // Case-insensitivity holds, too.
+        let lower: MethodSpec = spec.name().to_lowercase().parse()
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(lower, spec);
+    }
+
+    #[test]
+    fn junk_suffixes_break_every_grid_name(idx in 0usize..9, junk in 33u8..127) {
+        // Appending any printable byte other than the separators the parser
+        // deliberately ignores ('+', '-', '_', and whitespace is trimmed)
+        // must turn each of the nine grid names into a typed parse error.
+        let junk = junk as char;
+        if matches!(junk, '+' | '-' | '_') {
+            return Ok(());
+        }
+        let spec = MethodSpec::grid()[idx];
+        let broken = format!("{}{junk}", spec.name());
+        prop_assert!(
+            broken.parse::<MethodSpec>().is_err(),
+            "'{broken}' should not parse"
+        );
+    }
+
+    #[test]
+    fn random_strings_parse_to_grid_cells_or_typed_errors(
+        chars in proptest::collection::vec(33u8..127, 1..24)
+    ) {
+        let s: String = chars.iter().map(|&b| b as char).collect();
+        match s.parse::<MethodSpec>() {
+            // Random bytes may legitimately spell a grid cell (parsing is
+            // case- and separator-insensitive); anything else is a bug.
+            Ok(spec) => {
+                let grid_names: Vec<String> =
+                    MethodSpec::grid().iter().map(|m| m.name()).collect();
+                prop_assert!(grid_names.contains(&spec.name()), "junk '{s}' parsed to {spec}");
+            }
+            // The error is typed and names the offending segment.
+            Err(e) => prop_assert!(format!("{e}").contains("unknown")),
+        }
     }
 
     #[test]

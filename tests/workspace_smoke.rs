@@ -3,10 +3,9 @@
 //! round-trip under a tiny budget. This is the first suite to fail if a crate
 //! manifest, re-export, or crate boundary is mis-wired.
 
-use sbrl_hap::core::{train, SbrlConfig, TrainConfig};
+use sbrl_hap::core::{Estimator, TrainConfig};
 use sbrl_hap::data::{SyntheticConfig, SyntheticProcess};
-use sbrl_hap::models::{Tarnet, TarnetConfig};
-use sbrl_hap::tensor::rng::rng_from_seed;
+use sbrl_hap::models::{BackboneKind, TarnetConfig};
 
 /// Every re-exported module path must resolve to a usable item. Touching one
 /// item per module keeps this a compile-time wiring check, not a logic test.
@@ -21,18 +20,20 @@ fn meta_crate_re_exports_resolve() {
     let _ = sbrl_hap::stats::IpmKind::MmdLin;
     // data
     let _ = SyntheticConfig::syn_8_8_8_2();
+    let _ = sbrl_hap::data::DatasetRegistry::builtin();
     // models
     let _ = TarnetConfig::small(4);
     // core
-    let _ = SbrlConfig::vanilla();
+    let _ = sbrl_hap::core::SbrlConfig::vanilla();
+    let _: sbrl_hap::core::MethodSpec = "CFR+SBRL-HAP".parse().expect("grid method name");
     // metrics
     assert_eq!(sbrl_hap::metrics::pehe(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
     // experiments
     let _ = std::any::type_name::<sbrl_hap::experiments::Scale>();
 }
 
-/// A full generate → train → evaluate round-trip through the public API,
-/// sized to finish in a couple of seconds in debug builds.
+/// A full generate → fit → evaluate round-trip through the public builder
+/// API, sized to finish in a couple of seconds in debug builds.
 #[test]
 fn minimal_train_eval_round_trip() {
     let process = SyntheticProcess::new(SyntheticConfig::syn_8_8_8_2(), 5);
@@ -40,8 +41,6 @@ fn minimal_train_eval_round_trip() {
     let val_data = process.generate(2.5, 80, 1);
     let test_data = process.generate(-1.5, 120, 2);
 
-    let mut rng = rng_from_seed(5);
-    let model = Tarnet::new(TarnetConfig::small(train_data.dim()), &mut rng);
     let budget = TrainConfig {
         iterations: 30,
         batch_size: 32,
@@ -49,7 +48,11 @@ fn minimal_train_eval_round_trip() {
         patience: 30,
         ..TrainConfig::default()
     };
-    let mut fitted = train(model, &train_data, &val_data, &SbrlConfig::vanilla(), &budget)
+    let fitted = Estimator::builder()
+        .backbone_kind(BackboneKind::Tarnet)
+        .train(budget)
+        .seed(5)
+        .fit(&train_data, &val_data)
         .expect("tiny training budget succeeds");
 
     let eval = fitted.evaluate(&test_data).expect("synthetic data has oracle effects");
