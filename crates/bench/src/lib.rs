@@ -1,9 +1,12 @@
 //! # sbrl-bench
 //!
-//! Criterion benches, one per paper table/figure, driving the
-//! `sbrl-experiments` runners at bench scale plus micro-benchmarks of the
-//! numerical hot paths (matmul, IPM, HSIC-RFF, one full alternating step).
+//! Criterion benches: hot-path kernel benches (`gemm`, `hsic`,
+//! `train_epoch` — each timed serial vs parallel under the workspace
+//! `Parallelism` knob), micro-benchmarks of the autodiff paths (`micro`),
+//! and one bench per paper table/figure driving the `sbrl-experiments`
+//! runners at bench scale (`table1`, `fig3`, `fig4`, `fig5`, `table2`,
+//! `table3`, `fig6`, `table6`).
 //!
-//! Run with `cargo bench --workspace`; per-artefact benches live in
-//! `benches/` (`table1`, `fig3`, `fig4`, `fig5`, `table2`, `table3`,
-//! `fig6`, `table6`, `micro`).
+//! Run with `cargo bench -p sbrl-bench`. Setting `SBRL_BENCH_JSON` records
+//! a median-per-case JSON snapshot — the `results/BENCH_*.json` baseline
+//! format described in `docs/PERFORMANCE.md`.

@@ -214,8 +214,17 @@ impl<B: Backbone> FittedModel<B> {
     /// operation of the inference path is independent of the other rows, so
     /// the result is **bit-identical** to a single-threaded
     /// [`FittedModel::predict`] for any worker count.
+    ///
+    /// `workers == 0` selects the worker count from the workspace-wide
+    /// [`Parallelism`](sbrl_tensor::kernels::Parallelism) knob
+    /// (`SBRL_THREADS` / available cores).
     pub fn predict_batched(&self, x: &Matrix, workers: usize) -> EffectEstimate {
         let n = x.rows();
+        let workers = if workers == 0 {
+            sbrl_tensor::kernels::Parallelism::global().workers()
+        } else {
+            workers
+        };
         let workers = workers.clamp(1, n.max(1));
         if workers == 1 {
             return self.predict(x);

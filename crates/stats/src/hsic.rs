@@ -20,10 +20,15 @@
 //!   loss scale-free and affordable on wide layers.
 
 use rand::rngs::StdRng;
+use sbrl_tensor::kernels::{effective_workers, par_map_values, Parallelism};
 use sbrl_tensor::rng::{sample_standard_normal, sample_uniform, sample_without_replacement};
 use sbrl_tensor::{Graph, Matrix, TensorId};
 
 use crate::kernels::{centering_matrix, median_bandwidth, rbf_kernel};
+
+/// Minimum `column pairs x samples` units a worker must own before the
+/// pairwise HSIC matrix spawns it.
+const MIN_PAIR_SAMPLES_PER_WORKER: usize = 1 << 13;
 
 /// A bank of `k` random Fourier functions shared across features.
 #[derive(Clone, Debug)]
@@ -113,16 +118,39 @@ pub fn hsic_rff_pair(a: &[f64], b: &[f64], rff: &Rff, weights: Option<&[f64]>) -
 
 /// Symmetric `d x d` matrix of pairwise `HSIC_RFF` values between the columns
 /// of `z` — the quantity visualised in the paper's Fig. 5.
+///
+/// Uses the process-global [`Parallelism`] knob; see
+/// [`pairwise_hsic_matrix_with`] for an explicit setting.
 pub fn pairwise_hsic_matrix(z: &Matrix, rff: &Rff, weights: Option<&[f64]>) -> Matrix {
+    pairwise_hsic_matrix_with(z, rff, weights, Parallelism::global())
+}
+
+/// [`pairwise_hsic_matrix`] under an explicit [`Parallelism`] setting.
+///
+/// The `d (d + 1) / 2` unordered column pairs are sharded across workers;
+/// each pair's statistic is computed independently by exactly one worker, so
+/// the result is bit-identical for every setting.
+pub fn pairwise_hsic_matrix_with(
+    z: &Matrix,
+    rff: &Rff,
+    weights: Option<&[f64]>,
+    par: Parallelism,
+) -> Matrix {
     let d = z.cols();
     let cols: Vec<Vec<f64>> = (0..d).map(|j| z.col(j)).collect();
+    let pairs: Vec<(usize, usize)> = (0..d).flat_map(|a| (a..d).map(move |b| (a, b))).collect();
+    // Gate the shard count on pairs x samples (each pair is O(n) in the
+    // sample count for a fixed Fourier bank).
+    let workers =
+        effective_workers(par, pairs.len() * z.rows().max(1), MIN_PAIR_SAMPLES_PER_WORKER);
+    let vals = par_map_values(pairs.len(), workers, |p| {
+        let (a, b) = pairs[p];
+        hsic_rff_pair(&cols[a], &cols[b], rff, weights)
+    });
     let mut out = Matrix::zeros(d, d);
-    for a in 0..d {
-        for b in a..d {
-            let v = hsic_rff_pair(&cols[a], &cols[b], rff, weights);
-            out[(a, b)] = v;
-            out[(b, a)] = v;
-        }
+    for (&(a, b), &v) in pairs.iter().zip(&vals) {
+        out[(a, b)] = v;
+        out[(b, a)] = v;
     }
     out
 }
@@ -149,7 +177,26 @@ pub fn mean_offdiag_hsic(z: &Matrix, rff: &Rff, weights: Option<&[f64]>) -> f64 
 /// Classic biased HSIC estimator `tr(K_a H K_b H) / (n-1)^2` with RBF
 /// kernels (test oracle for the RFF approximation's behaviour).
 ///
-/// Non-positive bandwidths select the median heuristic per input.
+/// Non-positive bandwidths select the median heuristic per input. The O(n²)
+/// kernel matrices and the O(n³) centring products run through the blocked,
+/// row-sharded GEMM layer, so the estimator parallelises under the global
+/// [`Parallelism`] knob with bit-identical results for every setting.
+///
+/// # Example
+///
+/// ```
+/// use sbrl_stats::hsic_biased;
+/// use sbrl_tensor::rng::{randn, rng_from_seed};
+///
+/// let mut rng = rng_from_seed(0);
+/// let x = randn(&mut rng, 100, 1);
+/// let y_dependent = x.map(|v| v * v); // uncorrelated but dependent
+/// let y_independent = randn(&mut rng, 100, 1);
+/// // Negative bandwidths select the median heuristic.
+/// let dep = hsic_biased(&x, &y_dependent, -1.0, -1.0);
+/// let ind = hsic_biased(&x, &y_independent, -1.0, -1.0);
+/// assert!(dep > ind);
+/// ```
 #[track_caller]
 pub fn hsic_biased(a: &Matrix, b: &Matrix, sigma_a: f64, sigma_b: f64) -> f64 {
     assert_eq!(a.rows(), b.rows(), "hsic_biased: sample counts differ");

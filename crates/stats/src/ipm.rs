@@ -11,9 +11,14 @@
 //! * [`IpmKind::Wasserstein`] — entropic Sinkhorn approximation,
 //!   differentiated through the fixed-point iterations.
 
+use sbrl_tensor::kernels::{effective_workers, par_map_values, Parallelism};
 use sbrl_tensor::{Graph, Matrix, TensorId};
 
-use crate::kernels::{median_bandwidth, pairwise_sq_dists, rbf_kernel};
+use crate::kernels::{median_bandwidth, pairwise_sq_dists_with, rbf_kernel_with};
+
+/// Minimum number of pairwise terms a worker must own before the plain IPM
+/// reductions spawn it.
+const MIN_PAIR_TERMS_PER_WORKER: usize = 1 << 14;
 
 /// Which integral probability metric to use.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -209,12 +214,32 @@ fn sinkhorn_graph(
 
 /// Plain weighted IPM on matrices (no gradients). Weights are renormalised
 /// per group; pass `None` for unit weights.
+///
+/// Uses the process-global [`Parallelism`] knob; see
+/// [`ipm_weighted_plain_with`] for an explicit setting.
 pub fn ipm_weighted_plain(
     kind: IpmKind,
     phi_t: &Matrix,
     phi_c: &Matrix,
     w_t: Option<&[f64]>,
     w_c: Option<&[f64]>,
+) -> f64 {
+    ipm_weighted_plain_with(kind, phi_t, phi_c, w_t, w_c, Parallelism::global())
+}
+
+/// [`ipm_weighted_plain`] under an explicit [`Parallelism`] setting.
+///
+/// The O(n²) pairwise terms (kernel matrices, quadratic forms, Sinkhorn
+/// fixed-point updates) are row-sharded; per-row reductions are computed by
+/// exactly one worker and folded in serial row order, so the result is
+/// bit-identical for every setting.
+pub fn ipm_weighted_plain_with(
+    kind: IpmKind,
+    phi_t: &Matrix,
+    phi_c: &Matrix,
+    w_t: Option<&[f64]>,
+    w_c: Option<&[f64]>,
+    par: Parallelism,
 ) -> f64 {
     if phi_t.rows() == 0 || phi_c.rows() == 0 {
         return 0.0;
@@ -229,16 +254,16 @@ pub fn ipm_weighted_plain(
         }
         IpmKind::MmdRbf { sigma } => {
             let sigma = if sigma > 0.0 { sigma } else { median_bandwidth(&phi_t.vstack(phi_c)) };
-            let ktt = rbf_kernel(phi_t, phi_t, sigma);
-            let kcc = rbf_kernel(phi_c, phi_c, sigma);
-            let ktc = rbf_kernel(phi_t, phi_c, sigma);
-            let tt = quad_plain(&wt, &ktt, &wt);
-            let cc = quad_plain(&wc, &kcc, &wc);
-            let tc = quad_plain(&wt, &ktc, &wc);
+            let ktt = rbf_kernel_with(phi_t, phi_t, sigma, par);
+            let kcc = rbf_kernel_with(phi_c, phi_c, sigma, par);
+            let ktc = rbf_kernel_with(phi_t, phi_c, sigma, par);
+            let tt = quad_plain(&wt, &ktt, &wt, par);
+            let cc = quad_plain(&wc, &kcc, &wc, par);
+            let tc = quad_plain(&wt, &ktc, &wc, par);
             (tt + cc - 2.0 * tc).max(0.0)
         }
         IpmKind::Wasserstein { lambda, iterations } => {
-            sinkhorn_plain(phi_t, phi_c, &wt, &wc, lambda, iterations)
+            sinkhorn_plain(phi_t, phi_c, &wt, &wc, lambda, iterations, par)
         }
     }
 }
@@ -269,18 +294,33 @@ fn weighted_mean_rows(x: &Matrix, w: &[f64]) -> Vec<f64> {
     mean
 }
 
-fn quad_plain(u: &[f64], k: &Matrix, v: &[f64]) -> f64 {
+/// `u^T K v`. The per-row inner products are sharded across workers; the
+/// final fold runs in serial row order (with the historical skip of exactly
+/// zero `u[i]`), so the value is bit-identical for every [`Parallelism`].
+fn quad_plain(u: &[f64], k: &Matrix, v: &[f64], par: Parallelism) -> f64 {
+    let workers = effective_workers(par, u.len() * v.len(), MIN_PAIR_TERMS_PER_WORKER);
+    let row_terms = par_map_values(u.len(), workers, |i| {
+        if u[i] == 0.0 {
+            0.0
+        } else {
+            u[i] * k.row(i).iter().zip(v).map(|(&kij, &vj)| kij * vj).sum::<f64>()
+        }
+    });
     let mut acc = 0.0;
-    for (i, &ui) in u.iter().enumerate() {
-        let row = k.row(i);
+    for (&ui, &term) in u.iter().zip(&row_terms) {
         if ui == 0.0 {
             continue;
         }
-        acc += ui * row.iter().zip(v).map(|(&kij, &vj)| kij * vj).sum::<f64>();
+        acc += term;
     }
     acc
 }
 
+/// Entropic OT cost via Sinkhorn iterations. The `u` / `v` fixed-point
+/// updates are independent per entry (each is one row/column inner product
+/// followed by a division), so they shard across workers bit-identically;
+/// the final transport-cost reduction keeps the historical serial
+/// accumulation order.
 fn sinkhorn_plain(
     phi_t: &Matrix,
     phi_c: &Matrix,
@@ -288,22 +328,24 @@ fn sinkhorn_plain(
     b: &[f64],
     lambda: f64,
     iterations: usize,
+    par: Parallelism,
 ) -> f64 {
-    let m = pairwise_sq_dists(phi_t, phi_c).map(|v| (v + 1e-10).sqrt());
+    let m = pairwise_sq_dists_with(phi_t, phi_c, par).map(|v| (v + 1e-10).sqrt());
     let mean_cost = m.mean().max(1e-12);
     let k = m.map(|v| (-lambda * v / mean_cost).exp());
     let (nt, nc) = k.shape();
+    let workers = effective_workers(par, nt * nc, MIN_PAIR_TERMS_PER_WORKER);
     let mut u = vec![1.0; nt];
     let mut v = vec![1.0; nc];
     for _ in 0..iterations {
-        for i in 0..nt {
+        u = par_map_values(nt, workers, |i| {
             let kv: f64 = k.row(i).iter().zip(&v).map(|(&kij, &vj)| kij * vj).sum();
-            u[i] = a[i] / (kv + 1e-12);
-        }
-        for j in 0..nc {
+            a[i] / (kv + 1e-12)
+        });
+        v = par_map_values(nc, workers, |j| {
             let ktu: f64 = (0..nt).map(|i| k[(i, j)] * u[i]).sum();
-            v[j] = b[j] / (ktu + 1e-12);
-        }
+            b[j] / (ktu + 1e-12)
+        });
     }
     let mut cost = 0.0;
     for i in 0..nt {

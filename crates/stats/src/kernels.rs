@@ -1,25 +1,77 @@
 //! Kernel primitives: pairwise distances, RBF kernels and bandwidth
 //! heuristics (plain-matrix, non-differentiable versions).
+//!
+//! The O(n·m) fills are row-sharded across the workspace's
+//! [`Parallelism`] knob; every setting produces bit-identical matrices
+//! because each output row is computed independently by exactly one worker.
 
+use sbrl_tensor::kernels::{effective_workers, par_for_row_chunks, Parallelism};
 use sbrl_tensor::Matrix;
+
+/// Minimum number of output elements a worker must own before the pairwise
+/// fills spawn it.
+const MIN_ELEMS_PER_WORKER: usize = 1 << 14;
 
 /// Pairwise squared Euclidean distances between the rows of `a` (`n x d`)
 /// and the rows of `b` (`m x d`), returned as an `n x m` matrix.
+///
+/// Uses the process-global [`Parallelism`] knob; see
+/// [`pairwise_sq_dists_with`] for an explicit setting.
 #[track_caller]
 pub fn pairwise_sq_dists(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.cols(), "pairwise_sq_dists: feature dims differ");
-    let a2: Vec<f64> = (0..a.rows()).map(|i| a.row(i).iter().map(|x| x * x).sum()).collect();
-    let b2: Vec<f64> = (0..b.rows()).map(|j| b.row(j).iter().map(|x| x * x).sum()).collect();
-    let cross = a.matmul_nt(b);
-    Matrix::from_fn(a.rows(), b.rows(), |i, j| (a2[i] + b2[j] - 2.0 * cross[(i, j)]).max(0.0))
+    pairwise_sq_dists_with(a, b, Parallelism::global())
 }
 
-/// RBF (Gaussian) kernel matrix `exp(-||a_i - b_j||^2 / (2 sigma^2))`.
+/// [`pairwise_sq_dists`] under an explicit [`Parallelism`] setting. Output
+/// rows are sharded across workers; results are bit-identical for every
+/// setting.
+#[track_caller]
+pub fn pairwise_sq_dists_with(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "pairwise_sq_dists: feature dims differ");
+    let (n, m) = (a.rows(), b.rows());
+    if n == 0 || m == 0 {
+        return Matrix::zeros(n, m);
+    }
+    let a2: Vec<f64> = (0..a.rows()).map(|i| a.row(i).iter().map(|x| x * x).sum()).collect();
+    let b2: Vec<f64> = (0..b.rows()).map(|j| b.row(j).iter().map(|x| x * x).sum()).collect();
+    let cross = sbrl_tensor::kernels::gemm_nt(a, b, par);
+    let mut out = Matrix::zeros(n, m);
+    let workers = effective_workers(par, n * m, MIN_ELEMS_PER_WORKER);
+    let cross_s = cross.as_slice();
+    par_for_row_chunks(out.as_mut_slice(), n, m, workers, |r0, r1, chunk| {
+        for (k, row) in chunk.chunks_mut(m).enumerate() {
+            let i = r0 + k;
+            debug_assert!(i < r1);
+            let cross_row = &cross_s[i * m..(i + 1) * m];
+            for ((v, &c), &b2j) in row.iter_mut().zip(cross_row).zip(&b2) {
+                *v = (a2[i] + b2j - 2.0 * c).max(0.0);
+            }
+        }
+    });
+    out
+}
+
+/// RBF (Gaussian) kernel matrix `exp(-||a_i - b_j||^2 / (2 sigma^2))` under
+/// the process-global [`Parallelism`] knob.
 #[track_caller]
 pub fn rbf_kernel(a: &Matrix, b: &Matrix, sigma: f64) -> Matrix {
-    let d = pairwise_sq_dists(a, b);
+    rbf_kernel_with(a, b, sigma, Parallelism::global())
+}
+
+/// [`rbf_kernel`] under an explicit [`Parallelism`] setting (bit-identical
+/// for every setting).
+#[track_caller]
+pub fn rbf_kernel_with(a: &Matrix, b: &Matrix, sigma: f64, par: Parallelism) -> Matrix {
+    let mut d = pairwise_sq_dists_with(a, b, par);
     let denom = 2.0 * sigma * sigma;
-    d.map(|v| (-v / denom).exp())
+    let (n, m) = d.shape();
+    let workers = effective_workers(par, n * m, MIN_ELEMS_PER_WORKER);
+    par_for_row_chunks(d.as_mut_slice(), n, m, workers, |_, _, chunk| {
+        for v in chunk {
+            *v = (-*v / denom).exp();
+        }
+    });
+    d
 }
 
 /// Median-heuristic bandwidth: the square root of half the median pairwise
@@ -107,6 +159,18 @@ mod tests {
     fn median_bandwidth_degenerate_inputs() {
         assert_eq!(median_bandwidth(&Matrix::zeros(1, 3)), 1.0);
         assert_eq!(median_bandwidth(&Matrix::ones(5, 2)), 1.0);
+    }
+
+    #[test]
+    fn pairwise_kernels_accept_empty_inputs() {
+        // Regression: the sharded fill must not assume a non-zero row width.
+        let x = Matrix::ones(5, 3);
+        let empty = Matrix::zeros(0, 3);
+        assert_eq!(pairwise_sq_dists(&x, &empty).shape(), (5, 0));
+        assert_eq!(pairwise_sq_dists(&empty, &x).shape(), (0, 5));
+        assert_eq!(pairwise_sq_dists(&empty, &empty).shape(), (0, 0));
+        assert_eq!(rbf_kernel(&x, &empty, 1.0).shape(), (5, 0));
+        assert_eq!(rbf_kernel(&empty, &x, 1.0).shape(), (0, 5));
     }
 
     #[test]

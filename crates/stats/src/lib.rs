@@ -10,6 +10,14 @@
 //! * [`hsic`] — HSIC with Random Fourier Features, the weighted
 //!   decorrelation loss `L_D` (Eq. 5–10) and the pairwise-HSIC diagnostics
 //!   behind the paper's Fig. 5.
+//!
+//! The O(n²) pairwise loops (kernel matrices, HSIC pair sums, Sinkhorn
+//! updates) are sharded across the workspace-wide
+//! [`Parallelism`](sbrl_tensor::kernels::Parallelism) knob with
+//! bit-identical results for every thread count; the `*_with` variants
+//! accept an explicit setting.
+
+#![warn(missing_docs)]
 
 pub mod hsic;
 pub mod ipm;
@@ -17,7 +25,12 @@ pub mod kernels;
 
 pub use hsic::{
     decorrelation_loss_graph, decorrelation_loss_plain, hsic_biased, hsic_rff_pair,
-    mean_offdiag_hsic, pairwise_hsic_matrix, DecorrelationConfig, Rff,
+    mean_offdiag_hsic, pairwise_hsic_matrix, pairwise_hsic_matrix_with, DecorrelationConfig, Rff,
 };
-pub use ipm::{ipm_graph, ipm_plain, ipm_weighted_graph, ipm_weighted_plain, IpmKind};
-pub use kernels::{centering_matrix, median_bandwidth, pairwise_sq_dists, rbf_kernel};
+pub use ipm::{
+    ipm_graph, ipm_plain, ipm_weighted_graph, ipm_weighted_plain, ipm_weighted_plain_with, IpmKind,
+};
+pub use kernels::{
+    centering_matrix, median_bandwidth, pairwise_sq_dists, pairwise_sq_dists_with, rbf_kernel,
+    rbf_kernel_with,
+};

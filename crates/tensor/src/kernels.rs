@@ -1,0 +1,539 @@
+//! Cache-blocked, optionally multi-threaded dense kernels — the single hot
+//! path every matrix product in the workspace funnels through.
+//!
+//! Every SBRL-HAP training step bottoms out in dense GEMMs (layer forwards,
+//! the autodiff tape's `MatMul` backward pair) and O(n²) kernel statistics.
+//! This module owns that hot path:
+//!
+//! * [`Parallelism`] — the workspace-wide threading knob. One global value
+//!   (env-driven via `SBRL_THREADS`, default = available cores) governs every
+//!   kernel; [`Parallelism::Serial`] reproduces the historical
+//!   single-threaded output **bit for bit**.
+//! * [`gemm`], [`gemm_nt`], [`gemm_tn`] — cache-blocked matrix products
+//!   (tiled over the inner dimension and output columns) with a row-sharded
+//!   scoped-thread parallel path. Each output element is accumulated in the
+//!   same floating-point order regardless of blocking or thread count, so
+//!   results are bit-identical across all `Parallelism` settings.
+//! * [`shard_ranges`], [`par_for_row_chunks`], [`par_map_values`] — the
+//!   sharding primitives, reused by `sbrl-stats` for its pairwise loops and
+//!   by `sbrl-core` for batched inference.
+//!
+//! # Example
+//!
+//! ```
+//! use sbrl_tensor::kernels::{gemm, Parallelism};
+//! use sbrl_tensor::Matrix;
+//!
+//! let a = Matrix::from_fn(64, 32, |i, j| (i + j) as f64);
+//! let b = Matrix::from_fn(32, 48, |i, j| (i as f64 - j as f64) * 0.5);
+//! let serial = gemm(&a, &b, Parallelism::Serial);
+//! let parallel = gemm(&a, &b, Parallelism::Threads(4));
+//! // The parallel path shards output rows; accumulation order per element
+//! // is unchanged, so the results are bit-identical.
+//! assert_eq!(serial.as_slice(), parallel.as_slice());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::matrix::Matrix;
+
+/// Inner-dimension slab width for the blocked GEMM: one `KC x NC` panel of
+/// the right-hand operand stays resident in cache while a row block streams
+/// past it.
+const KC: usize = 128;
+/// Output-column tile width for the blocked GEMM.
+const NC: usize = 128;
+/// Minimum number of multiply-adds a worker thread must have before the
+/// parallel path spawns it; below this the spawn overhead dominates.
+const MIN_MADDS_PER_WORKER: usize = 1 << 16;
+
+/// How many worker threads the numerical kernels may use.
+///
+/// The workspace has exactly one threading knob: a process-global
+/// `Parallelism` value read by every kernel (GEMM, the pairwise statistics in
+/// `sbrl-stats`, batched inference in `sbrl-core`). It resolves, in order:
+///
+/// 1. an explicit [`Parallelism::set_global`] call;
+/// 2. the `SBRL_THREADS` environment variable (`1` = serial, `n` = that many
+///    workers, `0`/unset/invalid = all available cores);
+/// 3. [`std::thread::available_parallelism`].
+///
+/// Parallel execution only shards *independent* work (disjoint output rows,
+/// disjoint pair lists) and never reorders a floating-point reduction, so
+/// every setting produces bit-identical numbers; the knob trades wall-clock
+/// only. [`Parallelism::Serial`] additionally guarantees no worker thread is
+/// ever spawned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Single-threaded: run every kernel on the calling thread.
+    Serial,
+    /// Shard across up to this many scoped worker threads (values are
+    /// clamped to at least 1; `Threads(1)` behaves like `Serial`).
+    Threads(usize),
+}
+
+/// Global knob storage: 0 = unresolved, otherwise `workers + 1` (so an
+/// explicit one-worker setting is distinguishable from "unset").
+static GLOBAL_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+impl Parallelism {
+    /// One worker per available hardware thread (at least one).
+    pub fn auto() -> Self {
+        Parallelism::Threads(available_cores())
+    }
+
+    /// Resolves the knob from the `SBRL_THREADS` environment variable:
+    /// `1` = [`Parallelism::Serial`], `n >= 2` = that many workers,
+    /// `0`/unset/unparsable = [`Parallelism::auto`].
+    pub fn from_env() -> Self {
+        match std::env::var("SBRL_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+            Some(1) => Parallelism::Serial,
+            Some(n) if n >= 2 => Parallelism::Threads(n),
+            _ => Parallelism::auto(),
+        }
+    }
+
+    /// The number of worker threads this setting allows (always >= 1).
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+
+    /// Installs `self` as the process-global knob used by [`Matrix::matmul`]
+    /// and every other kernel that does not take an explicit `Parallelism`.
+    pub fn set_global(self) {
+        GLOBAL_WORKERS.store(self.workers() + 1, Ordering::Relaxed);
+    }
+
+    /// The process-global knob. The first read resolves
+    /// [`Parallelism::from_env`] and caches it; later
+    /// [`Parallelism::set_global`] calls override it.
+    pub fn global() -> Self {
+        let stored = GLOBAL_WORKERS.load(Ordering::Relaxed);
+        let workers = if stored == 0 {
+            let resolved = Parallelism::from_env().workers();
+            // A concurrent initialiser may race us; both compute the same
+            // env-derived value, so a plain store is fine.
+            GLOBAL_WORKERS.store(resolved + 1, Ordering::Relaxed);
+            resolved
+        } else {
+            stored - 1
+        };
+        if workers <= 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Threads(workers)
+        }
+    }
+}
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Splits `0..n` into at most `workers` contiguous, non-empty ranges.
+pub fn shard_ranges(n: usize, workers: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let chunk = n.div_ceil(workers);
+    (0..workers)
+        .map(|w| ((w * chunk).min(n), ((w + 1) * chunk).min(n)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Caps `par`'s worker count so each worker gets at least `min_units` of the
+/// `units` total work (always at least one worker).
+pub fn effective_workers(par: Parallelism, units: usize, min_units: usize) -> usize {
+    let by_work = units.checked_div(min_units).unwrap_or(units);
+    par.workers().min(by_work.max(1))
+}
+
+/// Runs `f(row_lo, row_hi, chunk)` over disjoint row blocks of the
+/// `rows x cols` row-major buffer `out`, sharded across up to `workers`
+/// scoped threads (`workers <= 1` runs inline on the calling thread).
+///
+/// Each invocation owns the sub-slice for rows `row_lo..row_hi`; rows are
+/// never shared, so any per-row computation is race-free and bit-identical
+/// to a serial left-to-right pass.
+pub fn par_for_row_chunks<F>(out: &mut [f64], rows: usize, cols: usize, workers: usize, f: F)
+where
+    F: Fn(usize, usize, &mut [f64]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * cols, "par_for_row_chunks: buffer/shape mismatch");
+    let workers = workers.clamp(1, rows.max(1));
+    if workers <= 1 {
+        f(0, rows, out);
+        return;
+    }
+    let ranges = shard_ranges(rows, workers);
+    std::thread::scope(|s| {
+        let mut rest = out;
+        for &(lo, hi) in &ranges {
+            let (chunk, tail) = rest.split_at_mut((hi - lo) * cols);
+            rest = tail;
+            let f = &f;
+            s.spawn(move || f(lo, hi, chunk));
+        }
+    });
+}
+
+/// Evaluates `f(i)` for every `i in 0..n`, sharded across up to `workers`
+/// scoped threads, and returns the results in index order. Each slot is
+/// computed exactly once, so the output is identical to a serial map.
+pub fn par_map_values<R, F>(n: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send + Default + Clone,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    let mut out = vec![R::default(); n];
+    if workers <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return out;
+    }
+    let ranges = shard_ranges(n, workers);
+    std::thread::scope(|s| {
+        let mut rest = out.as_mut_slice();
+        for &(lo, hi) in &ranges {
+            let (chunk, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            let f = &f;
+            s.spawn(move || {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = f(lo + k);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Worker count for a GEMM with `madds` multiply-adds under `par`, capped so
+/// each worker has enough work to amortise its spawn.
+fn gemm_workers(par: Parallelism, madds: usize, rows: usize) -> usize {
+    effective_workers(par, madds, MIN_MADDS_PER_WORKER).min(rows.max(1))
+}
+
+/// Blocked `C += A * B` for output rows `r0..r1`; `out` is the chunk holding
+/// exactly those rows. Accumulates each output element in ascending-`k`
+/// order (matching the historical `i-k-j` loop bit for bit, including its
+/// skip of exact-zero `a[i][k]` entries).
+fn gemm_nn_rows(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    r0: usize,
+    r1: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    for kb in (0..k_dim).step_by(KC) {
+        let k_hi = (kb + KC).min(k_dim);
+        for jb in (0..n).step_by(NC) {
+            let j_hi = (jb + NC).min(n);
+            for i in r0..r1 {
+                let a_row = &a[i * k_dim..(i + 1) * k_dim];
+                let out_row = &mut out[(i - r0) * n + jb..(i - r0) * n + j_hi];
+                for k in kb..k_hi {
+                    let aik = a_row[k];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[k * n + jb..k * n + j_hi];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C[i][j] = dot(a.row(i), b.row(j))` for output rows `r0..r1`.
+fn gemm_nt_rows(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    r0: usize,
+    r1: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    for i in r0..r1 {
+        let a_row = &a[i * k_dim..(i + 1) * k_dim];
+        let out_row = &mut out[(i - r0) * n..(i - r0 + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k_dim..(j + 1) * k_dim];
+            *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+        }
+    }
+}
+
+/// `C += A^T * B` for the output rows starting at `r0` (columns of `A`);
+/// the row count is implied by `out.len() / n`. Per-element accumulation
+/// runs over `k` (the shared row index) in ascending order with the same
+/// exact-zero skip as the historical loop, so the result is bit-identical
+/// for every row sharding.
+fn gemm_tn_rows(a: &[f64], b: &[f64], out: &mut [f64], r0: usize, a_cols: usize, n: usize) {
+    let a_rows = a.len().checked_div(a_cols).unwrap_or(0);
+    let r1 = r0 + out.len().checked_div(n).unwrap_or(0);
+    for kb in (0..a_rows).step_by(KC) {
+        let k_hi = (kb + KC).min(a_rows);
+        for k in kb..k_hi {
+            let b_row = &b[k * n..(k + 1) * n];
+            let a_row = &a[k * a_cols..(k + 1) * a_cols];
+            for i in r0..r1 {
+                let aki = a_row[i];
+                if aki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[(i - r0) * n..(i - r0 + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aki * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Matrix product `a * b` through the blocked kernel, sharding output rows
+/// across up to `par` worker threads. Bit-identical for every `par`.
+///
+/// # Panics
+/// Panics if the inner dimensions differ.
+#[track_caller]
+pub fn gemm(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions differ ({}x{} * {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k_dim, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    let workers = gemm_workers(par, m * k_dim * n, m);
+    let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    par_for_row_chunks(out.as_mut_slice(), m, n, workers, |r0, r1, chunk| {
+        gemm_nn_rows(a_s, b_s, chunk, r0, r1, k_dim, n);
+    });
+    out
+}
+
+/// Matrix product `a * b^T` without materialising the transpose, sharding
+/// output rows across up to `par` worker threads.
+///
+/// # Panics
+/// Panics if the column counts differ.
+#[track_caller]
+pub fn gemm_nt(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt: column counts differ ({}x{} * ({}x{})^T)",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k_dim, n) = (a.rows(), a.cols(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    let workers = gemm_workers(par, m * k_dim * n, m);
+    let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    par_for_row_chunks(out.as_mut_slice(), m, n, workers, |r0, r1, chunk| {
+        gemm_nt_rows(a_s, b_s, chunk, r0, r1, k_dim, n);
+    });
+    out
+}
+
+/// Matrix product `a^T * b` without materialising the transpose, sharding
+/// output rows (columns of `a`) across up to `par` worker threads.
+///
+/// # Panics
+/// Panics if the row counts differ.
+#[track_caller]
+pub fn gemm_tn(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn: row counts differ (({}x{})^T * {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (a_rows, m, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    let workers = gemm_workers(par, a_rows * m * n, m);
+    let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    par_for_row_chunks(out.as_mut_slice(), m, n, workers, |r0, _r1, chunk| {
+        gemm_tn_rows(a_s, b_s, chunk, r0, m, n);
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{randn, rng_from_seed};
+
+    fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        // The historical unblocked i-k-j loop, kept verbatim as the
+        // bit-identity oracle.
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        let oc = b.cols();
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let aik = a[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..oc {
+                    out[(i, j)] += aik * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_serial_gemm_is_bit_identical_to_reference() {
+        let mut rng = rng_from_seed(0);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (40, 33, 29), (130, 257, 65), (256, 64, 129)] {
+            let a = randn(&mut rng, m, k);
+            let b = randn(&mut rng, k, n);
+            let blocked = gemm(&a, &b, Parallelism::Serial);
+            let reference = reference_matmul(&a, &b);
+            assert_eq!(blocked.as_slice(), reference.as_slice(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_is_bit_identical_to_serial() {
+        let mut rng = rng_from_seed(1);
+        let a = randn(&mut rng, 97, 61);
+        let b = randn(&mut rng, 61, 83);
+        let serial = gemm(&a, &b, Parallelism::Serial);
+        for workers in [2, 3, 4, 7, 97, 500] {
+            let par = gemm(&a, &b, Parallelism::Threads(workers));
+            assert_eq!(par.as_slice(), serial.as_slice(), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_fused_transpose_products_are_bit_identical_to_serial() {
+        let mut rng = rng_from_seed(2);
+        let a = randn(&mut rng, 90, 45);
+        let b = randn(&mut rng, 70, 45);
+        let c = randn(&mut rng, 90, 31);
+        let nt_serial = gemm_nt(&a, &b, Parallelism::Serial);
+        let tn_serial = gemm_tn(&a, &c, Parallelism::Serial);
+        for workers in [2, 5, 16] {
+            let par = Parallelism::Threads(workers);
+            assert_eq!(gemm_nt(&a, &b, par).as_slice(), nt_serial.as_slice());
+            assert_eq!(gemm_tn(&a, &c, par).as_slice(), tn_serial.as_slice());
+        }
+    }
+
+    #[test]
+    fn gemm_handles_exact_zero_entries_like_the_reference() {
+        // The historical kernel skips a[i][k] == 0.0 rather than adding
+        // 0.0 * b, which matters for signed zeros and non-finite b entries.
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        a[(2, 1)] = -2.0;
+        let mut b = Matrix::ones(3, 4);
+        b[(1, 0)] = f64::INFINITY;
+        b[(2, 2)] = f64::NEG_INFINITY;
+        let reference = reference_matmul(&a, &b);
+        for par in [Parallelism::Serial, Parallelism::Threads(3)] {
+            let got = gemm(&a, &b, par);
+            assert_eq!(
+                got.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{par:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 2, 7, 100] {
+            for w in [1usize, 2, 3, 7, 100, 200] {
+                let ranges = shard_ranges(n, w);
+                let mut covered = vec![false; n];
+                for (lo, hi) in ranges {
+                    assert!(lo < hi && hi <= n);
+                    for slot in &mut covered[lo..hi] {
+                        assert!(!*slot, "overlapping shards");
+                        *slot = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "n={n} w={w} left gaps");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_values_matches_serial_map() {
+        let serial: Vec<usize> = (0..57).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8, 57, 100] {
+            assert_eq!(par_map_values(57, workers, |i| i * i), serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_for_row_chunks_fills_every_row_once() {
+        let rows = 23;
+        let cols = 5;
+        for workers in [1usize, 2, 4, 23, 64] {
+            let mut out = vec![0.0; rows * cols];
+            par_for_row_chunks(&mut out, rows, cols, workers, |lo, hi, chunk| {
+                for (k, row) in chunk.chunks_mut(cols).enumerate() {
+                    let i = lo + k;
+                    assert!(i < hi);
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = (i * cols + j) as f64;
+                    }
+                }
+            });
+            for (idx, &v) in out.iter().enumerate() {
+                assert_eq!(v, idx as f64, "workers = {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallelism_knob_semantics() {
+        assert_eq!(Parallelism::Serial.workers(), 1);
+        assert_eq!(Parallelism::Threads(0).workers(), 1);
+        assert_eq!(Parallelism::Threads(6).workers(), 6);
+        assert!(Parallelism::auto().workers() >= 1);
+        // effective_workers never exceeds the work available.
+        assert_eq!(effective_workers(Parallelism::Threads(8), 10, 100), 1);
+        assert_eq!(effective_workers(Parallelism::Threads(8), 1000, 100), 8);
+        assert_eq!(effective_workers(Parallelism::Serial, 1_000_000, 1), 1);
+    }
+
+    #[test]
+    fn global_knob_round_trips() {
+        // Whatever the env resolved to, an explicit set wins afterwards.
+        let before = Parallelism::global();
+        Parallelism::Threads(3).set_global();
+        assert_eq!(Parallelism::global(), Parallelism::Threads(3));
+        Parallelism::Serial.set_global();
+        assert_eq!(Parallelism::global(), Parallelism::Serial);
+        before.set_global();
+        assert_eq!(Parallelism::global().workers(), before.workers());
+    }
+}

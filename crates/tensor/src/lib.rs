@@ -13,16 +13,23 @@
 //! define-by-run tape ([`Graph`]) over a plain matrix type ([`Matrix`]).
 //!
 //! Modules:
-//! * [`matrix`] — the dense matrix type and BLAS-free kernels.
+//! * [`matrix`] — the dense matrix type and BLAS-free operations.
+//! * [`kernels`] — the cache-blocked, optionally multi-threaded GEMM layer
+//!   and the workspace-wide [`kernels::Parallelism`] knob every
+//!   matrix product funnels through.
 //! * [`graph`] — the autodiff tape (`Graph`, `TensorId`, ~40 primitive ops).
 //! * [`rng`] — seeded sampling helpers (Box–Muller normals, permutations).
 //! * [`gradcheck`] — finite-difference gradient verification used throughout
 //!   the workspace's test suites.
 
+#![warn(missing_docs)]
+
 pub mod gradcheck;
 pub mod graph;
+pub mod kernels;
 pub mod matrix;
 pub mod rng;
 
 pub use graph::{stable_sigmoid, stable_softplus, Graph, TensorId};
+pub use kernels::Parallelism;
 pub use matrix::Matrix;

@@ -309,78 +309,32 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Uses the cache-friendly `i-k-j` loop order; adequate for the layer
-    /// widths used in this workspace (<= a few hundred columns) without an
-    /// external BLAS.
+    /// Delegates to the cache-blocked, optionally multi-threaded
+    /// [`kernels::gemm`](crate::kernels::gemm) under the process-global
+    /// [`Parallelism`](crate::kernels::Parallelism) knob. Results are
+    /// bit-identical for every thread count (serial mode reproduces the
+    /// historical `i-k-j` loop exactly).
     #[track_caller]
     pub fn matmul(&self, other: &Self) -> Self {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul: inner dimensions differ ({}x{} * {}x{})",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Self::zeros(self.rows, other.cols);
-        let oc = other.cols;
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * oc..(i + 1) * oc];
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * oc..(k + 1) * oc];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * b;
-                }
-            }
-        }
-        out
+        crate::kernels::gemm(self, other, crate::kernels::Parallelism::global())
     }
 
     /// Matrix product `self * other^T` without materialising the transpose.
+    ///
+    /// Routed through [`kernels::gemm_nt`](crate::kernels::gemm_nt) under the
+    /// global [`Parallelism`](crate::kernels::Parallelism) knob.
     #[track_caller]
     pub fn matmul_nt(&self, other: &Self) -> Self {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_nt: column counts differ ({}x{} * ({}x{})^T)",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Self::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                *o = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
-            }
-        }
-        out
+        crate::kernels::gemm_nt(self, other, crate::kernels::Parallelism::global())
     }
 
     /// Matrix product `self^T * other` without materialising the transpose.
+    ///
+    /// Routed through [`kernels::gemm_tn`](crate::kernels::gemm_tn) under the
+    /// global [`Parallelism`](crate::kernels::Parallelism) knob.
     #[track_caller]
     pub fn matmul_tn(&self, other: &Self) -> Self {
-        assert_eq!(
-            self.rows, other.rows,
-            "matmul_tn: row counts differ (({}x{})^T * {}x{})",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Self::zeros(self.cols, other.cols);
-        let oc = other.cols;
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = &other.data[k * oc..(k + 1) * oc];
-            for (i, &aki) in a_row.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * oc..(i + 1) * oc];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += aki * b;
-                }
-            }
-        }
-        out
+        crate::kernels::gemm_tn(self, other, crate::kernels::Parallelism::global())
     }
 
     /// Transpose.

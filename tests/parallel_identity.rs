@@ -1,0 +1,182 @@
+//! Bit-identity guarantees of the parallel kernel layer: for random shapes,
+//! data, and worker counts, every sharded kernel (blocked GEMM, pairwise
+//! distances, HSIC matrices, plain IPMs) must reproduce its serial output
+//! bit for bit, and `Parallelism::Serial` must reproduce the exact
+//! predictions recorded before the kernel layer existed (PR 2 behaviour).
+
+use proptest::prelude::*;
+use sbrl_hap::core::{Estimator, SbrlConfig, TrainConfig};
+use sbrl_hap::data::{SyntheticConfig, SyntheticProcess};
+use sbrl_hap::models::CfrConfig;
+use sbrl_hap::stats::{
+    ipm_weighted_plain_with, pairwise_hsic_matrix_with, pairwise_sq_dists_with, rbf_kernel_with,
+    IpmKind, Rff,
+};
+use sbrl_hap::tensor::kernels::{gemm, gemm_nt, gemm_tn, Parallelism};
+use sbrl_hap::tensor::rng::{randn, rng_from_seed};
+use sbrl_hap::tensor::Matrix;
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn random_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
+    let mut rng = rng_from_seed(seed);
+    randn(&mut rng, rows, cols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_gemm_is_bit_identical_to_serial(
+        dims in (1usize..48, 1usize..48, 1usize..48, 2usize..12),
+        seed in 0u64..1_000,
+    ) {
+        let (m, k, n, threads) = dims;
+        let a = random_matrix(seed, m, k);
+        let b = random_matrix(seed ^ 0xabcd, k, n);
+        let serial = gemm(&a, &b, Parallelism::Serial);
+        let parallel = gemm(&a, &b, Parallelism::Threads(threads));
+        prop_assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    #[test]
+    fn parallel_fused_transpose_gemms_are_bit_identical_to_serial(
+        dims in (1usize..40, 1usize..40, 1usize..40, 2usize..12),
+        seed in 0u64..1_000,
+    ) {
+        let (m, k, n, threads) = dims;
+        let a = random_matrix(seed, m, k);
+        let b_nt = random_matrix(seed ^ 1, n, k); // a * b_nt^T
+        let b_tn = random_matrix(seed ^ 2, m, n); // a^T * b_tn
+        let par = Parallelism::Threads(threads);
+        prop_assert_eq!(
+            bits(&gemm_nt(&a, &b_nt, Parallelism::Serial)),
+            bits(&gemm_nt(&a, &b_nt, par))
+        );
+        prop_assert_eq!(
+            bits(&gemm_tn(&a, &b_tn, Parallelism::Serial)),
+            bits(&gemm_tn(&a, &b_tn, par))
+        );
+    }
+
+    #[test]
+    fn parallel_pairwise_kernels_are_bit_identical_to_serial(
+        dims in (1usize..64, 1usize..64, 1usize..6, 2usize..12),
+        seed in 0u64..1_000,
+    ) {
+        let (n, m, d, threads) = dims;
+        let a = random_matrix(seed, n, d);
+        let b = random_matrix(seed ^ 7, m, d);
+        let par = Parallelism::Threads(threads);
+        prop_assert_eq!(
+            bits(&pairwise_sq_dists_with(&a, &b, Parallelism::Serial)),
+            bits(&pairwise_sq_dists_with(&a, &b, par))
+        );
+        prop_assert_eq!(
+            bits(&rbf_kernel_with(&a, &b, 1.0, Parallelism::Serial)),
+            bits(&rbf_kernel_with(&a, &b, 1.0, par))
+        );
+    }
+
+    #[test]
+    fn parallel_hsic_matrix_is_bit_identical_to_serial(
+        dims in (2usize..80, 1usize..8, 2usize..12),
+        seed in 0u64..1_000,
+    ) {
+        let (n, d, threads) = dims;
+        let z = random_matrix(seed, n, d);
+        let mut rng = rng_from_seed(seed ^ 99);
+        let rff = Rff::sample(&mut rng, 5);
+        let weights: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64 * 0.25).collect();
+        for w in [None, Some(weights.as_slice())] {
+            let serial = pairwise_hsic_matrix_with(&z, &rff, w, Parallelism::Serial);
+            let parallel = pairwise_hsic_matrix_with(&z, &rff, w, Parallelism::Threads(threads));
+            prop_assert_eq!(bits(&serial), bits(&parallel));
+        }
+    }
+
+    #[test]
+    fn parallel_plain_ipms_are_bit_identical_to_serial(
+        dims in (1usize..48, 1usize..48, 1usize..5, 2usize..12),
+        seed in 0u64..1_000,
+    ) {
+        let (nt, nc, d, threads) = dims;
+        let phi_t = random_matrix(seed, nt, d);
+        let phi_c = random_matrix(seed ^ 3, nc, d);
+        let par = Parallelism::Threads(threads);
+        for kind in [
+            IpmKind::MmdLin,
+            IpmKind::MmdRbf { sigma: 1.0 },
+            IpmKind::MmdRbf { sigma: -1.0 }, // median heuristic path
+            IpmKind::Wasserstein { lambda: 10.0, iterations: 5 },
+        ] {
+            let serial =
+                ipm_weighted_plain_with(kind, &phi_t, &phi_c, None, None, Parallelism::Serial);
+            let parallel = ipm_weighted_plain_with(kind, &phi_t, &phi_c, None, None, par);
+            prop_assert!(serial.to_bits() == parallel.to_bits(), "{kind:?}: {serial} vs {parallel}");
+        }
+    }
+}
+
+/// `Parallelism::Serial` must reproduce, bit for bit, the predictions this
+/// exact fit produced *before* the blocked kernel layer existed (recorded
+/// from the PR 2 tree); and the parallel path must match serial on the same
+/// fit. Guards the "serial mode reproduces historical output" contract.
+#[test]
+fn serial_mode_reproduces_recorded_pr2_predictions() {
+    // (row index, y0_hat bits, y1_hat bits) recorded from the PR 2 tree with
+    // the single-threaded i-k-j matmul, for the fit below.
+    const GOLDEN: [(usize, u64, u64); 8] = [
+        (0, 0x3fb335b8902f3717, 0x3fd9c77cb67d6597),
+        (1, 0x3fc46f752ffbdabf, 0x3fd020917e0eb110),
+        (2, 0x3fe4ad37aac58021, 0x3fe5e7384c435e3f),
+        (50, 0x3fcebbff4964072f, 0x3fe85707d6af4085),
+        (100, 0x3fc4e36d7bbfdbd2, 0x3fe668a2fbad9295),
+        (150, 0x3fc5937ffd91a327, 0x3fe5ea4a8e2c64f7),
+        (200, 0x3fe23a2d1fbae5e3, 0x3fd677d5e577e2de),
+        (249, 0x3fc0fc4d58cea6d8, 0x3fe83252b9c0317a),
+    ];
+
+    let process = SyntheticProcess::new(SyntheticConfig::syn_8_8_8_2(), 21);
+    let train_data = process.generate(2.5, 300, 0);
+    let val_data = process.generate(2.5, 120, 1);
+    let test_data = process.generate(-2.5, 250, 2);
+    let cfg = TrainConfig {
+        iterations: 60,
+        batch_size: 64,
+        eval_every: 20,
+        patience: 40,
+        ..TrainConfig::default()
+    };
+    let fit = |par: Parallelism| {
+        par.set_global();
+        let fitted = Estimator::builder()
+            .backbone(CfrConfig::small(train_data.dim()))
+            .sbrl(SbrlConfig::sbrl_hap(1.0, 1.0, 0.1, 0.01))
+            .train(cfg)
+            .seed(11)
+            .fit(&train_data, &val_data)
+            .expect("training succeeds");
+        fitted.predict(&test_data.x)
+    };
+
+    let serial = fit(Parallelism::Serial);
+    for (i, y0_bits, y1_bits) in GOLDEN {
+        assert_eq!(serial.y0_hat[i].to_bits(), y0_bits, "y0[{i}] drifted from PR 2");
+        assert_eq!(serial.y1_hat[i].to_bits(), y1_bits, "y1[{i}] drifted from PR 2");
+    }
+
+    // The parallel path trains to bit-identical predictions.
+    let parallel = fit(Parallelism::Threads(4));
+    Parallelism::from_env().set_global();
+    assert_eq!(
+        serial.y0_hat.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        parallel.y0_hat.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    );
+    assert_eq!(
+        serial.y1_hat.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        parallel.y1_hat.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    );
+}

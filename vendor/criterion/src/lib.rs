@@ -9,10 +9,113 @@
 //! and prints mean / min / max wall-clock per iteration. It does not do
 //! criterion's statistical analysis, HTML reports, or baseline comparison.
 //!
+//! **Machine-readable baselines:** when the `SBRL_BENCH_JSON` environment
+//! variable names a file, the harness additionally records every benchmark's
+//! median wall-clock there as JSON (`{"bench", "git_rev", "threads",
+//! "results": [{"name", "median_ns", "samples"}]}`) — the `BENCH_*.json`
+//! baseline format tracked under `results/` and documented in
+//! `docs/PERFORMANCE.md`. The file is rewritten after every benchmark, so a
+//! partial run still leaves a valid snapshot.
+//!
 //! Swapping back to the real `criterion` is a one-line change in the
 //! workspace manifest; the bench sources already use the upstream names.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Every `(id, median_ns, samples)` recorded so far in this process, in
+/// execution order, feeding the `SBRL_BENCH_JSON` snapshot.
+static RECORDED: Mutex<Vec<(String, u128, usize)>> = Mutex::new(Vec::new());
+
+/// The bench name for the JSON snapshot: `SBRL_BENCH_NAME` if set, else the
+/// executable stem with cargo's trailing `-<hash>` stripped.
+fn bench_name() -> String {
+    if let Ok(name) = std::env::var("SBRL_BENCH_NAME") {
+        return name;
+    }
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    strip_cargo_hash(&stem).to_string()
+}
+
+/// Strips cargo's trailing `-<hex hash>` disambiguator from a bench
+/// executable stem (`gemm-0a1b2c3d4e5f6789` → `gemm`); stems without a
+/// plausible hash suffix pass through unchanged.
+fn strip_cargo_hash(stem: &str) -> &str {
+    match stem.rsplit_once('-') {
+        Some((base, hash))
+            if !base.is_empty()
+                && hash.len() >= 8
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base
+        }
+        _ => stem,
+    }
+}
+
+/// Best-effort short git revision for provenance; "unknown" when git or the
+/// repository is unavailable.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The thread count recorded in the snapshot: `SBRL_THREADS` when parsable
+/// and non-zero, else the machine's available parallelism.
+fn recorded_threads() -> usize {
+    match std::env::var("SBRL_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Records one result and, if `SBRL_BENCH_JSON` is set, rewrites the
+/// snapshot file with everything recorded so far.
+fn record_result(id: &str, median_ns: u128, samples: usize) {
+    let mut recorded = RECORDED.lock().expect("bench recorder poisoned");
+    recorded.push((id.to_string(), median_ns, samples));
+    let Ok(path) = std::env::var("SBRL_BENCH_JSON") else {
+        return;
+    };
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&bench_name())));
+    body.push_str(&format!("  \"git_rev\": \"{}\",\n", json_escape(&git_rev())));
+    body.push_str(&format!("  \"threads\": {},\n", recorded_threads()));
+    body.push_str("  \"results\": [\n");
+    for (i, (name, median, count)) in recorded.iter().enumerate() {
+        let comma = if i + 1 < recorded.len() { "," } else { "" };
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {median}, \"samples\": {count}}}{comma}\n",
+            json_escape(name)
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
 
 /// Benchmark harness configuration and entry point.
 pub struct Criterion {
@@ -155,6 +258,10 @@ impl Bencher {
             max,
             self.samples.len()
         );
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        record_result(id, median.as_nanos(), self.samples.len());
     }
 }
 
@@ -206,6 +313,33 @@ mod tests {
         });
         group.finish();
         assert!(ran >= 5, "routine ran {ran} times");
+    }
+
+    #[test]
+    fn recorder_produces_a_valid_json_snapshot() {
+        record_result("group/case_a", 12_345, 10);
+        record_result("group/case_b", 67_890, 5);
+        let recorded = RECORDED.lock().expect("recorder");
+        assert!(recorded.iter().any(|(n, m, s)| n == "group/case_a" && *m == 12_345 && *s == 10));
+        assert!(recorded.iter().any(|(n, m, s)| n == "group/case_b" && *m == 67_890 && *s == 5));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain/name_1"), "plain/name_1");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn strip_cargo_hash_only_removes_plausible_hashes() {
+        assert_eq!(strip_cargo_hash("gemm-0a1b2c3d4e5f6789"), "gemm");
+        assert_eq!(strip_cargo_hash("train_epoch-DEADBEEFdeadbeef"), "train_epoch");
+        // No suffix, non-hex suffix, or too-short suffix pass through.
+        assert_eq!(strip_cargo_hash("train_epoch"), "train_epoch");
+        assert_eq!(strip_cargo_hash("gemm-notahash!"), "gemm-notahash!");
+        assert_eq!(strip_cargo_hash("micro-abc"), "micro-abc");
+        assert_eq!(strip_cargo_hash("-0123456789abcdef"), "-0123456789abcdef");
     }
 
     #[test]
