@@ -1,7 +1,9 @@
 //! HSIC kernel-statistic bench at Fig. 5 scale: the classic biased RBF
-//! estimator (O(n³) through the GEMM layer) and the pairwise HSIC-RFF
-//! matrix (O(d² n) sharded over column pairs), serial vs parallel. Emits the
-//! baseline tracked in `results/BENCH_hsic.json` (see `docs/PERFORMANCE.md`).
+//! estimator (O(n²) kernel fills + implicit double-centring; it used to pay
+//! two O(n³) centring GEMMs) and the pairwise HSIC-RFF matrix (O(d² n) with
+//! per-column feature maps computed once, sharded over column pairs), serial
+//! vs parallel. Emits the baseline tracked in `results/BENCH_hsic.json`
+//! (see `docs/PERFORMANCE.md`).
 
 mod common;
 

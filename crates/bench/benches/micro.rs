@@ -5,11 +5,17 @@
 mod common;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sbrl_stats::{decorrelation_loss_graph, ipm_weighted_graph, DecorrelationConfig, IpmKind, Rff};
+use sbrl_stats::{
+    decorrelation_loss_graph_scratch, ipm_weighted_graph, DecorrelationConfig, HsicScratch,
+    IpmKind, Rff,
+};
 use sbrl_tensor::rng::{randn, rng_from_seed};
 use sbrl_tensor::{Graph, Matrix};
 use std::hint::black_box;
 
+// The autodiff cases mirror the trainer's step loop: one reusable tape
+// (reset per step, buffers pooled) and one per-fit scratch, so each sample
+// measures the steady-state cost of a step, not one-shot allocation churn.
 fn bench_micro(c: &mut Criterion) {
     let mut rng = rng_from_seed(0);
     let mut group = c.benchmark_group("micro");
@@ -21,17 +27,19 @@ fn bench_micro(c: &mut Criterion) {
     });
 
     let phi = randn(&mut rng, 128, 48);
+    let ones = Matrix::ones(128, 1);
     let treated: Vec<usize> = (0..64).collect();
     let control: Vec<usize> = (64..128).collect();
     for (label, kind) in [
         ("ipm_mmd_lin_fwd_bwd", IpmKind::MmdLin),
         ("ipm_wasserstein_fwd_bwd", IpmKind::Wasserstein { lambda: 10.0, iterations: 5 }),
     ] {
+        let mut g = Graph::new();
         group.bench_function(label, |bch| {
             bch.iter(|| {
-                let mut g = Graph::new();
-                let p = g.constant(phi.clone());
-                let w = g.param(Matrix::ones(128, 1));
+                g.reset();
+                let p = g.constant_copied(&phi);
+                let w = g.param_copied(&ones);
                 let loss = ipm_weighted_graph(&mut g, kind, p, w, &treated, &control);
                 g.backward(loss);
                 black_box(g.grad(w).map(Matrix::norm_fro))
@@ -42,13 +50,16 @@ fn bench_micro(c: &mut Criterion) {
     let z = randn(&mut rng, 128, 48);
     let rff = Rff::sample(&mut rng, 5);
     let cfg = DecorrelationConfig { normalize: false, ..Default::default() };
+    let mut g = Graph::new();
+    let mut scratch = HsicScratch::new();
     group.bench_function("hsic_decorrelation_fwd_bwd", |bch| {
         bch.iter(|| {
-            let mut g = Graph::new();
-            let zc = g.constant(z.clone());
-            let w = g.param(Matrix::ones(128, 1));
+            g.reset();
+            let zc = g.constant_copied(&z);
+            let w = g.param_copied(&ones);
             let mut r = rng_from_seed(1);
-            let loss = decorrelation_loss_graph(&mut g, zc, w, &rff, &cfg, &mut r);
+            let loss =
+                decorrelation_loss_graph_scratch(&mut g, zc, w, &rff, &cfg, &mut r, &mut scratch);
             g.backward(loss);
             black_box(g.grad(w).map(Matrix::norm_fro))
         });

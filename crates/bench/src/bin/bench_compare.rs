@@ -1,0 +1,90 @@
+//! CI bench-regression gate: compares freshly recorded `SBRL_BENCH_JSON`
+//! medians against a committed `results/BENCH_*.json` baseline and fails on
+//! gross regressions.
+//!
+//! ```sh
+//! bench_compare <baseline.json> <fresh.json> [tolerance]
+//! ```
+//!
+//! A case regresses when `fresh > tolerance * baseline` (default tolerance
+//! 2.0 — generous on purpose: CI runners are noisy and heterogeneous; the
+//! gate exists to catch order-of-magnitude rots, not micro-jitter). Cases
+//! present in only one file are reported but not fatal, so benches can be
+//! added or retired without breaking CI in the same commit.
+
+use std::process::ExitCode;
+
+use sbrl_bench::parse_bench_medians;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 || args.len() > 4 {
+        eprintln!("usage: bench_compare <baseline.json> <fresh.json> [tolerance]");
+        return ExitCode::from(2);
+    }
+    let tolerance: f64 = match args.get(3).map(|t| t.parse()) {
+        None => 2.0,
+        Some(Ok(t)) if t > 0.0 => t,
+        Some(_) => {
+            eprintln!("bench_compare: tolerance must be a positive number");
+            return ExitCode::from(2);
+        }
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_compare: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline_json), Some(fresh_json)) = (read(&args[1]), read(&args[2])) else {
+        return ExitCode::from(2);
+    };
+    let baseline = parse_bench_medians(&baseline_json);
+    let fresh = parse_bench_medians(&fresh_json);
+    if baseline.is_empty() {
+        eprintln!("bench_compare: no cases parsed from baseline {}", args[1]);
+        return ExitCode::from(2);
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (name, base_ns) in &baseline {
+        match fresh.iter().find(|(n, _)| n == name) {
+            Some((_, fresh_ns)) => {
+                compared += 1;
+                let ratio = *fresh_ns as f64 / (*base_ns).max(1) as f64;
+                let verdict = if ratio > tolerance {
+                    regressions += 1;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{verdict:>9}  {name}: baseline {base_ns} ns, fresh {fresh_ns} ns \
+                     ({ratio:.2}x)"
+                );
+            }
+            None => println!("  missing  {name}: present in baseline only (skipped)"),
+        }
+    }
+    for (name, _) in &fresh {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("      new  {name}: present in fresh run only (skipped)");
+        }
+    }
+
+    if compared == 0 {
+        eprintln!("bench_compare: no overlapping cases between the two files");
+        return ExitCode::from(2);
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_compare: {regressions} case(s) regressed beyond {tolerance}x the \
+             committed baseline"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_compare: {compared} case(s) within {tolerance}x of the baseline");
+    ExitCode::SUCCESS
+}

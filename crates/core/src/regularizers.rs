@@ -10,7 +10,7 @@
 
 use rand::rngs::StdRng;
 use sbrl_models::{BatchContext, LayerTaps};
-use sbrl_stats::{decorrelation_loss_graph, ipm_weighted_graph, Rff};
+use sbrl_stats::{decorrelation_loss_graph_scratch, ipm_weighted_graph, HsicScratch, Rff};
 use sbrl_tensor::{Graph, TensorId};
 
 use crate::config::SbrlConfig;
@@ -34,6 +34,8 @@ pub struct WeightLossTerms {
 /// `w` must be the *trainable* batch-weight node
 /// ([`crate::weights::SampleWeights::bind_trainable`]); the representations
 /// should come from a frozen binding so gradients stop at the taps.
+/// `scratch` is the per-fit [`HsicScratch`] shared by every decorrelation
+/// term — reusing it across steps keeps the weight phase allocation-free.
 #[allow(clippy::too_many_arguments)]
 pub fn weight_objective(
     g: &mut Graph,
@@ -44,6 +46,7 @@ pub fn weight_objective(
     r_w: TensorId,
     rff: &Rff,
     rng: &mut StdRng,
+    scratch: &mut HsicScratch,
 ) -> WeightLossTerms {
     let mut total = r_w;
 
@@ -56,7 +59,7 @@ pub fn weight_objective(
     total = g.add(total, balance);
 
     let independence = if cfg.use_ir && cfg.gamma1 > 0.0 {
-        let d = decorrelation_loss_graph(g, taps.z_p, w, rff, &cfg.decor, rng);
+        let d = decorrelation_loss_graph_scratch(g, taps.z_p, w, rff, &cfg.decor, rng, scratch);
         g.scale(d, cfg.gamma1)
     } else {
         g.scalar_const(0.0)
@@ -66,13 +69,13 @@ pub fn weight_objective(
     let hierarchy = if cfg.use_hap {
         let mut h = g.scalar_const(0.0);
         if cfg.gamma2 > 0.0 {
-            let d = decorrelation_loss_graph(g, taps.z_r, w, rff, &cfg.decor, rng);
+            let d = decorrelation_loss_graph_scratch(g, taps.z_r, w, rff, &cfg.decor, rng, scratch);
             let s = g.scale(d, cfg.gamma2);
             h = g.add(h, s);
         }
         if cfg.gamma3 > 0.0 {
             for &z in &taps.z_o {
-                let d = decorrelation_loss_graph(g, z, w, rff, &cfg.decor, rng);
+                let d = decorrelation_loss_graph_scratch(g, z, w, rff, &cfg.decor, rng, scratch);
                 let s = g.scale(d, cfg.gamma3);
                 h = g.add(h, s);
             }
@@ -115,7 +118,9 @@ mod tests {
         let sq = g.square(shifted);
         let r_w = g.mean(sq);
         let rff = Rff::sample(&mut rng, 4);
-        let terms = weight_objective(&mut g, cfg, &taps, &ctx, w, r_w, &rff, &mut rng);
+        let mut scratch = HsicScratch::new();
+        let terms =
+            weight_objective(&mut g, cfg, &taps, &ctx, w, r_w, &rff, &mut rng, &mut scratch);
         (
             g.scalar(terms.balance),
             g.scalar(terms.independence),
@@ -170,7 +175,9 @@ mod tests {
         let r_w = g.mean(sq);
         let rff = Rff::sample(&mut rng, 4);
         let cfg = SbrlConfig::sbrl_hap(1.0, 1.0, 1.0, 1.0);
-        let terms = weight_objective(&mut g, &cfg, &taps, &ctx, w, r_w, &rff, &mut rng);
+        let mut scratch = HsicScratch::new();
+        let terms =
+            weight_objective(&mut g, &cfg, &taps, &ctx, w, r_w, &rff, &mut rng, &mut scratch);
         g.backward(terms.total);
         let grad = g.grad(w).expect("weights must receive gradient");
         assert!(grad.norm_fro() > 0.0, "non-trivial gradient expected");

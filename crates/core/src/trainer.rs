@@ -20,7 +20,7 @@ use sbrl_models::{select_by_treatment, Backbone, BatchContext};
 use sbrl_nn::{
     loss::l2_penalty, Adam, BatchIter, Binding, EarlyStopping, LrSchedule, Optimizer, OutcomeLoss,
 };
-use sbrl_stats::Rff;
+use sbrl_stats::{HsicScratch, Rff};
 use sbrl_tensor::rng::rng_from_seed;
 use sbrl_tensor::{Graph, Matrix};
 
@@ -321,21 +321,25 @@ fn loss_kind_for(outcome: OutcomeKind) -> OutcomeLoss {
 }
 
 /// Unweighted factual loss of the current model on a dataset (validation).
+/// `g` is the caller's reusable tape — it is reset here, and reading the
+/// scalar result out before returning keeps the tape free for the next step.
 fn factual_loss(
+    g: &mut Graph,
     model: &dyn Backbone,
     x: &Matrix,
     t: &[f64],
     yf: &[f64],
     loss_kind: OutcomeLoss,
 ) -> f64 {
-    let mut g = Graph::new();
+    g.reset();
     let mut binding = Binding::new_frozen(model.store());
-    let xc = g.constant(x.clone());
+    let xc = g.constant_copied(x);
     let ctx = BatchContext::new(t);
-    let pass = model.forward(&mut g, &mut binding, xc, &ctx);
-    let fac = select_by_treatment(&mut g, &ctx, pass.y1_raw, pass.y0_raw);
-    let target = g.constant(Matrix::col_vec(yf));
-    let loss = loss_kind.loss(&mut g, fac, target);
+    let pass = model.forward(g, &mut binding, xc, &ctx);
+    let fac = select_by_treatment(g, &ctx, pass.y1_raw, pass.y0_raw);
+    let target = g.constant_col(yf);
+    let loss = loss_kind.loss(g, fac, target);
+    g.give_id_buf(pass.taps.z_o);
     g.scalar(loss)
 }
 
@@ -389,6 +393,19 @@ pub(crate) fn fit_backbone<B: Backbone>(
     let rff = Rff::sample(&mut rng, sbrl.rff_functions.max(1));
     let l2_handles = model.l2_handles();
 
+    // Step engine state, allocated once and recycled every iteration: the
+    // reusable tape (with its buffer pool), the parameter bindings, the
+    // batch context/target scratch and the regularizer scratch. A warmed-up
+    // iteration performs no heap allocation.
+    let mut tape = Graph::new();
+    let mut net_binding = Binding::new(model.store());
+    let mut frozen_binding = Binding::new_frozen(model.store());
+    let mut w_binding = weights.new_binding();
+    let mut ctx = BatchContext::default();
+    let mut scratch = HsicScratch::new();
+    let mut tb: Vec<f64> = Vec::with_capacity(batches.batch_size());
+    let mut yb: Vec<f64> = Vec::with_capacity(batches.batch_size());
+
     let mut best_snapshot = model.store().snapshot();
     let mut best_val = f64::INFINITY;
     let mut best_iter = 0usize;
@@ -398,55 +415,61 @@ pub(crate) fn fit_backbone<B: Backbone>(
     for iter in 0..cfg.iterations {
         iterations_run = iter + 1;
         let batch = batches.next_batch(&mut rng);
-        let xb = x_train.select_rows(&batch);
-        let tb: Vec<f64> = batch.iter().map(|&i| train.t[i]).collect();
-        let yb: Vec<f64> = batch.iter().map(|&i| yf_train[i]).collect();
-        let ctx = BatchContext::new(&tb);
+        tb.clear();
+        tb.extend(batch.iter().map(|&i| train.t[i]));
+        yb.clear();
+        yb.extend(batch.iter().map(|&i| yf_train[i]));
+        ctx.rebuild(&tb);
 
         // ---- Phase 1: network update with weights fixed (Eq. 13) ----
         {
-            let mut g = Graph::new();
-            let mut binding = Binding::new(model.store());
-            let x = g.constant(xb.clone());
-            let pass = model.train_step().forward(&mut g, &mut binding, x, &ctx);
-            let fac = select_by_treatment(&mut g, &ctx, pass.y1_raw, pass.y0_raw);
-            let target = g.constant(Matrix::col_vec(&yb));
+            tape.reset();
+            net_binding.reset(model.store());
+            let g = &mut tape;
+            let x = g.constant_selected_rows(&x_train, batch);
+            let pass = model.train_step().forward(g, &mut net_binding, x, &ctx);
+            let fac = select_by_treatment(g, &ctx, pass.y1_raw, pass.y0_raw);
+            let target = g.constant_col(&yb);
             let w_node = if sbrl.weights_enabled() {
-                weights.bind_const(&mut g, &batch)
+                weights.bind_const(g, batch)
             } else {
-                g.constant(Matrix::ones(batch.len(), 1))
+                g.constant_full(batch.len(), 1, 1.0)
             };
-            let pred = loss_kind.weighted_loss(&mut g, fac, target, w_node);
+            let pred = loss_kind.weighted_loss(g, fac, target, w_node);
             let with_reg = g.add(pred, pass.reg_loss);
-            let l2 = l2_penalty(&mut g, model.store(), &mut binding, &l2_handles, cfg.l2);
+            let l2 = l2_penalty(g, model.store(), &mut net_binding, &l2_handles, cfg.l2);
             let total = g.add(with_reg, l2);
+            g.give_id_buf(pass.taps.z_o);
             if !g.scalar(total).is_finite() {
                 return Err(SbrlError::NonFiniteLoss { iteration: iter });
             }
             g.backward(total);
-            opt.step(model.store_mut(), &g, &binding);
+            opt.step(model.store_mut(), g, &net_binding);
         }
 
         // ---- Phase 2: weight update with the network frozen (Eq. 11) ----
         if sbrl.weights_enabled() {
-            let mut g = Graph::new();
-            let mut frozen = Binding::new_frozen(model.store());
-            let x = g.constant(xb);
-            let pass = model.train_step().forward(&mut g, &mut frozen, x, &ctx);
-            let mut w_binding = weights.new_binding();
-            let w = weights.bind_trainable(&mut g, &mut w_binding, &batch);
-            let r_w = weights.r_w(&mut g, w);
-            let terms = weight_objective(&mut g, sbrl, &pass.taps, &ctx, w, r_w, &rff, &mut rng);
+            tape.reset();
+            frozen_binding.reset(model.store());
+            weights.reset_binding(&mut w_binding);
+            let g = &mut tape;
+            let x = g.constant_selected_rows(&x_train, batch);
+            let pass = model.train_step().forward(g, &mut frozen_binding, x, &ctx);
+            let w = weights.bind_trainable(g, &mut w_binding, batch);
+            let r_w = weights.r_w(g, w);
+            let terms =
+                weight_objective(g, sbrl, &pass.taps, &ctx, w, r_w, &rff, &mut rng, &mut scratch);
+            g.give_id_buf(pass.taps.z_o);
             if !g.scalar(terms.total).is_finite() {
                 return Err(SbrlError::NonFiniteLoss { iteration: iter });
             }
             g.backward(terms.total);
-            weights.step(&g, &w_binding);
+            weights.step(g, &w_binding);
         }
 
         // ---- Validation / early stopping ----
         if iter % cfg.eval_every == 0 || iter + 1 == cfg.iterations {
-            let vl = factual_loss(&model, &x_val, &val.t, &yf_val, loss_kind);
+            let vl = factual_loss(&mut tape, &model, &x_val, &val.t, &yf_val, loss_kind);
             val_curve.push((iter, vl));
             if vl.is_finite() && vl < best_val {
                 best_val = vl;
@@ -588,8 +611,15 @@ mod tests {
         let model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
         let untrained_model = Tarnet::new(TarnetConfig::small(train.dim()), &mut rng);
         let x_val = Scaler::fit(&train.x).transform(&val.x);
-        let before =
-            factual_loss(&untrained_model, &x_val, &val.t, &val.yf, OutcomeLoss::BceWithLogits);
+        let mut tape = Graph::new();
+        let before = factual_loss(
+            &mut tape,
+            &untrained_model,
+            &x_val,
+            &val.t,
+            &val.yf,
+            OutcomeLoss::BceWithLogits,
+        );
         let fitted = super::fit_backbone(
             model,
             &train,

@@ -75,8 +75,15 @@ impl SampleWeights {
     }
 
     /// Binds the batch weights as constants (network-update phase, Eq. 13).
+    /// The values are written straight into a pooled graph buffer, so the
+    /// steady-state step allocates nothing here.
     pub fn bind_const(&self, g: &mut Graph, batch: &[usize]) -> TensorId {
-        g.constant(Matrix::col_vec(&self.batch_values(batch)))
+        let mut buf = g.take_buffer(batch.len(), 1);
+        let raw = self.store.get(self.raw);
+        for (o, &i) in buf.as_mut_slice().iter_mut().zip(batch) {
+            *o = stable_softplus(raw[(i, 0)]);
+        }
+        g.constant(buf)
     }
 
     /// The anti-collapse regulariser `R_w = mean((w - 1)^2)` (Eq. 11).
@@ -89,6 +96,12 @@ impl SampleWeights {
     /// Creates a fresh binding over the weight store.
     pub fn new_binding(&self) -> Binding {
         Binding::new(&self.store)
+    }
+
+    /// Resets a binding created by [`SampleWeights::new_binding`] for reuse
+    /// on the next step (no allocation).
+    pub fn reset_binding(&self, binding: &mut Binding) {
+        binding.reset(&self.store);
     }
 
     /// Applies one optimiser step from the gradients in `g` / `binding`.

@@ -12,12 +12,14 @@
 use sbrl_nn::{Binding, OutcomeLoss, ParamHandle, ParamStore};
 use sbrl_tensor::{Graph, Matrix, TensorId};
 
-/// Batch-level context shared by all backbones: the treatment column and the
-/// within-batch treated/control index sets.
-#[derive(Clone, Debug)]
+/// Batch-level context shared by all backbones: the treatment column, its
+/// complement `1 - t`, and the within-batch treated/control index sets.
+#[derive(Clone, Debug, Default)]
 pub struct BatchContext {
     /// Treatments of the batch as an `n x 1` column.
     pub t: Vec<f64>,
+    /// Complement column `1 - t` (used by the factual head mix).
+    pub one_minus_t: Vec<f64>,
     /// Indices (within the batch) of treated units.
     pub treated_idx: Vec<usize>,
     /// Indices (within the batch) of control units.
@@ -27,11 +29,27 @@ pub struct BatchContext {
 impl BatchContext {
     /// Builds the context from a treatment slice.
     pub fn new(t: &[f64]) -> Self {
-        let treated_idx =
-            t.iter().enumerate().filter_map(|(i, &ti)| (ti > 0.5).then_some(i)).collect();
-        let control_idx =
-            t.iter().enumerate().filter_map(|(i, &ti)| (ti <= 0.5).then_some(i)).collect();
-        Self { t: t.to_vec(), treated_idx, control_idx }
+        let mut ctx = Self::default();
+        ctx.rebuild(t);
+        ctx
+    }
+
+    /// Refills the context from a treatment slice, reusing the existing
+    /// buffers' capacity — the allocation-free per-step path of the trainer.
+    pub fn rebuild(&mut self, t: &[f64]) {
+        self.t.clear();
+        self.t.extend_from_slice(t);
+        self.one_minus_t.clear();
+        self.one_minus_t.extend(t.iter().map(|&ti| 1.0 - ti));
+        self.treated_idx.clear();
+        self.control_idx.clear();
+        for (i, &ti) in t.iter().enumerate() {
+            if ti > 0.5 {
+                self.treated_idx.push(i);
+            } else {
+                self.control_idx.push(i);
+            }
+        }
     }
 
     /// Batch size.
@@ -44,9 +62,9 @@ impl BatchContext {
         self.t.is_empty()
     }
 
-    /// The treatment column as a graph constant.
+    /// The treatment column as a graph constant (pooled).
     pub fn t_const(&self, g: &mut Graph) -> TensorId {
-        g.constant(Matrix::col_vec(&self.t))
+        g.constant_col(&self.t)
     }
 }
 
@@ -199,8 +217,7 @@ pub fn select_by_treatment(
     on_control: TensorId,
 ) -> TensorId {
     let t = ctx.t_const(g);
-    let one_minus: Vec<f64> = ctx.t.iter().map(|&ti| 1.0 - ti).collect();
-    let omt = g.constant(Matrix::col_vec(&one_minus));
+    let omt = g.constant_col(&ctx.one_minus_t);
     let a = g.mul_col(on_treated, t);
     let b = g.mul_col(on_control, omt);
     g.add(a, b)

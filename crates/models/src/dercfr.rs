@@ -25,7 +25,7 @@
 use rand::rngs::StdRng;
 use sbrl_nn::{Activation, BatchNorm, Binding, Init, Mlp, ParamHandle, ParamStore};
 use sbrl_stats::{ipm_graph, IpmKind};
-use sbrl_tensor::{Graph, Matrix, TensorId};
+use sbrl_tensor::{Graph, TensorId};
 
 use crate::backbone::{select_by_treatment, Backbone, BatchContext, ForwardPass, LayerTaps};
 use crate::tarnet::TarnetConfig;
@@ -195,7 +195,7 @@ impl DerCfr {
                 reg = g.add(reg, s);
             }
             if c.beta > 0.0 {
-                let t_target = g.constant(Matrix::col_vec(&ctx.t));
+                let t_target = g.constant_col(&ctx.t);
                 let t_loss = sbrl_nn::loss::bce_with_logits(g, t_logit.output, t_target);
                 let s = g.scale(t_loss, c.beta);
                 reg = g.add(reg, s);
@@ -208,8 +208,10 @@ impl DerCfr {
         }
 
         // Taps: Z_r is the confounder representation (the layer DeR-CFR
-        // balances); the I/A outputs and all earlier hiddens are Z_o.
-        let mut z_o: Vec<TensorId> = Vec::new();
+        // balances); the I/A outputs and all earlier hiddens are Z_o. Tap
+        // buffers come from / return to the graph's id-buffer pool so the
+        // training step stays allocation-free.
+        let mut z_o: Vec<TensorId> = g.take_id_buf();
         for out in [&out_i, &out_c, &out_a] {
             z_o.extend_from_slice(&out.taps[..out.taps.len() - 1]);
         }
@@ -225,13 +227,12 @@ impl DerCfr {
         } else {
             rep_c
         };
-
-        ForwardPass {
-            y0_raw: h0.output,
-            y1_raw: h1.output,
-            taps: LayerTaps { z_o, z_r: rep_c, z_p },
-            reg_loss: reg,
+        let (y0_raw, y1_raw) = (h0.output, h1.output);
+        for out in [out_i, out_c, out_a, t_logit, h0, h1] {
+            g.give_id_buf(out.taps);
         }
+
+        ForwardPass { y0_raw, y1_raw, taps: LayerTaps { z_o, z_r: rep_c, z_p }, reg_loss: reg }
     }
 }
 

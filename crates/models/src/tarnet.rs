@@ -162,8 +162,11 @@ impl Tarnet {
 
         // Hidden taps: rep hiddens before Φ are "other" layers; the factual
         // mix of the heads' last hidden layers is Z_p; earlier head hiddens
-        // are "other" layers too.
-        let mut z_o: Vec<TensorId> = rep_out.taps[..rep_out.taps.len() - 1].to_vec();
+        // are "other" layers too. The rep tap list is reused as the z_o
+        // buffer and the head tap lists are recycled, so a warmed-up step
+        // allocates nothing here.
+        let mut z_o: Vec<TensorId> = rep_out.taps;
+        z_o.pop(); // the last rep tap is Φ itself
         let n_hidden = self.head0.num_layers() - 1; // exclude linear output
         for l in 0..n_hidden.saturating_sub(1) {
             let mixed = select_by_treatment(g, ctx, h1.taps[l], h0.taps[l]);
@@ -174,6 +177,8 @@ impl Tarnet {
         } else {
             phi
         };
+        g.give_id_buf(h0.taps);
+        g.give_id_buf(h1.taps);
 
         let zero = g.scalar_const(0.0);
         let pass = ForwardPass {

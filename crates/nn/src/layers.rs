@@ -150,14 +150,14 @@ impl BatchNorm {
         let var = g.mean_axis0(sq);
         let var_eps = g.add_scalar(var, self.eps);
         let std = g.sqrt(var_eps);
-        // Track running stats outside the tape.
-        let mean_v = g.value(mean).as_slice().to_vec();
-        let var_v = g.value(var).as_slice().to_vec();
-        for j in 0..self.dim {
-            self.running_mean[j] =
-                self.momentum * self.running_mean[j] + (1.0 - self.momentum) * mean_v[j];
-            self.running_var[j] =
-                self.momentum * self.running_var[j] + (1.0 - self.momentum) * var_v[j];
+        // Track running stats outside the tape (reading the node values in
+        // place keeps the training step allocation-free).
+        let momentum = self.momentum;
+        for (rm, &mv) in self.running_mean.iter_mut().zip(g.value(mean).as_slice()) {
+            *rm = momentum * *rm + (1.0 - momentum) * mv;
+        }
+        for (rv, &vv) in self.running_var.iter_mut().zip(g.value(var).as_slice()) {
+            *rv = momentum * *rv + (1.0 - momentum) * vv;
         }
         let normalised = g.div_row(centred, std);
         let scaled = g.mul_row(normalised, gamma);
@@ -251,6 +251,10 @@ impl Mlp {
     }
 
     /// Forward pass returning all layer taps.
+    ///
+    /// The tap list is drawn from the graph's recycled id-buffer pool;
+    /// callers chasing allocation-free steps should return it via
+    /// [`Graph::give_id_buf`] once the taps are no longer needed.
     pub fn forward(
         &self,
         store: &ParamStore,
@@ -258,7 +262,8 @@ impl Mlp {
         g: &mut Graph,
         x: TensorId,
     ) -> MlpOutput {
-        let mut taps = Vec::with_capacity(self.layers.len());
+        let mut taps = g.take_id_buf();
+        taps.reserve(self.layers.len());
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {

@@ -114,16 +114,20 @@ impl Optimizer for Adam {
 
         for (h, id) in binding.bound() {
             let Some(grad) = g.grad(id) else { continue };
-            let grad = if scale != 1.0 { grad.scale(scale) } else { grad.clone() };
             let m = self.m[h.0].get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
             let v = self.v[h.0].get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
             let param = store.get_mut(h);
-            for ((p, gi), (mi, vi)) in param
+            // The gradient is read in place (no clone); clip scaling is
+            // applied per element only when it fires, matching the historical
+            // `grad.scale(scale)` bit for bit while keeping the steady-state
+            // step allocation-free.
+            for ((p, &gr), (mi, vi)) in param
                 .as_mut_slice()
                 .iter_mut()
                 .zip(grad.as_slice())
                 .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
             {
+                let gi = if scale != 1.0 { gr * scale } else { gr };
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
                 let m_hat = *mi / bias1;

@@ -116,15 +116,26 @@ impl Binding {
         self.frozen
     }
 
+    /// Clears the memoised node ids so the binding can serve another step on
+    /// a reused [`Graph`] without reallocating (the id table's capacity is
+    /// retained).
+    pub fn reset(&mut self, store: &ParamStore) {
+        self.ids.clear();
+        self.ids.resize(store.len(), None);
+    }
+
     /// Inserts the parameter into the graph (once) and returns its node id.
+    ///
+    /// Parameter values are copied into the graph through its buffer pool,
+    /// so binding on a warmed-up reused tape performs no heap allocation.
     pub fn bind(&mut self, store: &ParamStore, g: &mut Graph, h: ParamHandle) -> TensorId {
         if let Some(id) = self.ids[h.0] {
             return id;
         }
         let id = if self.frozen {
-            g.constant(store.get(h).clone())
+            g.constant_copied(store.get(h))
         } else {
-            g.param(store.get(h).clone())
+            g.param_copied(store.get(h))
         };
         self.ids[h.0] = Some(id);
         id

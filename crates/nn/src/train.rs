@@ -4,7 +4,7 @@
 //! validation metric and reports the best-evaluated iterate (Sec. V-C).
 
 use rand::rngs::StdRng;
-use sbrl_tensor::rng::permutation;
+use sbrl_tensor::rng::{permutation, permutation_into};
 
 /// Cycles over shuffled mini-batches of indices `0..n`.
 pub struct BatchIter {
@@ -27,12 +27,17 @@ impl BatchIter {
     }
 
     /// Returns the next batch of indices, reshuffling after each epoch.
-    pub fn next_batch(&mut self, rng: &mut StdRng) -> Vec<usize> {
+    ///
+    /// The returned slice borrows the iterator's internal order buffer, so
+    /// steady-state batching (including the epoch-boundary reshuffle, which
+    /// rebuilds the permutation in place with the same RNG draws) performs no
+    /// heap allocation.
+    pub fn next_batch(&mut self, rng: &mut StdRng) -> &[usize] {
         if self.cursor + self.batch_size > self.n {
-            self.order = permutation(rng, self.n);
+            permutation_into(rng, &mut self.order, self.n);
             self.cursor = 0;
         }
-        let batch = self.order[self.cursor..self.cursor + self.batch_size].to_vec();
+        let batch = &self.order[self.cursor..self.cursor + self.batch_size];
         self.cursor += self.batch_size;
         batch
     }
@@ -121,7 +126,7 @@ mod tests {
         let mut it = BatchIter::new(&mut rng, 10, 4);
         let mut counts = vec![0usize; 10];
         for _ in 0..25 {
-            for i in it.next_batch(&mut rng) {
+            for &i in it.next_batch(&mut rng) {
                 counts[i] += 1;
             }
         }

@@ -21,10 +21,10 @@
 
 use rand::rngs::StdRng;
 use sbrl_tensor::kernels::{effective_workers, par_map_values, Parallelism};
-use sbrl_tensor::rng::{sample_standard_normal, sample_uniform, sample_without_replacement};
+use sbrl_tensor::rng::{permutation_into, sample_standard_normal, sample_uniform};
 use sbrl_tensor::{Graph, Matrix, TensorId};
 
-use crate::kernels::{centering_matrix, median_bandwidth, rbf_kernel};
+use crate::kernels::{median_bandwidth, rbf_kernel};
 
 /// Minimum `column pairs x samples` units a worker must own before the
 /// pairwise HSIC matrix spawns it.
@@ -102,18 +102,7 @@ pub fn hsic_rff_pair(a: &[f64], b: &[f64], rff: &Rff, weights: Option<&[f64]>) -
             mean_v[i] += w[r] * v[(r, i)];
         }
     }
-    let mut frob2 = 0.0;
-    for i in 0..k {
-        for j in 0..k {
-            let mut cov = 0.0;
-            for r in 0..n {
-                cov += w[r] * u[(r, i)] * v[(r, j)];
-            }
-            cov -= mean_u[i] * mean_v[j];
-            frob2 += cov * cov;
-        }
-    }
-    frob2
+    cross_cov_frob2(&u, &v, &mean_u, &mean_v, &w)
 }
 
 /// Symmetric `d x d` matrix of pairwise `HSIC_RFF` values between the columns
@@ -127,9 +116,13 @@ pub fn pairwise_hsic_matrix(z: &Matrix, rff: &Rff, weights: Option<&[f64]>) -> M
 
 /// [`pairwise_hsic_matrix`] under an explicit [`Parallelism`] setting.
 ///
-/// The `d (d + 1) / 2` unordered column pairs are sharded across workers;
-/// each pair's statistic is computed independently by exactly one worker, so
-/// the result is bit-identical for every setting.
+/// The Fourier feature map and its weighted column means are computed
+/// **once per column** (not once per pair, which used to re-extract every
+/// column into fresh vectors on each call) and shared read-only across the
+/// `d (d + 1) / 2` unordered pairs; each pair's statistic is then computed
+/// independently by exactly one worker from the same per-column values the
+/// pairwise evaluation would produce, so the result is bit-identical for
+/// every setting.
 pub fn pairwise_hsic_matrix_with(
     z: &Matrix,
     rff: &Rff,
@@ -137,15 +130,39 @@ pub fn pairwise_hsic_matrix_with(
     par: Parallelism,
 ) -> Matrix {
     let d = z.cols();
-    let cols: Vec<Vec<f64>> = (0..d).map(|j| z.col(j)).collect();
+    let n = z.rows();
+    if d == 0 {
+        return Matrix::zeros(0, 0);
+    }
+    if n == 0 {
+        return Matrix::zeros(d, d);
+    }
+    let w = normalized_weights(weights, n);
+    let k = rff.num_functions();
+    // One transpose makes every column a contiguous row slice; per-column
+    // feature maps and weighted means are then computed exactly once.
+    let zt = z.transpose();
+    let maps: Vec<Matrix> = (0..d).map(|j| rff.feature_map(zt.row(j))).collect();
+    let means: Vec<Vec<f64>> = maps
+        .iter()
+        .map(|u| {
+            let mut mean = vec![0.0; k];
+            for r in 0..n {
+                for i in 0..k {
+                    mean[i] += w[r] * u[(r, i)];
+                }
+            }
+            mean
+        })
+        .collect();
+
     let pairs: Vec<(usize, usize)> = (0..d).flat_map(|a| (a..d).map(move |b| (a, b))).collect();
     // Gate the shard count on pairs x samples (each pair is O(n) in the
     // sample count for a fixed Fourier bank).
-    let workers =
-        effective_workers(par, pairs.len() * z.rows().max(1), MIN_PAIR_SAMPLES_PER_WORKER);
+    let workers = effective_workers(par, pairs.len() * n.max(1), MIN_PAIR_SAMPLES_PER_WORKER);
     let vals = par_map_values(pairs.len(), workers, |p| {
         let (a, b) = pairs[p];
-        hsic_rff_pair(&cols[a], &cols[b], rff, weights)
+        cross_cov_frob2(&maps[a], &maps[b], &means[a], &means[b], &w)
     });
     let mut out = Matrix::zeros(d, d);
     for (&(a, b), &v) in pairs.iter().zip(&vals) {
@@ -153,6 +170,26 @@ pub fn pairwise_hsic_matrix_with(
         out[(b, a)] = v;
     }
     out
+}
+
+/// `|| Cov_w(u, v) ||_F^2` from precomputed feature maps and weighted means
+/// — the shared kernel of [`hsic_rff_pair`] and [`pairwise_hsic_matrix`]
+/// (identical accumulation order in both).
+fn cross_cov_frob2(u: &Matrix, v: &Matrix, mean_u: &[f64], mean_v: &[f64], w: &[f64]) -> f64 {
+    let n = u.rows();
+    let k = u.cols();
+    let mut frob2 = 0.0;
+    for i in 0..k {
+        for j in 0..k {
+            let mut cov = 0.0;
+            for r in 0..n {
+                cov += w[r] * u[(r, i)] * v[(r, j)];
+            }
+            cov -= mean_u[i] * mean_v[j];
+            frob2 += cov * cov;
+        }
+    }
+    frob2
 }
 
 /// Mean of the off-diagonal entries of [`pairwise_hsic_matrix`] — the
@@ -177,10 +214,14 @@ pub fn mean_offdiag_hsic(z: &Matrix, rff: &Rff, weights: Option<&[f64]>) -> f64 
 /// Classic biased HSIC estimator `tr(K_a H K_b H) / (n-1)^2` with RBF
 /// kernels (test oracle for the RFF approximation's behaviour).
 ///
-/// Non-positive bandwidths select the median heuristic per input. The O(n²)
-/// kernel matrices and the O(n³) centring products run through the blocked,
-/// row-sharded GEMM layer, so the estimator parallelises under the global
-/// [`Parallelism`] knob with bit-identical results for every setting.
+/// Non-positive bandwidths select the median heuristic per input. The
+/// centring by `H = I - 11^T/n` is applied **implicitly**: `K_a` is
+/// double-centred through its row/column/grand means and the trace collapses
+/// to an elementwise dot with the (symmetric) `K_b`, so the estimator costs
+/// O(n²) instead of the two O(n³) GEMMs that materialising
+/// `centering_matrix(n)` used to pay. Mathematically identical to the
+/// explicit product (up to floating-point summation order); the O(n²)
+/// kernel fills still parallelise under the global [`Parallelism`] knob.
 ///
 /// # Example
 ///
@@ -208,11 +249,22 @@ pub fn hsic_biased(a: &Matrix, b: &Matrix, sigma_a: f64, sigma_b: f64) -> f64 {
     let sb = if sigma_b > 0.0 { sigma_b } else { median_bandwidth(b) };
     let ka = rbf_kernel(a, a, sa);
     let kb = rbf_kernel(b, b, sb);
-    let h = centering_matrix(n);
-    let kah = ka.matmul(&h);
-    let kbh = kb.matmul(&h);
-    let prod = kah.matmul(&kbh);
-    let trace: f64 = (0..n).map(|i| prod[(i, i)]).sum();
+
+    // Implicit double-centring of K_a: with H = I - 11^T/n,
+    //   (H K_a H)[i][j] = K_a[i][j] - r_i - r_j + m
+    // where r_i are row means (K_a is symmetric, so column means coincide)
+    // and m is the grand mean. By trace cyclicity and K_b's symmetry,
+    //   tr(K_a H K_b H) = Σ_ij (H K_a H)[i][j] · K_b[i][j].
+    let inv_n = 1.0 / n as f64;
+    let row_means: Vec<f64> = (0..n).map(|i| ka.row(i).iter().sum::<f64>() * inv_n).collect();
+    let grand_mean = row_means.iter().sum::<f64>() * inv_n;
+    let mut trace = 0.0;
+    for i in 0..n {
+        let r_i = row_means[i];
+        for (j, (&kav, &kbv)) in ka.row(i).iter().zip(kb.row(i)).enumerate() {
+            trace += (kav - r_i - row_means[j] + grand_mean) * kbv;
+        }
+    }
     trace / ((n - 1) * (n - 1)) as f64
 }
 
@@ -238,6 +290,28 @@ impl Default for DecorrelationConfig {
     }
 }
 
+/// Per-fit scratch space for the SBRL decorrelation regularizer.
+///
+/// The weight-phase loss is rebuilt every optimiser step; this scratch keeps
+/// the step-invariant pieces alive across steps — currently the
+/// column-subsample permutation buffer, refilled in place with the same RNG
+/// draws as `sample_without_replacement` — so a warmed-up step allocates
+/// nothing in this module. All tensor values flow through the graph's own
+/// buffer pool, so results are bit-identical with or without a reused
+/// scratch.
+#[derive(Default)]
+pub struct HsicScratch {
+    perm: Vec<usize>,
+    coefs: Vec<(f64, f64)>,
+}
+
+impl HsicScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Differentiable weighted decorrelation loss `L_D(Z, w)` (Eq. 10):
 /// the sum over feature pairs of `HSIC^w_RFF` between columns of `z`.
 ///
@@ -245,6 +319,9 @@ impl Default for DecorrelationConfig {
 /// internally, Eq. 9); gradients flow into both `z` and `w`. `rng` drives the
 /// per-call column subsample when [`DecorrelationConfig::max_features`] caps
 /// the width.
+///
+/// Allocates a fresh [`HsicScratch`] per call; step loops should hold one
+/// scratch per fit and use [`decorrelation_loss_graph_scratch`] instead.
 pub fn decorrelation_loss_graph(
     g: &mut Graph,
     z: TensorId,
@@ -253,16 +330,34 @@ pub fn decorrelation_loss_graph(
     cfg: &DecorrelationConfig,
     rng: &mut StdRng,
 ) -> TensorId {
+    let mut scratch = HsicScratch::new();
+    decorrelation_loss_graph_scratch(g, z, w, rff, cfg, rng, &mut scratch)
+}
+
+/// [`decorrelation_loss_graph`] with an explicit per-fit [`HsicScratch`] —
+/// the allocation-free variant the trainer's weight phase uses every step.
+/// Bit-identical to the scratch-free version for the same RNG state.
+#[allow(clippy::too_many_arguments)]
+pub fn decorrelation_loss_graph_scratch(
+    g: &mut Graph,
+    z: TensorId,
+    w: TensorId,
+    rff: &Rff,
+    cfg: &DecorrelationConfig,
+    rng: &mut StdRng,
+    scratch: &mut HsicScratch,
+) -> TensorId {
     let (n, d_full) = g.value(z).shape();
     if n < 2 || d_full < 1 {
         return g.scalar_const(0.0);
     }
 
-    // Column subsample for wide layers.
+    // Column subsample for wide layers (identical RNG draws to
+    // `sample_without_replacement`, buffer reused across steps).
     let z = match cfg.max_features {
         Some(s) if d_full > s => {
-            let idx = sample_without_replacement(rng, d_full, s);
-            g.gather_cols(z, &idx)
+            permutation_into(rng, &mut scratch.perm, d_full);
+            g.gather_cols(z, &scratch.perm[..s])
         }
         _ => z,
     };
@@ -271,12 +366,43 @@ pub fn decorrelation_loss_graph(
         return g.scalar_const(0.0);
     }
 
-    // Optional standardisation with batch statistics held constant.
+    // Optional standardisation with batch statistics held constant. The
+    // statistics are computed straight into pooled graph buffers with the
+    // same accumulation order as `mean_axis0` / `std_axis0`.
     let z = if cfg.standardize {
-        let mean = g.value(z).mean_axis0();
-        let std = g.value(z).std_axis0().map(|s| 1.0 / s.max(1e-6));
+        let mut mean = g.take_buffer(1, d);
+        {
+            let zv = g.value(z);
+            mean.fill_with(0.0);
+            for i in 0..n {
+                for (m, &v) in mean.as_mut_slice().iter_mut().zip(zv.row(i)) {
+                    *m += v;
+                }
+            }
+            let inv = 1.0 / n as f64;
+            for m in mean.as_mut_slice() {
+                *m *= inv;
+            }
+        }
+        let mut inv_std = g.take_buffer(1, d);
+        {
+            let zv = g.value(z);
+            inv_std.fill_with(0.0);
+            for i in 0..n {
+                for ((s, &v), &m) in
+                    inv_std.as_mut_slice().iter_mut().zip(zv.row(i)).zip(mean.as_slice())
+                {
+                    let dv = v - m;
+                    *s += dv * dv;
+                }
+            }
+            let inv = 1.0 / n as f64;
+            for s in inv_std.as_mut_slice() {
+                *s = 1.0 / (*s * inv).sqrt().max(1e-6);
+            }
+        }
         let mean_c = g.constant(mean);
-        let inv_std_c = g.constant(std);
+        let inv_std_c = g.constant(inv_std);
         let centred = g.sub_row(z, mean_c);
         g.mul_row(centred, inv_std_c)
     } else {
@@ -285,19 +411,12 @@ pub fn decorrelation_loss_graph(
 
     // F = [sqrt(2) cos(w_1 z + phi_1) | ... | sqrt(2) cos(w_k z + phi_k)],
     // shape n x (k*d); feature `a`'s functions sit at columns {a, d+a, ...}.
-    let k = rff.num_functions();
-    let mut f = None;
-    for i in 0..k {
-        let scaled = g.scale(z, rff.omegas[i]);
-        let shifted = g.add_scalar(scaled, rff.phis[i]);
-        let cosv = g.cos(shifted);
-        let block = g.scale(cosv, (2.0f64).sqrt());
-        f = Some(match f {
-            None => block,
-            Some(acc) => g.concat_cols(acc, block),
-        });
-    }
-    let f = f.expect("k >= 1");
+    // One fused tape node builds the whole matrix (bit-identical to the
+    // historical per-function scale/add_scalar/cos/scale + concat chain).
+    let sqrt2 = (2.0f64).sqrt();
+    scratch.coefs.clear();
+    scratch.coefs.extend(rff.omegas.iter().copied().zip(rff.phis.iter().copied()));
+    let f = g.rff_features(z, &scratch.coefs, sqrt2);
 
     // Normalised weights and weighted covariance C = F^T diag(w_hat) F - m m^T.
     let w_sum = g.sum(w);
@@ -305,26 +424,20 @@ pub fn decorrelation_loss_graph(
     let w_hat = g.div_scalar_of(w, w_safe);
     let fw = g.mul_col(f, w_hat);
     let mean = g.sum_axis0(fw); // 1 x kd (weighted mean)
-    let ft = g.transpose(f);
-    let raw = g.matmul(ft, fw); // kd x kd
+    let raw = g.matmul_tn(f, fw); // kd x kd, fused transpose
     let mean_t = g.transpose(mean);
     let mm = g.matmul(mean_t, mean);
     let cov = g.sub(raw, mm);
 
     // Block masks: entry (p, q) belongs to feature pair (p mod d, q mod d).
-    let kd = k * d;
-    let offdiag_mask = Matrix::from_fn(kd, kd, |p, q| if p % d == q % d { 0.0 } else { 1.0 });
-    let mask_c = g.constant(offdiag_mask);
-    let masked = g.mul(cov, mask_c);
-    let off_sum = g.sumsq(masked);
+    // The fused reduction applies the {0,1} mask arithmetic on the fly —
+    // bit-identical to materialising the mask matrix, with no mask traffic.
+    let off_sum = g.block_masked_sumsq(cov, d, false);
     let mut loss = g.scale(off_sum, 0.5); // each unordered pair counted twice
 
     let mut num_pairs = (d * (d - 1) / 2) as f64;
     if cfg.include_diagonal {
-        let diag_mask = Matrix::from_fn(kd, kd, |p, q| if p % d == q % d { 1.0 } else { 0.0 });
-        let dmask_c = g.constant(diag_mask);
-        let dmasked = g.mul(cov, dmask_c);
-        let diag_sum = g.sumsq(dmasked);
+        let diag_sum = g.block_masked_sumsq(cov, d, true);
         loss = g.add(loss, diag_sum);
         num_pairs += d as f64;
     }
@@ -348,11 +461,12 @@ pub fn decorrelation_loss_plain(
     let d = z.cols();
     let mut acc = 0.0;
     let mut pairs = 0usize;
-    let cols: Vec<Vec<f64>> = (0..d).map(|j| z.col(j)).collect();
+    // One transpose turns every column into a borrowable contiguous row.
+    let zt = z.transpose();
     for a in 0..d {
         let lo = if include_diagonal { a } else { a + 1 };
         for b in lo..d {
-            acc += hsic_rff_pair(&cols[a], &cols[b], rff, weights);
+            acc += hsic_rff_pair(zt.row(a), zt.row(b), rff, weights);
             pairs += 1;
         }
     }

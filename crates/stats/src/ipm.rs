@@ -143,7 +143,7 @@ pub fn ipm_graph(
     control_idx: &[usize],
 ) -> TensorId {
     let n = g.value(phi).rows();
-    let ones = g.constant(Matrix::ones(n, 1));
+    let ones = g.constant_full(n, 1, 1.0);
     ipm_weighted_graph(g, kind, phi, ones, treated_idx, control_idx)
 }
 
@@ -189,8 +189,9 @@ fn sinkhorn_graph(
 
     // Sinkhorn fixed point: u = a ./ (K v), v = b ./ (K^T u).
     let nt = g.value(a).rows();
-    let mut v = g.constant(Matrix::ones(g.value(b).rows(), 1));
-    let mut u = g.constant(Matrix::ones(nt, 1));
+    let nc = g.value(b).rows();
+    let mut v = g.constant_full(nc, 1, 1.0);
+    let mut u = g.constant_full(nt, 1, 1.0);
     for _ in 0..iterations {
         let kv = g.matmul(k, v);
         let kv_safe = g.add_scalar(kv, eps);

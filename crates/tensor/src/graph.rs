@@ -9,32 +9,46 @@
 //! differentiable Sinkhorn loop) and the weighted HSIC-RFF decorrelation
 //! penalty.
 //!
-//! Typical use (one optimisation step = one graph):
+//! The tape is **reusable**: [`Graph::reset`] clears the recorded nodes but
+//! parks every value/gradient buffer in an internal shape-keyed
+//! [`BufferPool`], so the next step's forward and backward passes write into
+//! recycled memory instead of allocating. A warmed-up training loop that
+//! resets one graph per step performs no heap allocation at all, and every
+//! number it produces is bit-identical to a loop that builds a fresh
+//! [`Graph::new`] per step (same arithmetic, different memory).
+//!
+//! Typical use (one optimisation step = one reset):
 //!
 //! ```
 //! use sbrl_tensor::{Graph, Matrix};
 //!
 //! let mut g = Graph::new();
-//! let x = g.constant(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
-//! let w = g.param(Matrix::ones(2, 1));
-//! let y = g.matmul(x, w);
-//! let sq = g.square(y);
-//! let loss = g.mean(sq);
-//! g.backward(loss);
-//! let grad_w = g.grad(w).expect("param gradient");
-//! assert_eq!(grad_w.shape(), (2, 1));
+//! for _step in 0..3 {
+//!     g.reset(); // no-op on the first pass, recycles buffers afterwards
+//!     let x = g.constant(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+//!     let w = g.param(Matrix::ones(2, 1));
+//!     let y = g.matmul(x, w);
+//!     let sq = g.square(y);
+//!     let loss = g.mean(sq);
+//!     g.backward(loss);
+//!     let grad_w = g.grad(w).expect("param gradient");
+//!     assert_eq!(grad_w.shape(), (2, 1));
+//! }
 //! ```
 
-use std::rc::Rc;
-
 use crate::matrix::Matrix;
+use crate::pool::BufferPool;
 
 /// Handle to a node in a [`Graph`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct TensorId(pub(crate) usize);
 
 /// The primitive operations the tape understands.
-#[derive(Clone, Debug)]
+///
+/// Gather ops reference index lists interned in the graph's arena (see
+/// [`Graph::intern_indices`]) so that recording them is allocation-free on a
+/// warmed-up tape.
+#[derive(Clone, Copy, Debug)]
 pub(crate) enum Op {
     /// Input node (parameter or constant).
     Leaf,
@@ -84,12 +98,37 @@ pub(crate) enum Op {
     SumAxis1(TensorId),
     /// Row means -> `n x 1`.
     MeanAxis1(TensorId),
-    /// Row gather (indices may repeat); backward scatter-adds.
-    GatherRows(TensorId, Rc<[usize]>),
+    /// Row gather (indices may repeat); backward scatter-adds. The second
+    /// field indexes the graph's interned index-list arena.
+    GatherRows(TensorId, usize),
     /// Column gather (indices may repeat); backward scatter-adds.
-    GatherCols(TensorId, Rc<[usize]>),
+    GatherCols(TensorId, usize),
     ConcatCols(TensorId, TensorId),
     SliceCols(TensorId, usize, usize),
+    /// `post_scale * cos(omega * x + phi)` — the fused random-Fourier
+    /// feature map step (bit-identical to the `scale`/`add_scalar`/`cos`/
+    /// `scale` chain it replaces, at a quarter of the tape traffic).
+    CosAffine(TensorId, f64, f64, f64),
+    /// Full random-Fourier feature matrix `[s cos(w_1 z + p_1) | ... |
+    /// s cos(w_k z + p_k)]` built in one pass — the fused form of `k`
+    /// [`Op::CosAffine`] blocks plus the left-nested `concat_cols` chain,
+    /// with identical per-element arithmetic and gradient accumulation
+    /// order. Fields: `(input, coefficient-list id, post_scale)`.
+    RffFeatures(TensorId, usize, f64),
+    /// Sum of squares of all elements -> `1 x 1` (fused `square` + `sum`).
+    SumSq(TensorId),
+    /// Block-masked sum of squares over a `kd x kd` matrix -> `1 x 1`:
+    /// entry `(p, q)` is multiplied by `1.0` when `(p % d == q % d)` equals
+    /// `keep_diagonal` and by `0.0` otherwise (so `true` keeps only the
+    /// block diagonal, `false` keeps everything else), then squared and
+    /// folded in slice order — the fused form of the HSIC block mask
+    /// (`constant` mask, `mul`, `square`, `sum`) chain, with identical
+    /// arithmetic and none of the mask traffic. Fields:
+    /// `(input, d, keep_diagonal)`.
+    BlockMaskedSumSq(TensorId, usize, bool),
+    /// `a^T * b` without materialising the transpose (fused `transpose` +
+    /// `matmul`; same accumulation order and exact-zero skip).
+    MatMulTn(TensorId, TensorId),
     /// Multiply every element by the single value of a `1 x 1` node.
     MulScalarOf(TensorId, TensorId),
     /// Divide every element by the single value of a `1 x 1` node.
@@ -103,21 +142,105 @@ pub(crate) struct Node {
     pub(crate) requires_grad: bool,
 }
 
-/// A reverse-mode autodiff tape.
+/// A reverse-mode autodiff tape with a shape-keyed buffer pool.
 #[derive(Default)]
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
+    pool: BufferPool,
+    /// Index lists referenced by gather ops, recycled across resets.
+    idx_lists: Vec<Vec<usize>>,
+    free_idx_lists: Vec<Vec<usize>>,
+    /// `(omega, phi)` lists referenced by [`Op::RffFeatures`] nodes.
+    coef_lists: Vec<Vec<(f64, f64)>>,
+    free_coef_lists: Vec<Vec<(f64, f64)>>,
+    /// Recycled `Vec<TensorId>` scratch buffers (layer-tap lists etc.).
+    free_id_bufs: Vec<Vec<TensorId>>,
 }
 
 impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Self { nodes: Vec::with_capacity(256) }
+        Self { nodes: Vec::with_capacity(256), ..Self::default() }
     }
 
     /// Number of nodes recorded so far.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Clears the tape for the next step, parking every node's value and
+    /// gradient buffer (and the gather index lists) for reuse.
+    ///
+    /// After a warm-up step with the same shapes, subsequent steps allocate
+    /// nothing; results are bit-identical to using a fresh [`Graph::new`].
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.pool.give(node.value);
+            if let Some(gm) = node.grad {
+                self.pool.give(gm);
+            }
+        }
+        for mut list in self.idx_lists.drain(..) {
+            list.clear();
+            self.free_idx_lists.push(list);
+        }
+        for mut list in self.coef_lists.drain(..) {
+            list.clear();
+            self.free_coef_lists.push(list);
+        }
+    }
+
+    /// Number of buffers parked in the tape's pool (observability hook for
+    /// the allocation probe and tests).
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.parked()
+    }
+
+    /// Takes a `rows x cols` buffer from the tape's pool. Contents are
+    /// **unspecified**; overwrite every element before handing the matrix to
+    /// [`Graph::constant`] / [`Graph::param`] (the usual use: build a leaf
+    /// value in place without allocating).
+    pub fn take_buffer(&mut self, rows: usize, cols: usize) -> Matrix {
+        self.pool.take(rows, cols)
+    }
+
+    /// Takes a recycled `Vec<TensorId>` scratch buffer (cleared). Callers
+    /// that want allocation-free steady-state steps should hand it back via
+    /// [`Graph::give_id_buf`] when done; dropping it instead is safe but
+    /// allocates again next time.
+    pub fn take_id_buf(&mut self) -> Vec<TensorId> {
+        let mut buf = self.free_id_bufs.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Parks a `Vec<TensorId>` scratch buffer for reuse.
+    pub fn give_id_buf(&mut self, buf: Vec<TensorId>) {
+        self.free_id_bufs.push(buf);
+    }
+
+    /// Interns an index list in the tape's arena and returns its slot.
+    fn intern_indices(&mut self, idx: &[usize]) -> usize {
+        let mut list = self.free_idx_lists.pop().unwrap_or_default();
+        list.clear();
+        list.extend_from_slice(idx);
+        self.idx_lists.push(list);
+        self.idx_lists.len() - 1
+    }
+
+    /// Interns an `(omega, phi)` coefficient list and returns its slot.
+    fn intern_coefs(&mut self, coefs: &[(f64, f64)]) -> usize {
+        let mut list = self.free_coef_lists.pop().unwrap_or_default();
+        list.clear();
+        list.extend_from_slice(coefs);
+        self.coef_lists.push(list);
+        self.coef_lists.len() - 1
+    }
+
+    /// Pool buffer shaped like an existing node's value.
+    fn take_like(&mut self, id: TensorId) -> Matrix {
+        let (r, c) = self.nodes[id.0].value.shape();
+        self.pool.take(r, c)
     }
 
     fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> TensorId {
@@ -136,9 +259,52 @@ impl Graph {
         self.push(value, Op::Leaf, true)
     }
 
+    /// Inserts a constant leaf by copying `value` into a pooled buffer
+    /// (allocation-free once warm).
+    pub fn constant_copied(&mut self, value: &Matrix) -> TensorId {
+        let mut buf = self.pool.take(value.rows(), value.cols());
+        buf.copy_from(value);
+        self.push(buf, Op::Leaf, false)
+    }
+
+    /// Inserts a trainable leaf by copying `value` into a pooled buffer.
+    pub fn param_copied(&mut self, value: &Matrix) -> TensorId {
+        let mut buf = self.pool.take(value.rows(), value.cols());
+        buf.copy_from(value);
+        self.push(buf, Op::Leaf, true)
+    }
+
+    /// Inserts an `n x 1` constant column from a slice (pooled).
+    pub fn constant_col(&mut self, values: &[f64]) -> TensorId {
+        let mut buf = self.pool.take(values.len(), 1);
+        buf.as_mut_slice().copy_from_slice(values);
+        self.push(buf, Op::Leaf, false)
+    }
+
+    /// Inserts a `rows x cols` constant filled with `v` (pooled).
+    pub fn constant_full(&mut self, rows: usize, cols: usize, v: f64) -> TensorId {
+        let mut buf = self.pool.take(rows, cols);
+        buf.fill_with(v);
+        self.push(buf, Op::Leaf, false)
+    }
+
+    /// Inserts a constant leaf holding the listed rows of `src` (pooled;
+    /// indices may repeat). Equivalent to `constant(src.select_rows(idx))`
+    /// without the intermediate allocation.
+    #[track_caller]
+    pub fn constant_selected_rows(&mut self, src: &Matrix, idx: &[usize]) -> TensorId {
+        let mut buf = self.pool.take(idx.len(), src.cols());
+        for (k, &i) in idx.iter().enumerate() {
+            buf.row_mut(k).copy_from_slice(src.row(i));
+        }
+        self.push(buf, Op::Leaf, false)
+    }
+
     /// Inserts a `1 x 1` constant.
     pub fn scalar_const(&mut self, v: f64) -> TensorId {
-        self.constant(Matrix::scalar(v))
+        let mut buf = self.pool.take(1, 1);
+        buf.as_mut_slice()[0] = v;
+        self.constant(buf)
     }
 
     /// Value of a node.
@@ -177,28 +343,32 @@ impl Graph {
     /// Elementwise `a + b` (same shapes).
     #[track_caller]
     pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let v = self.value(a).add(self.value(b));
+        let mut v = self.take_like(a);
+        v.fill_zip(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x + y);
         self.binary(a, b, v, Op::Add(a, b))
     }
 
     /// Elementwise `a - b` (same shapes).
     #[track_caller]
     pub fn sub(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let v = self.value(a).sub(self.value(b));
+        let mut v = self.take_like(a);
+        v.fill_zip(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x - y);
         self.binary(a, b, v, Op::Sub(a, b))
     }
 
     /// Elementwise `a * b` (same shapes).
     #[track_caller]
     pub fn mul(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let v = self.value(a).mul(self.value(b));
+        let mut v = self.take_like(a);
+        v.fill_zip(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x * y);
         self.binary(a, b, v, Op::Mul(a, b))
     }
 
     /// Elementwise `a / b` (same shapes).
     #[track_caller]
     pub fn div(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let v = self.value(a).div(self.value(b));
+        let mut v = self.take_like(a);
+        v.fill_zip(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x / y);
         self.binary(a, b, v, Op::Div(a, b))
     }
 
@@ -207,13 +377,39 @@ impl Graph {
     /// Matrix product `a * b`.
     #[track_caller]
     pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let v = self.value(a).matmul(self.value(b));
+        let (m, n) = (self.nodes[a.0].value.rows(), self.nodes[b.0].value.cols());
+        let mut v = self.pool.take(m, n);
+        crate::kernels::gemm_into(
+            &self.nodes[a.0].value,
+            &self.nodes[b.0].value,
+            &mut v,
+            crate::kernels::Parallelism::global(),
+        );
         self.binary(a, b, v, Op::MatMul(a, b))
+    }
+
+    /// Matrix product `a^T * b` without materialising the transpose — a
+    /// fused `transpose` + `matmul` with the same per-element accumulation
+    /// order and exact-zero skip, so results are bit-identical to the
+    /// two-op chain while skipping the transposed copy.
+    #[track_caller]
+    pub fn matmul_tn(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (m, n) = (self.nodes[a.0].value.cols(), self.nodes[b.0].value.cols());
+        let mut v = self.pool.take(m, n);
+        crate::kernels::gemm_tn_into(
+            &self.nodes[a.0].value,
+            &self.nodes[b.0].value,
+            &mut v,
+            crate::kernels::Parallelism::global(),
+        );
+        self.binary(a, b, v, Op::MatMulTn(a, b))
     }
 
     /// Transpose.
     pub fn transpose(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).transpose();
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.take(c, r);
+        v.transpose_from(&self.nodes[a.0].value);
         self.unary(a, v, Op::Transpose(a))
     }
 
@@ -222,14 +418,15 @@ impl Graph {
     /// Adds a `1 x m` row vector to every row of an `n x m` matrix.
     #[track_caller]
     pub fn add_row(&mut self, a: TensorId, row: TensorId) -> TensorId {
-        let (ar, ac) = self.value(a).shape();
-        let (rr, rc) = self.value(row).shape();
+        let (ar, ac) = self.nodes[a.0].value.shape();
+        let (rr, rc) = self.nodes[row.0].value.shape();
         assert!(rr == 1 && rc == ac, "add_row: {ar}x{ac} + {rr}x{rc}");
-        let rv = self.value(row).as_slice().to_vec();
-        let mut v = self.value(a).clone();
+        let mut v = self.take_like(a);
+        let av = &self.nodes[a.0].value;
+        let rv = self.nodes[row.0].value.as_slice();
         for i in 0..ar {
-            for (x, &r) in v.row_mut(i).iter_mut().zip(&rv) {
-                *x += r;
+            for ((x, &s), &r) in v.row_mut(i).iter_mut().zip(av.row(i)).zip(rv) {
+                *x = s + r;
             }
         }
         self.binary(a, row, v, Op::AddRow(a, row))
@@ -238,14 +435,15 @@ impl Graph {
     /// Adds an `n x 1` column vector to every column of an `n x m` matrix.
     #[track_caller]
     pub fn add_col(&mut self, a: TensorId, col: TensorId) -> TensorId {
-        let (ar, ac) = self.value(a).shape();
-        let (cr, cc) = self.value(col).shape();
+        let (ar, ac) = self.nodes[a.0].value.shape();
+        let (cr, cc) = self.nodes[col.0].value.shape();
         assert!(cc == 1 && cr == ar, "add_col: {ar}x{ac} + {cr}x{cc}");
-        let cv = self.value(col).as_slice().to_vec();
-        let mut v = self.value(a).clone();
+        let mut v = self.take_like(a);
+        let av = &self.nodes[a.0].value;
+        let cv = self.nodes[col.0].value.as_slice();
         for (i, &c) in cv.iter().enumerate() {
-            for x in v.row_mut(i) {
-                *x += c;
+            for (x, &s) in v.row_mut(i).iter_mut().zip(av.row(i)) {
+                *x = s + c;
             }
         }
         self.binary(a, col, v, Op::AddCol(a, col))
@@ -254,14 +452,15 @@ impl Graph {
     /// Multiplies every row of an `n x m` matrix by a `1 x m` row vector.
     #[track_caller]
     pub fn mul_row(&mut self, a: TensorId, row: TensorId) -> TensorId {
-        let (ar, ac) = self.value(a).shape();
-        let (rr, rc) = self.value(row).shape();
+        let (ar, ac) = self.nodes[a.0].value.shape();
+        let (rr, rc) = self.nodes[row.0].value.shape();
         assert!(rr == 1 && rc == ac, "mul_row: {ar}x{ac} * {rr}x{rc}");
-        let rv = self.value(row).as_slice().to_vec();
-        let mut v = self.value(a).clone();
+        let mut v = self.take_like(a);
+        let av = &self.nodes[a.0].value;
+        let rv = self.nodes[row.0].value.as_slice();
         for i in 0..ar {
-            for (x, &r) in v.row_mut(i).iter_mut().zip(&rv) {
-                *x *= r;
+            for ((x, &s), &r) in v.row_mut(i).iter_mut().zip(av.row(i)).zip(rv) {
+                *x = s * r;
             }
         }
         self.binary(a, row, v, Op::MulRow(a, row))
@@ -271,14 +470,15 @@ impl Graph {
     /// vector (row-wise scaling, e.g. by sample weights).
     #[track_caller]
     pub fn mul_col(&mut self, a: TensorId, col: TensorId) -> TensorId {
-        let (ar, ac) = self.value(a).shape();
-        let (cr, cc) = self.value(col).shape();
+        let (ar, ac) = self.nodes[a.0].value.shape();
+        let (cr, cc) = self.nodes[col.0].value.shape();
         assert!(cc == 1 && cr == ar, "mul_col: {ar}x{ac} * {cr}x{cc}");
-        let cv = self.value(col).as_slice().to_vec();
-        let mut v = self.value(a).clone();
+        let mut v = self.take_like(a);
+        let av = &self.nodes[a.0].value;
+        let cv = self.nodes[col.0].value.as_slice();
         for (i, &c) in cv.iter().enumerate() {
-            for x in v.row_mut(i) {
-                *x *= c;
+            for (x, &s) in v.row_mut(i).iter_mut().zip(av.row(i)) {
+                *x = s * c;
             }
         }
         self.binary(a, col, v, Op::MulCol(a, col))
@@ -287,160 +487,226 @@ impl Graph {
     /// Outer sum of an `n x 1` column and a `1 x m` row -> `n x m`.
     #[track_caller]
     pub fn col_plus_row(&mut self, col: TensorId, row: TensorId) -> TensorId {
-        let (cr, cc) = self.value(col).shape();
-        let (rr, rc) = self.value(row).shape();
+        let (cr, cc) = self.nodes[col.0].value.shape();
+        let (rr, rc) = self.nodes[row.0].value.shape();
         assert!(cc == 1 && rr == 1, "col_plus_row: {cr}x{cc} (+) {rr}x{rc}");
-        let cv = self.value(col).as_slice().to_vec();
-        let rv = self.value(row).as_slice().to_vec();
-        let v = Matrix::from_fn(cr, rc, |i, j| cv[i] + rv[j]);
+        let mut v = self.pool.take(cr, rc);
+        let cv = self.nodes[col.0].value.as_slice();
+        let rv = self.nodes[row.0].value.as_slice();
+        for (i, &c) in cv.iter().enumerate() {
+            for (x, &r) in v.row_mut(i).iter_mut().zip(rv) {
+                *x = c + r;
+            }
+        }
         self.binary(col, row, v, Op::ColPlusRow(col, row))
     }
 
     // ----- elementwise unary ops --------------------------------------------------
 
+    /// Pool-backed elementwise map over a node's value.
+    fn unary_map(&mut self, a: TensorId, op: Op, f: impl Fn(f64) -> f64) -> TensorId {
+        let mut v = self.take_like(a);
+        v.fill_map(&self.nodes[a.0].value, f);
+        self.unary(a, v, op)
+    }
+
     /// Elementwise negation.
     pub fn neg(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(|x| -x);
-        self.unary(a, v, Op::Neg(a))
+        self.unary_map(a, Op::Neg(a), |x| -x)
     }
 
     /// Elementwise `exp`.
     pub fn exp(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(f64::exp);
-        self.unary(a, v, Op::Exp(a))
+        self.unary_map(a, Op::Exp(a), f64::exp)
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(f64::ln);
-        self.unary(a, v, Op::Ln(a))
+        self.unary_map(a, Op::Ln(a), f64::ln)
     }
 
     /// Elementwise square root.
     pub fn sqrt(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(f64::sqrt);
-        self.unary(a, v, Op::Sqrt(a))
+        self.unary_map(a, Op::Sqrt(a), f64::sqrt)
     }
 
     /// Elementwise cosine.
     pub fn cos(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(f64::cos);
-        self.unary(a, v, Op::Cos(a))
+        self.unary_map(a, Op::Cos(a), f64::cos)
     }
 
     /// Elementwise sine.
     pub fn sin(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(f64::sin);
-        self.unary(a, v, Op::Sin(a))
+        self.unary_map(a, Op::Sin(a), f64::sin)
     }
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(f64::tanh);
-        self.unary(a, v, Op::Tanh(a))
+        self.unary_map(a, Op::Tanh(a), f64::tanh)
     }
 
     /// Elementwise logistic sigmoid (numerically stable).
     pub fn sigmoid(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(stable_sigmoid);
-        self.unary(a, v, Op::Sigmoid(a))
+        self.unary_map(a, Op::Sigmoid(a), stable_sigmoid)
     }
 
     /// Elementwise softplus `ln(1 + e^x)` (numerically stable).
     pub fn softplus(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(stable_softplus);
-        self.unary(a, v, Op::Softplus(a))
+        self.unary_map(a, Op::Softplus(a), stable_softplus)
     }
 
     /// Elementwise rectified linear unit.
     pub fn relu(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(|x| x.max(0.0));
-        self.unary(a, v, Op::Relu(a))
+        self.unary_map(a, Op::Relu(a), |x| x.max(0.0))
     }
 
     /// Elementwise exponential linear unit with slope `alpha`.
     pub fn elu(&mut self, a: TensorId, alpha: f64) -> TensorId {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
-        self.unary(a, v, Op::Elu(a, alpha))
+        self.unary_map(a, Op::Elu(a, alpha), |x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) })
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(|x| x * x);
-        self.unary(a, v, Op::Square(a))
+        self.unary_map(a, Op::Square(a), |x| x * x)
     }
 
     /// Elementwise absolute value.
     pub fn abs(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(f64::abs);
-        self.unary(a, v, Op::Abs(a))
+        self.unary_map(a, Op::Abs(a), f64::abs)
     }
 
     /// Elementwise power with a constant exponent.
     pub fn powf(&mut self, a: TensorId, p: f64) -> TensorId {
-        let v = self.value(a).map(|x| x.powf(p));
-        self.unary(a, v, Op::Powf(a, p))
+        self.unary_map(a, Op::Powf(a, p), |x| x.powf(p))
     }
 
     /// Elementwise reciprocal.
     pub fn recip(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(f64::recip);
-        self.unary(a, v, Op::Recip(a))
+        self.unary_map(a, Op::Recip(a), f64::recip)
     }
 
     /// Multiplies every element by the constant `s`.
     pub fn scale(&mut self, a: TensorId, s: f64) -> TensorId {
-        let v = self.value(a).scale(s);
-        self.unary(a, v, Op::Scale(a, s))
+        self.unary_map(a, Op::Scale(a, s), |x| x * s)
     }
 
     /// Adds the constant `s` to every element.
     pub fn add_scalar(&mut self, a: TensorId, s: f64) -> TensorId {
-        let v = self.value(a).add_scalar(s);
-        self.unary(a, v, Op::AddScalar(a))
+        self.unary_map(a, Op::AddScalar(a), |x| x + s)
     }
 
     /// Clamps every element into `[lo, hi]`; gradient is zero outside.
     pub fn clamp(&mut self, a: TensorId, lo: f64, hi: f64) -> TensorId {
-        let v = self.value(a).clamp(lo, hi);
-        self.unary(a, v, Op::Clamp(a, lo, hi))
+        self.unary_map(a, Op::Clamp(a, lo, hi), |x| x.clamp(lo, hi))
+    }
+
+    /// Fused affine-cosine `post_scale * cos(omega * x + phi)` — one tape
+    /// node and one pass instead of the historical four-op
+    /// `scale`/`add_scalar`/`cos`/`scale` chain, with identical per-element
+    /// arithmetic (used by the HSIC-RFF feature map).
+    pub fn cos_affine(&mut self, a: TensorId, omega: f64, phi: f64, post_scale: f64) -> TensorId {
+        self.unary_map(a, Op::CosAffine(a, omega, phi, post_scale), |x| {
+            (x * omega + phi).cos() * post_scale
+        })
+    }
+
+    /// Full random-Fourier feature matrix: for an `n x d` input and `k`
+    /// coefficient pairs, the `n x (k*d)` matrix whose block `i` is
+    /// `post_scale * cos(omega_i * z + phi_i)` — one tape node instead of
+    /// `k` [`Graph::cos_affine`] blocks chained through
+    /// [`Graph::concat_cols`], with identical values and gradients.
+    ///
+    /// # Panics
+    /// Panics if `coefs` is empty.
+    #[track_caller]
+    pub fn rff_features(&mut self, a: TensorId, coefs: &[(f64, f64)], post_scale: f64) -> TensorId {
+        assert!(!coefs.is_empty(), "rff_features: need at least one (omega, phi) pair");
+        let (n, d) = self.nodes[a.0].value.shape();
+        let k = coefs.len();
+        let mut v = self.pool.take(n, k * d);
+        {
+            let av = &self.nodes[a.0].value;
+            for r in 0..n {
+                let src = av.row(r);
+                let dst = v.row_mut(r);
+                for (i, &(omega, phi)) in coefs.iter().enumerate() {
+                    for (o, &x) in dst[i * d..(i + 1) * d].iter_mut().zip(src) {
+                        *o = (x * omega + phi).cos() * post_scale;
+                    }
+                }
+            }
+        }
+        let list = self.intern_coefs(coefs);
+        self.unary(a, v, Op::RffFeatures(a, list, post_scale))
     }
 
     // ----- reductions ---------------------------------------------------------
 
+    fn scalar_node(&mut self, a: TensorId, value: f64, op: Op) -> TensorId {
+        let mut v = self.pool.take(1, 1);
+        v.as_mut_slice()[0] = value;
+        self.unary(a, v, op)
+    }
+
     /// Sum of all elements (`1 x 1`).
     pub fn sum(&mut self, a: TensorId) -> TensorId {
-        let v = Matrix::scalar(self.value(a).sum());
-        self.unary(a, v, Op::Sum(a))
+        let s = self.nodes[a.0].value.sum();
+        self.scalar_node(a, s, Op::Sum(a))
     }
 
     /// Mean of all elements (`1 x 1`).
     pub fn mean(&mut self, a: TensorId) -> TensorId {
-        let v = Matrix::scalar(self.value(a).mean());
-        self.unary(a, v, Op::Mean(a))
+        let m = self.nodes[a.0].value.mean();
+        self.scalar_node(a, m, Op::Mean(a))
+    }
+
+    /// Column sums into a pooled `1 x cols` buffer (accumulation order
+    /// matches [`Matrix::sum_axis0`] bit for bit).
+    fn fill_col_sums(&mut self, a: TensorId) -> Matrix {
+        col_sums_of(&mut self.pool, &self.nodes[a.0].value)
     }
 
     /// Column sums (`1 x m`).
     pub fn sum_axis0(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).sum_axis0();
+        let v = self.fill_col_sums(a);
         self.unary(a, v, Op::SumAxis0(a))
     }
 
     /// Column means (`1 x m`).
     pub fn mean_axis0(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).mean_axis0();
+        let r = self.nodes[a.0].value.rows();
+        let mut v = self.fill_col_sums(a);
+        if r > 0 {
+            let inv = 1.0 / r as f64;
+            for x in v.as_mut_slice() {
+                *x *= inv;
+            }
+        }
         self.unary(a, v, Op::MeanAxis0(a))
+    }
+
+    /// Row sums into a pooled `rows x 1` buffer (order matches
+    /// [`Matrix::sum_axis1`]).
+    fn fill_row_sums(&mut self, a: TensorId) -> Matrix {
+        row_sums_of(&mut self.pool, &self.nodes[a.0].value)
     }
 
     /// Row sums (`n x 1`).
     pub fn sum_axis1(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).sum_axis1();
+        let v = self.fill_row_sums(a);
         self.unary(a, v, Op::SumAxis1(a))
     }
 
     /// Row means (`n x 1`).
     pub fn mean_axis1(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).mean_axis1();
+        let c = self.nodes[a.0].value.cols();
+        let mut v = self.fill_row_sums(a);
+        if c > 0 {
+            let inv = 1.0 / c as f64;
+            for x in v.as_mut_slice() {
+                *x *= inv;
+            }
+        }
         self.unary(a, v, Op::MeanAxis1(a))
     }
 
@@ -449,44 +715,79 @@ impl Graph {
     /// Gathers the listed rows (indices may repeat).
     #[track_caller]
     pub fn gather_rows(&mut self, a: TensorId, idx: &[usize]) -> TensorId {
-        let v = self.value(a).select_rows(idx);
-        self.unary(a, v, Op::GatherRows(a, Rc::from(idx)))
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.take(idx.len(), cols);
+        let av = &self.nodes[a.0].value;
+        for (k, &i) in idx.iter().enumerate() {
+            assert!(i < rows, "gather_rows: index {i} out of bounds ({rows} rows)");
+            v.row_mut(k).copy_from_slice(av.row(i));
+        }
+        let list = self.intern_indices(idx);
+        self.unary(a, v, Op::GatherRows(a, list))
     }
 
     /// Gathers the listed columns (indices may repeat).
     #[track_caller]
     pub fn gather_cols(&mut self, a: TensorId, idx: &[usize]) -> TensorId {
-        let v = self.value(a).select_cols(idx);
-        self.unary(a, v, Op::GatherCols(a, Rc::from(idx)))
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.take(rows, idx.len());
+        let av = &self.nodes[a.0].value;
+        for (k, &j) in idx.iter().enumerate() {
+            assert!(j < cols, "gather_cols: index {j} out of bounds ({cols} cols)");
+            for i in 0..rows {
+                v[(i, k)] = av[(i, j)];
+            }
+        }
+        let list = self.intern_indices(idx);
+        self.unary(a, v, Op::GatherCols(a, list))
     }
 
     /// Horizontal concatenation `[a | b]`.
     #[track_caller]
     pub fn concat_cols(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let v = self.value(a).hstack(self.value(b));
+        let (ar, ac) = self.nodes[a.0].value.shape();
+        let (br, bc) = self.nodes[b.0].value.shape();
+        assert_eq!(ar, br, "hstack: row counts differ");
+        let mut v = self.pool.take(ar, ac + bc);
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        for i in 0..ar {
+            let row = v.row_mut(i);
+            row[..ac].copy_from_slice(av.row(i));
+            row[ac..].copy_from_slice(bv.row(i));
+        }
         self.binary(a, b, v, Op::ConcatCols(a, b))
     }
 
     /// Column slice `[start, end)`.
     #[track_caller]
     pub fn slice_cols(&mut self, a: TensorId, start: usize, end: usize) -> TensorId {
-        let v = self.value(a).slice_cols(start, end);
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        assert!(start <= end && end <= cols, "slice_cols: bad range {start}..{end}");
+        let mut v = self.pool.take(rows, end - start);
+        let av = &self.nodes[a.0].value;
+        for i in 0..rows {
+            v.row_mut(i).copy_from_slice(&av.row(i)[start..end]);
+        }
         self.unary(a, v, Op::SliceCols(a, start, end))
     }
 
     /// Multiplies every element of `a` by the value of the `1 x 1` node `s`.
     #[track_caller]
     pub fn mul_scalar_of(&mut self, a: TensorId, s: TensorId) -> TensorId {
-        let sv = self.value(s).item();
-        let v = self.value(a).scale(sv);
+        let sv = self.nodes[s.0].value.item();
+        let mut v = self.take_like(a);
+        v.fill_map(&self.nodes[a.0].value, |x| x * sv);
         self.binary(a, s, v, Op::MulScalarOf(a, s))
     }
 
     /// Divides every element of `a` by the value of the `1 x 1` node `s`.
     #[track_caller]
     pub fn div_scalar_of(&mut self, a: TensorId, s: TensorId) -> TensorId {
-        let sv = self.value(s).item();
-        let v = self.value(a).scale(1.0 / sv);
+        let sv = self.nodes[s.0].value.item();
+        let inv = 1.0 / sv;
+        let mut v = self.take_like(a);
+        v.fill_map(&self.nodes[a.0].value, |x| x * inv);
         self.binary(a, s, v, Op::DivScalarOf(a, s))
     }
 
@@ -510,10 +811,53 @@ impl Graph {
         self.mul_col(a, r)
     }
 
-    /// Sum of squares of all elements (`1 x 1`).
+    /// Block-masked sum of squares (`1 x 1`): multiplies entry `(p, q)` of a
+    /// square matrix by `1.0` when `p % d == q % d` equals `keep_diagonal`
+    /// (`0.0` otherwise), squares, and folds in slice order. Arithmetic is
+    /// identical to materialising the historical `{0,1}` mask matrix and
+    /// running `mul` + `square` + `sum`, so values and gradients are
+    /// bit-identical — the mask just never exists in memory.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    #[track_caller]
+    pub fn block_masked_sumsq(&mut self, a: TensorId, d: usize, keep_diagonal: bool) -> TensorId {
+        assert!(d > 0, "block_masked_sumsq: block width must be positive");
+        let mut acc = 0.0;
+        {
+            let av = &self.nodes[a.0].value;
+            let rows = av.rows();
+            // Residues tracked incrementally (no per-element division).
+            let mut pm = 0;
+            for p in 0..rows {
+                let mut qm = 0;
+                for &x in av.row(p) {
+                    let m = if (pm == qm) == keep_diagonal { 1.0 } else { 0.0 };
+                    let v = x * m;
+                    acc += v * v;
+                    qm += 1;
+                    if qm == d {
+                        qm = 0;
+                    }
+                }
+                pm += 1;
+                if pm == d {
+                    pm = 0;
+                }
+            }
+        }
+        self.scalar_node(a, acc, Op::BlockMaskedSumSq(a, d, keep_diagonal))
+    }
+
+    /// Sum of squares of all elements (`1 x 1`) — a fused `square` + `sum`
+    /// (each element is squared then folded in slice order, exactly like the
+    /// historical two-op chain, without materialising the squared matrix).
     pub fn sumsq(&mut self, a: TensorId) -> TensorId {
-        let s = self.square(a);
-        self.sum(s)
+        let mut acc = 0.0;
+        for &x in self.nodes[a.0].value.as_slice() {
+            acc += x * x;
+        }
+        self.scalar_node(a, acc, Op::SumSq(a))
     }
 
     /// Squared Euclidean norm of the difference of two same-shape tensors.
@@ -556,260 +900,677 @@ impl Graph {
             (1, 1),
             "backward: loss must be a scalar (1x1) node"
         );
-        for node in &mut self.nodes {
-            node.grad = None;
+        for i in 0..self.nodes.len() {
+            if let Some(gm) = self.nodes[i].grad.take() {
+                self.pool.give(gm);
+            }
         }
-        self.nodes[loss.0].grad = Some(Matrix::scalar(1.0));
+        let mut seed = self.pool.take(1, 1);
+        seed.as_mut_slice()[0] = 1.0;
+        self.nodes[loss.0].grad = Some(seed);
 
         for i in (0..self.nodes.len()).rev() {
             if !self.nodes[i].requires_grad {
                 continue;
             }
             let Some(g) = self.nodes[i].grad.take() else { continue };
-            let op = self.nodes[i].op.clone();
-            self.propagate(i, &g, &op);
+            let op = self.nodes[i].op;
+            self.propagate(i, &g, op);
             self.nodes[i].grad = Some(g);
         }
     }
 
+    /// Adds `delta` into the gradient slot of `target`, recycling `delta`'s
+    /// buffer when it is not kept.
     fn accumulate(&mut self, target: TensorId, delta: Matrix) {
         if !self.nodes[target.0].requires_grad {
+            self.pool.give(delta);
             return;
         }
         match &mut self.nodes[target.0].grad {
-            Some(acc) => acc.add_assign(&delta),
+            Some(acc) => {
+                acc.add_assign(&delta);
+                self.pool.give(delta);
+            }
             slot @ None => *slot = Some(delta),
         }
     }
 
-    /// Applies the backward rule of `op` for node `i` with upstream gradient `g`.
-    fn propagate(&mut self, i: usize, g: &Matrix, op: &Op) {
-        match *op {
+    /// Pool buffer shaped like the upstream gradient.
+    fn take_like_grad(&mut self, g: &Matrix) -> Matrix {
+        self.pool.take(g.rows(), g.cols())
+    }
+
+    /// Applies the backward rule of `op` for node `i` with upstream gradient
+    /// `g`. Deltas destined for nodes that do not require gradients are not
+    /// even computed (the arithmetic for every reached node is unchanged, so
+    /// results stay bit-identical).
+    fn propagate(&mut self, i: usize, g: &Matrix, op: Op) {
+        match op {
             Op::Leaf => {}
             Op::Add(a, b) => {
-                self.accumulate(a, g.clone());
-                self.accumulate(b, g.clone());
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.copy_from(g);
+                    self.accumulate(a, d);
+                }
+                if self.requires(b) {
+                    let mut d = self.take_like_grad(g);
+                    d.copy_from(g);
+                    self.accumulate(b, d);
+                }
             }
             Op::Sub(a, b) => {
-                self.accumulate(a, g.clone());
-                self.accumulate(b, g.scale(-1.0));
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.copy_from(g);
+                    self.accumulate(a, d);
+                }
+                if self.requires(b) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_map(g, |x| -x);
+                    self.accumulate(b, d);
+                }
             }
             Op::Mul(a, b) => {
-                let da = g.mul(self.value(b));
-                let db = g.mul(self.value(a));
-                self.accumulate(a, da);
-                self.accumulate(b, db);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[b.0].value, |gv, bv| gv * bv);
+                    self.accumulate(a, d);
+                }
+                if self.requires(b) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[a.0].value, |gv, av| gv * av);
+                    self.accumulate(b, d);
+                }
             }
             Op::Div(a, b) => {
-                let bv = self.value(b);
-                let da = g.div(bv);
-                let db = g.mul(self.value(a)).div(bv).div(bv).scale(-1.0);
-                self.accumulate(a, da);
-                self.accumulate(b, db);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[b.0].value, |gv, bv| gv / bv);
+                    self.accumulate(a, d);
+                }
+                if self.requires(b) {
+                    // Matches the historical `g * a / b / b * -1` chain.
+                    let mut d = self.take_like_grad(g);
+                    let av = self.nodes[a.0].value.as_slice();
+                    let bv = self.nodes[b.0].value.as_slice();
+                    for ((o, &gv), (&a_i, &b_i)) in
+                        d.as_mut_slice().iter_mut().zip(g.as_slice()).zip(av.iter().zip(bv))
+                    {
+                        *o = -(gv * a_i / b_i / b_i);
+                    }
+                    self.accumulate(b, d);
+                }
             }
             Op::MatMul(a, b) => {
                 // Skip the (potentially large) delta products for constants.
                 if self.requires(a) {
-                    let da = g.matmul_nt(self.value(b));
-                    self.accumulate(a, da);
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut d = self.pool.take(r, c);
+                    crate::kernels::gemm_nt_into(
+                        g,
+                        &self.nodes[b.0].value,
+                        &mut d,
+                        crate::kernels::Parallelism::global(),
+                    );
+                    self.accumulate(a, d);
                 }
                 if self.requires(b) {
-                    let db = self.value(a).matmul_tn(g);
-                    self.accumulate(b, db);
+                    let (r, c) = self.nodes[b.0].value.shape();
+                    let mut d = self.pool.take(r, c);
+                    crate::kernels::gemm_tn_into(
+                        &self.nodes[a.0].value,
+                        g,
+                        &mut d,
+                        crate::kernels::Parallelism::global(),
+                    );
+                    self.accumulate(b, d);
                 }
             }
             Op::Transpose(a) => {
-                self.accumulate(a, g.transpose());
+                if self.requires(a) {
+                    let mut d = self.pool.take(g.cols(), g.rows());
+                    d.transpose_from(g);
+                    self.accumulate(a, d);
+                }
             }
             Op::AddRow(a, row) => {
-                self.accumulate(a, g.clone());
-                self.accumulate(row, g.sum_axis0());
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.copy_from(g);
+                    self.accumulate(a, d);
+                }
+                if self.requires(row) {
+                    let d = col_sums_of(&mut self.pool, g);
+                    self.accumulate(row, d);
+                }
             }
             Op::AddCol(a, col) => {
-                self.accumulate(a, g.clone());
-                self.accumulate(col, g.sum_axis1());
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.copy_from(g);
+                    self.accumulate(a, d);
+                }
+                if self.requires(col) {
+                    let d = row_sums_of(&mut self.pool, g);
+                    self.accumulate(col, d);
+                }
             }
             Op::MulRow(a, row) => {
-                let rv = self.value(row).as_slice().to_vec();
-                let mut da = g.clone();
-                for r in 0..da.rows() {
-                    for (x, &s) in da.row_mut(r).iter_mut().zip(&rv) {
-                        *x *= s;
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    let rv = self.nodes[row.0].value.as_slice();
+                    for r in 0..g.rows() {
+                        for ((x, &gv), &s) in d.row_mut(r).iter_mut().zip(g.row(r)).zip(rv) {
+                            *x = gv * s;
+                        }
                     }
+                    self.accumulate(a, d);
                 }
-                self.accumulate(a, da);
-                let drow = g.mul(self.value(a)).sum_axis0();
-                self.accumulate(row, drow);
+                if self.requires(row) {
+                    // g .* a, column-summed in row order (matches the
+                    // historical `g.mul(a).sum_axis0()` exactly).
+                    let mut d = self.pool.take_zeroed(1, g.cols());
+                    let av = &self.nodes[a.0].value;
+                    for r in 0..g.rows() {
+                        for ((o, &gv), &avv) in
+                            d.as_mut_slice().iter_mut().zip(g.row(r)).zip(av.row(r))
+                        {
+                            *o += gv * avv;
+                        }
+                    }
+                    self.accumulate(row, d);
+                }
             }
             Op::MulCol(a, col) => {
-                let cv = self.value(col).as_slice().to_vec();
-                let mut da = g.clone();
-                for (r, &s) in cv.iter().enumerate() {
-                    for x in da.row_mut(r) {
-                        *x *= s;
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    let cv = self.nodes[col.0].value.as_slice();
+                    for (r, &s) in cv.iter().enumerate() {
+                        for (x, &gv) in d.row_mut(r).iter_mut().zip(g.row(r)) {
+                            *x = gv * s;
+                        }
                     }
+                    self.accumulate(a, d);
                 }
-                self.accumulate(a, da);
-                let dcol = g.mul(self.value(a)).sum_axis1();
-                self.accumulate(col, dcol);
+                if self.requires(col) {
+                    // g .* a, row-summed (matches `g.mul(a).sum_axis1()`).
+                    let mut d = self.pool.take(g.rows(), 1);
+                    let av = &self.nodes[a.0].value;
+                    for (r, o) in d.as_mut_slice().iter_mut().enumerate() {
+                        *o = g.row(r).iter().zip(av.row(r)).map(|(&gv, &avv)| gv * avv).sum();
+                    }
+                    self.accumulate(col, d);
+                }
             }
             Op::ColPlusRow(col, row) => {
-                self.accumulate(col, g.sum_axis1());
-                self.accumulate(row, g.sum_axis0());
+                if self.requires(col) {
+                    let d = row_sums_of(&mut self.pool, g);
+                    self.accumulate(col, d);
+                }
+                if self.requires(row) {
+                    let d = col_sums_of(&mut self.pool, g);
+                    self.accumulate(row, d);
+                }
             }
-            Op::Neg(a) => self.accumulate(a, g.scale(-1.0)),
+            Op::Neg(a) => {
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_map(g, |x| -x);
+                    self.accumulate(a, d);
+                }
+            }
             Op::Exp(a) => {
-                let d = g.mul(&self.nodes[i].value);
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[i].value, |gv, out| gv * out);
+                    self.accumulate(a, d);
+                }
             }
             Op::Ln(a) => {
-                let d = g.div(self.value(a));
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[a.0].value, |gv, x| gv / x);
+                    self.accumulate(a, d);
+                }
             }
             Op::Sqrt(a) => {
-                let d = g.zip_map(&self.nodes[i].value, |gv, out| 0.5 * gv / out);
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[i].value, |gv, out| 0.5 * gv / out);
+                    self.accumulate(a, d);
+                }
             }
             Op::Cos(a) => {
-                let d = g.zip_map(self.value(a), |gv, x| -gv * x.sin());
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[a.0].value, |gv, x| -gv * x.sin());
+                    self.accumulate(a, d);
+                }
             }
             Op::Sin(a) => {
-                let d = g.zip_map(self.value(a), |gv, x| gv * x.cos());
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[a.0].value, |gv, x| gv * x.cos());
+                    self.accumulate(a, d);
+                }
             }
             Op::Tanh(a) => {
-                let d = g.zip_map(&self.nodes[i].value, |gv, out| gv * (1.0 - out * out));
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[i].value, |gv, out| gv * (1.0 - out * out));
+                    self.accumulate(a, d);
+                }
             }
             Op::Sigmoid(a) => {
-                let d = g.zip_map(&self.nodes[i].value, |gv, out| gv * out * (1.0 - out));
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[i].value, |gv, out| gv * out * (1.0 - out));
+                    self.accumulate(a, d);
+                }
             }
             Op::Softplus(a) => {
-                let d = g.zip_map(self.value(a), |gv, x| gv * stable_sigmoid(x));
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[a.0].value, |gv, x| gv * stable_sigmoid(x));
+                    self.accumulate(a, d);
+                }
             }
             Op::Relu(a) => {
-                let d = g.zip_map(self.value(a), |gv, x| if x > 0.0 { gv } else { 0.0 });
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[a.0].value, |gv, x| if x > 0.0 { gv } else { 0.0 });
+                    self.accumulate(a, d);
+                }
             }
             Op::Elu(a, alpha) => {
-                let d = g.zip_map(&self.nodes[i].value, |gv, out| {
-                    if out > 0.0 {
-                        gv
-                    } else {
-                        gv * (out + alpha)
-                    }
-                });
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[i].value, |gv, out| {
+                        if out > 0.0 {
+                            gv
+                        } else {
+                            gv * (out + alpha)
+                        }
+                    });
+                    self.accumulate(a, d);
+                }
             }
             Op::Square(a) => {
-                let d = g.zip_map(self.value(a), |gv, x| 2.0 * gv * x);
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[a.0].value, |gv, x| 2.0 * gv * x);
+                    self.accumulate(a, d);
+                }
             }
             Op::Abs(a) => {
-                let d = g.zip_map(self.value(a), |gv, x| gv * sign(x));
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[a.0].value, |gv, x| gv * sign(x));
+                    self.accumulate(a, d);
+                }
             }
             Op::Powf(a, p) => {
-                let d = g.zip_map(self.value(a), |gv, x| gv * p * x.powf(p - 1.0));
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[a.0].value, |gv, x| gv * p * x.powf(p - 1.0));
+                    self.accumulate(a, d);
+                }
             }
             Op::Recip(a) => {
-                let d = g.zip_map(&self.nodes[i].value, |gv, out| -gv * out * out);
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[i].value, |gv, out| -gv * out * out);
+                    self.accumulate(a, d);
+                }
             }
-            Op::Scale(a, s) => self.accumulate(a, g.scale(s)),
-            Op::AddScalar(a) => self.accumulate(a, g.clone()),
+            Op::Scale(a, s) => {
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_map(g, |x| x * s);
+                    self.accumulate(a, d);
+                }
+            }
+            Op::AddScalar(a) => {
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.copy_from(g);
+                    self.accumulate(a, d);
+                }
+            }
             Op::Clamp(a, lo, hi) => {
-                let d = g.zip_map(self.value(a), |gv, x| if x > lo && x < hi { gv } else { 0.0 });
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(
+                        g,
+                        &self.nodes[a.0].value,
+                        |gv, x| {
+                            if x > lo && x < hi {
+                                gv
+                            } else {
+                                0.0
+                            }
+                        },
+                    );
+                    self.accumulate(a, d);
+                }
             }
             Op::Sum(a) => {
-                let (r, c) = self.value(a).shape();
-                self.accumulate(a, Matrix::full(r, c, g.item()));
+                if self.requires(a) {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut d = self.pool.take(r, c);
+                    d.fill_with(g.item());
+                    self.accumulate(a, d);
+                }
             }
             Op::Mean(a) => {
-                let (r, c) = self.value(a).shape();
-                let n = (r * c) as f64;
-                self.accumulate(a, Matrix::full(r, c, g.item() / n));
+                if self.requires(a) {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let n = (r * c) as f64;
+                    let mut d = self.pool.take(r, c);
+                    d.fill_with(g.item() / n);
+                    self.accumulate(a, d);
+                }
             }
             Op::SumAxis0(a) => {
-                let (r, c) = self.value(a).shape();
-                let gv = g.as_slice().to_vec();
-                let d = Matrix::from_fn(r, c, |_, j| gv[j]);
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut d = self.pool.take(r, c);
+                    let gv = g.as_slice();
+                    for row in 0..r {
+                        d.row_mut(row).copy_from_slice(gv);
+                    }
+                    self.accumulate(a, d);
+                }
             }
             Op::MeanAxis0(a) => {
-                let (r, c) = self.value(a).shape();
-                let gv = g.as_slice().to_vec();
-                let inv = 1.0 / r as f64;
-                let d = Matrix::from_fn(r, c, |_, j| gv[j] * inv);
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut d = self.pool.take(r, c);
+                    let gv = g.as_slice();
+                    let inv = 1.0 / r as f64;
+                    for row in 0..r {
+                        for (o, &x) in d.row_mut(row).iter_mut().zip(gv) {
+                            *o = x * inv;
+                        }
+                    }
+                    self.accumulate(a, d);
+                }
             }
             Op::SumAxis1(a) => {
-                let (r, c) = self.value(a).shape();
-                let gv = g.as_slice().to_vec();
-                let d = Matrix::from_fn(r, c, |i2, _| gv[i2]);
-                self.accumulate(a, d);
+                if self.requires(a) {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut d = self.pool.take(r, c);
+                    let gv = g.as_slice();
+                    for (row, &x) in gv.iter().enumerate().take(r) {
+                        d.row_mut(row).fill(x);
+                    }
+                    self.accumulate(a, d);
+                }
             }
             Op::MeanAxis1(a) => {
-                let (r, c) = self.value(a).shape();
-                let gv = g.as_slice().to_vec();
-                let inv = 1.0 / c as f64;
-                let d = Matrix::from_fn(r, c, |i2, _| gv[i2] * inv);
-                self.accumulate(a, d);
-            }
-            Op::GatherRows(a, ref idx) => {
-                let (r, c) = self.value(a).shape();
-                let mut d = Matrix::zeros(r, c);
-                for (k, &src) in idx.iter().enumerate() {
-                    let grow = g.row(k).to_vec();
-                    for (x, gvv) in d.row_mut(src).iter_mut().zip(grow) {
-                        *x += gvv;
+                if self.requires(a) {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut d = self.pool.take(r, c);
+                    let gv = g.as_slice();
+                    let inv = 1.0 / c as f64;
+                    for (row, &x) in gv.iter().enumerate().take(r) {
+                        d.row_mut(row).fill(x * inv);
                     }
+                    self.accumulate(a, d);
                 }
-                self.accumulate(a, d);
             }
-            Op::GatherCols(a, ref idx) => {
-                let (r, c) = self.value(a).shape();
-                let mut d = Matrix::zeros(r, c);
-                for (k, &src) in idx.iter().enumerate() {
-                    for row in 0..r {
-                        d[(row, src)] += g[(row, k)];
+            Op::GatherRows(a, list) => {
+                if self.requires(a) {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut d = self.pool.take_zeroed(r, c);
+                    for (k, &src) in self.idx_lists[list].iter().enumerate() {
+                        for (x, &gvv) in d.row_mut(src).iter_mut().zip(g.row(k)) {
+                            *x += gvv;
+                        }
                     }
+                    self.accumulate(a, d);
                 }
-                self.accumulate(a, d);
+            }
+            Op::GatherCols(a, list) => {
+                if self.requires(a) {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut d = self.pool.take_zeroed(r, c);
+                    for (k, &src) in self.idx_lists[list].iter().enumerate() {
+                        for row in 0..r {
+                            d[(row, src)] += g[(row, k)];
+                        }
+                    }
+                    self.accumulate(a, d);
+                }
             }
             Op::ConcatCols(a, b) => {
-                let ac = self.value(a).cols();
+                let ac = self.nodes[a.0].value.cols();
                 let total = g.cols();
-                self.accumulate(a, g.slice_cols(0, ac));
-                self.accumulate(b, g.slice_cols(ac, total));
+                if self.requires(a) {
+                    let d = slice_cols_of(&mut self.pool, g, 0, ac);
+                    self.accumulate(a, d);
+                }
+                if self.requires(b) {
+                    let d = slice_cols_of(&mut self.pool, g, ac, total);
+                    self.accumulate(b, d);
+                }
             }
             Op::SliceCols(a, start, end) => {
-                let (r, c) = self.value(a).shape();
-                let mut d = Matrix::zeros(r, c);
-                for row in 0..r {
-                    d.row_mut(row)[start..end].copy_from_slice(g.row(row));
+                if self.requires(a) {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut d = self.pool.take_zeroed(r, c);
+                    for row in 0..r {
+                        d.row_mut(row)[start..end].copy_from_slice(g.row(row));
+                    }
+                    self.accumulate(a, d);
                 }
-                self.accumulate(a, d);
+            }
+            Op::CosAffine(a, omega, phi, post_scale) => {
+                if self.requires(a) {
+                    // Matches the historical scale/add_scalar/cos/scale
+                    // backward chain term for term.
+                    let mut d = self.take_like_grad(g);
+                    d.fill_zip(g, &self.nodes[a.0].value, |gv, x| {
+                        let t = gv * post_scale;
+                        (-t * (x * omega + phi).sin()) * omega
+                    });
+                    self.accumulate(a, d);
+                }
+            }
+            Op::RffFeatures(a, list, post_scale) => {
+                if self.requires(a) {
+                    // The historical chain accumulated one delta per block
+                    // into the input's gradient in descending block order
+                    // (reverse tape order). When the gradient slot is still
+                    // empty that chain is `t_{k-1} + t_{k-2} + ...` and can
+                    // be folded in one pass; when another consumer already
+                    // stored a gradient, the chain's per-block add_assigns
+                    // must be replayed verbatim to keep the association —
+                    // and therefore the bits — identical.
+                    let (n, d) = self.nodes[a.0].value.shape();
+                    if self.nodes[a.0].grad.is_none() {
+                        let mut delta = self.pool.take(n, d);
+                        {
+                            let av = &self.nodes[a.0].value;
+                            let coefs = &self.coef_lists[list];
+                            for r in 0..n {
+                                let src = av.row(r);
+                                let grow = g.row(r);
+                                let drow = delta.row_mut(r);
+                                for (c, (o, &x)) in drow.iter_mut().zip(src).enumerate() {
+                                    let mut acc = 0.0;
+                                    for (i, &(omega, phi)) in coefs.iter().enumerate().rev() {
+                                        let gv = grow[i * d + c];
+                                        let t = gv * post_scale;
+                                        let term = (-t * (x * omega + phi).sin()) * omega;
+                                        if i + 1 == coefs.len() {
+                                            acc = term;
+                                        } else {
+                                            acc += term;
+                                        }
+                                    }
+                                    *o = acc;
+                                }
+                            }
+                        }
+                        self.accumulate(a, delta);
+                    } else {
+                        let k = self.coef_lists[list].len();
+                        for i in (0..k).rev() {
+                            let (omega, phi) = self.coef_lists[list][i];
+                            let mut delta = self.pool.take(n, d);
+                            {
+                                let av = &self.nodes[a.0].value;
+                                for r in 0..n {
+                                    let src = av.row(r);
+                                    let grow = &g.row(r)[i * d..(i + 1) * d];
+                                    for ((o, &x), &gv) in
+                                        delta.row_mut(r).iter_mut().zip(src).zip(grow)
+                                    {
+                                        let t = gv * post_scale;
+                                        *o = (-t * (x * omega + phi).sin()) * omega;
+                                    }
+                                }
+                            }
+                            self.accumulate(a, delta);
+                        }
+                    }
+                }
+            }
+            Op::SumSq(a) => {
+                if self.requires(a) {
+                    // `sum` backward broadcasts g, `square` backward applies
+                    // `2 g x` — fused into one pass with the same arithmetic.
+                    let gv = g.item();
+                    let mut d = self.take_like(a);
+                    d.fill_map(&self.nodes[a.0].value, |x| 2.0 * gv * x);
+                    self.accumulate(a, d);
+                }
+            }
+            Op::BlockMaskedSumSq(a, d_width, keep_diagonal) => {
+                if self.requires(a) {
+                    // Chain equivalent: `sum` broadcast, `square` backward
+                    // `2 g v`, then `mul` backward re-applies the mask.
+                    let gv = g.item();
+                    let rows = self.nodes[a.0].value.rows();
+                    let mut d = self.take_like(a);
+                    {
+                        let av = &self.nodes[a.0].value;
+                        let mut pm = 0;
+                        for p in 0..rows {
+                            let mut qm = 0;
+                            for (o, &x) in d.row_mut(p).iter_mut().zip(av.row(p)) {
+                                let m = if (pm == qm) == keep_diagonal { 1.0 } else { 0.0 };
+                                *o = (2.0 * gv * (x * m)) * m;
+                                qm += 1;
+                                if qm == d_width {
+                                    qm = 0;
+                                }
+                            }
+                            pm += 1;
+                            if pm == d_width {
+                                pm = 0;
+                            }
+                        }
+                    }
+                    self.accumulate(a, d);
+                }
+            }
+            Op::MatMulTn(a, b) => {
+                if self.requires(a) {
+                    // Historical chain: d_ft = g * b^T, then the transpose
+                    // node flips it back; fused here as (g * b^T)^T.
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut tmp = self.pool.take(c, r);
+                    crate::kernels::gemm_nt_into(
+                        g,
+                        &self.nodes[b.0].value,
+                        &mut tmp,
+                        crate::kernels::Parallelism::global(),
+                    );
+                    let mut d = self.pool.take(r, c);
+                    d.transpose_from(&tmp);
+                    self.pool.give(tmp);
+                    self.accumulate(a, d);
+                }
+                if self.requires(b) {
+                    // d_b = a * g; `gemm` over `a` accumulates and skips
+                    // exact zeros exactly like `gemm_tn` over `a^T` did.
+                    let (r, c) = self.nodes[b.0].value.shape();
+                    let mut d = self.pool.take(r, c);
+                    crate::kernels::gemm_into(
+                        &self.nodes[a.0].value,
+                        g,
+                        &mut d,
+                        crate::kernels::Parallelism::global(),
+                    );
+                    self.accumulate(b, d);
+                }
             }
             Op::MulScalarOf(a, s) => {
-                let sv = self.value(s).item();
-                self.accumulate(a, g.scale(sv));
-                let ds = g.dot(self.value(a));
-                self.accumulate(s, Matrix::scalar(ds));
+                let sv = self.nodes[s.0].value.item();
+                if self.requires(a) {
+                    let mut d = self.take_like_grad(g);
+                    d.fill_map(g, |x| x * sv);
+                    self.accumulate(a, d);
+                }
+                if self.requires(s) {
+                    let ds = g.dot(&self.nodes[a.0].value);
+                    let mut d = self.pool.take(1, 1);
+                    d.as_mut_slice()[0] = ds;
+                    self.accumulate(s, d);
+                }
             }
             Op::DivScalarOf(a, s) => {
-                let sv = self.value(s).item();
-                self.accumulate(a, g.scale(1.0 / sv));
-                let ds = -g.dot(self.value(a)) / (sv * sv);
-                self.accumulate(s, Matrix::scalar(ds));
+                let sv = self.nodes[s.0].value.item();
+                if self.requires(a) {
+                    let inv = 1.0 / sv;
+                    let mut d = self.take_like_grad(g);
+                    d.fill_map(g, |x| x * inv);
+                    self.accumulate(a, d);
+                }
+                if self.requires(s) {
+                    let ds = -g.dot(&self.nodes[a.0].value) / (sv * sv);
+                    let mut d = self.pool.take(1, 1);
+                    d.as_mut_slice()[0] = ds;
+                    self.accumulate(s, d);
+                }
             }
         }
     }
+}
+
+/// Column sums of `g` into a pooled `1 x cols` buffer (order matches
+/// [`Matrix::sum_axis0`]).
+fn col_sums_of(pool: &mut BufferPool, g: &Matrix) -> Matrix {
+    let mut d = pool.take_zeroed(1, g.cols());
+    for r in 0..g.rows() {
+        for (o, &x) in d.as_mut_slice().iter_mut().zip(g.row(r)) {
+            *o += x;
+        }
+    }
+    d
+}
+
+/// Row sums of `g` into a pooled `rows x 1` buffer (order matches
+/// [`Matrix::sum_axis1`]).
+fn row_sums_of(pool: &mut BufferPool, g: &Matrix) -> Matrix {
+    let mut d = pool.take(g.rows(), 1);
+    for (r, o) in d.as_mut_slice().iter_mut().enumerate() {
+        *o = g.row(r).iter().sum();
+    }
+    d
+}
+
+/// Column slice `[start, end)` of `g` into a pooled buffer.
+fn slice_cols_of(pool: &mut BufferPool, g: &Matrix, start: usize, end: usize) -> Matrix {
+    let mut d = pool.take(g.rows(), end - start);
+    for row in 0..g.rows() {
+        d.row_mut(row).copy_from_slice(&g.row(row)[start..end]);
+    }
+    d
 }
 
 fn sign(x: f64) -> f64 {
@@ -945,5 +1706,99 @@ mod tests {
         assert!(g.grad(a).unwrap().approx_eq(&Matrix::full(1, 2, 2.5), 1e-12));
         // d/ds (s*(2+4) + (2+4)/s) at s=2 => 6 - 6/4 = 4.5
         assert!((g.grad(s).unwrap().item() - 4.5).abs() < 1e-12);
+    }
+
+    /// Runs one representative mixed-op step on `g` and returns the loss and
+    /// the gradient bits of the parameter.
+    fn step_bits(g: &mut Graph) -> (u64, Vec<u64>) {
+        let x = g.constant(Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.25 - 1.0));
+        let w = g.param(Matrix::from_fn(3, 2, |i, j| ((i + 2 * j) as f64).sin()));
+        let y = g.matmul(x, w);
+        let t = g.tanh(y);
+        let gathered = g.gather_rows(t, &[0, 2, 2, 3]);
+        let cat = g.concat_cols(t, y);
+        let sl = g.slice_cols(cat, 1, 3);
+        let s1 = g.sumsq(gathered);
+        let s2 = g.sumsq(sl);
+        let loss = g.add(s1, s2);
+        g.backward(loss);
+        let bits = g.grad(w).unwrap().as_slice().iter().map(|v| v.to_bits()).collect();
+        (g.scalar(loss).to_bits(), bits)
+    }
+
+    #[test]
+    fn reset_reuses_buffers_and_stays_bit_identical() {
+        let mut fresh = Graph::new();
+        let (loss_bits, grad_bits) = step_bits(&mut fresh);
+
+        let mut pooled = Graph::new();
+        for step in 0..5 {
+            pooled.reset();
+            let (lb, gb) = step_bits(&mut pooled);
+            assert_eq!(lb, loss_bits, "loss drifted on pooled step {step}");
+            assert_eq!(gb, grad_bits, "gradient drifted on pooled step {step}");
+        }
+        assert!(pooled.pooled_buffers() > 0, "reset should park buffers");
+    }
+
+    /// Like [`step_bits`] but with pooled leaf constructors — the balanced
+    /// take/give pattern the trainer uses.
+    fn pooled_step(g: &mut Graph) {
+        let xv = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.25 - 1.0);
+        let wv = Matrix::from_fn(3, 2, |i, j| ((i + 2 * j) as f64).sin());
+        let x = g.constant_copied(&xv);
+        let w = g.param_copied(&wv);
+        let y = g.matmul(x, w);
+        let t = g.tanh(y);
+        let gathered = g.gather_rows(t, &[0, 2, 2, 3]);
+        let s = g.sumsq(gathered);
+        let loss = g.mean(s);
+        g.backward(loss);
+    }
+
+    #[test]
+    fn steady_state_reset_steps_do_not_grow_the_pool() {
+        let mut g = Graph::new();
+        for _ in 0..3 {
+            g.reset();
+            pooled_step(&mut g);
+        }
+        g.reset();
+        let parked = g.pooled_buffers();
+        for _ in 0..4 {
+            g.reset();
+            pooled_step(&mut g);
+        }
+        g.reset();
+        assert_eq!(g.pooled_buffers(), parked, "pool should reach a fixed point");
+    }
+
+    #[test]
+    fn id_buf_round_trip() {
+        let mut g = Graph::new();
+        let mut buf = g.take_id_buf();
+        buf.push(TensorId(7));
+        g.give_id_buf(buf);
+        let again = g.take_id_buf();
+        assert!(again.is_empty(), "recycled id buffers are cleared");
+        assert!(again.capacity() >= 1);
+    }
+
+    #[test]
+    fn pooled_leaf_constructors_match_plain_ones() {
+        let src = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let mut g = Graph::new();
+        let a = g.constant_copied(&src);
+        assert_eq!(g.value(a).as_slice(), src.as_slice());
+        let b = g.constant_col(&[1.0, 2.0, 3.0]);
+        assert_eq!(g.value(b).shape(), (3, 1));
+        let c = g.constant_full(2, 2, 0.5);
+        assert_eq!(g.value(c).as_slice(), &[0.5; 4]);
+        let d = g.constant_selected_rows(&src, &[2, 0, 2]);
+        assert_eq!(g.value(d).as_slice(), src.select_rows(&[2, 0, 2]).as_slice());
+        let p = g.param_copied(&src);
+        let loss = g.sumsq(p);
+        g.backward(loss);
+        assert!(g.grad(p).is_some());
     }
 }

@@ -38,9 +38,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use crate::matrix::Matrix;
 
 /// Inner-dimension slab width for the blocked GEMM: one `KC x NC` panel of
-/// the right-hand operand stays resident in cache while a row block streams
-/// past it.
-const KC: usize = 128;
+/// the right-hand operand stays resident in **L1** while a row block streams
+/// past it (32 x 128 doubles = 32 KiB; the panel previously spilled to L2,
+/// which bounded the kernel at roughly half its measured throughput).
+const KC: usize = 32;
 /// Output-column tile width for the blocked GEMM.
 const NC: usize = 128;
 /// Minimum number of multiply-adds a worker thread must have before the
@@ -222,11 +223,216 @@ fn gemm_workers(par: Parallelism, madds: usize, rows: usize) -> usize {
     effective_workers(par, madds, MIN_MADDS_PER_WORKER).min(rows.max(1))
 }
 
+/// True when the running CPU supports AVX2 (checked once, cached).
+///
+/// The AVX2 kernel variants below contain the *same scalar operation
+/// sequence* as the portable ones — Rust never fuses `mul + add` into FMA or
+/// reassociates floating-point reductions — so the wider registers change
+/// throughput only and every result stays bit-identical. This is a runtime
+/// dispatch: binaries remain portable to baseline x86-64.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// Dispatches a row kernel to its AVX2-compiled variant when available.
+macro_rules! simd_dispatch {
+    ($generic:ident, $avx2:ident, ($($arg:expr),*)) => {{
+        #[cfg(target_arch = "x86_64")]
+        {
+            if avx2_available() {
+                // SAFETY: `avx2_available` verified the CPU feature at
+                // runtime; the function body is ordinary safe Rust.
+                return unsafe { $avx2($($arg),*) };
+            }
+        }
+        $generic($($arg),*)
+    }};
+}
+
+/// One `out_row[j] += aik * b_row[j]` pass (skipped entirely by the callers
+/// when `aik == 0.0`, preserving the historical exact-zero semantics).
+#[inline(always)]
+fn axpy(out_row: &mut [f64], aik: f64, b_row: &[f64]) {
+    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+        *o += aik * bv;
+    }
+}
+
+/// Four consecutive-`k` accumulation passes fused into one sweep over the
+/// output row. Each element performs `(((o + a0*b0) + a1*b1) + a2*b2) +
+/// a3*b3` — exactly the operation sequence of four separate [`axpy`] passes
+/// in ascending `k` order — while the output row is loaded and stored once
+/// instead of four times (the kernels' main throughput lever).
+#[inline(always)]
+fn axpy4(out_row: &mut [f64], av: [f64; 4], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) {
+    let len = out_row.len();
+    let (b0, b1, b2, b3) = (&b0[..len], &b1[..len], &b2[..len], &b3[..len]);
+    for j in 0..len {
+        let mut acc = out_row[j];
+        acc += av[0] * b0[j];
+        acc += av[1] * b1[j];
+        acc += av[2] * b2[j];
+        acc += av[3] * b3[j];
+        out_row[j] = acc;
+    }
+}
+
+/// [`axpy4`] over **two** output rows sharing the same four `b` rows. Each
+/// row's per-element operation sequence is exactly [`axpy4`]'s; sharing the
+/// `b` loads halves the kernel's dominant memory traffic (the kernels are
+/// load/store-bound without FMA, which bit-identity rules out).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn axpy4x2(
+    row0: &mut [f64],
+    row1: &mut [f64],
+    av0: [f64; 4],
+    av1: [f64; 4],
+    b0: &[f64],
+    b1: &[f64],
+    b2: &[f64],
+    b3: &[f64],
+) {
+    let len = row0.len();
+    let (b0, b1, b2, b3) = (&b0[..len], &b1[..len], &b2[..len], &b3[..len]);
+    let row1 = &mut row1[..len];
+    for j in 0..len {
+        let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
+        let mut a0 = row0[j];
+        a0 += av0[0] * v0;
+        a0 += av0[1] * v1;
+        a0 += av0[2] * v2;
+        a0 += av0[3] * v3;
+        row0[j] = a0;
+        let mut a1 = row1[j];
+        a1 += av1[0] * v0;
+        a1 += av1[1] * v1;
+        a1 += av1[2] * v2;
+        a1 += av1[3] * v3;
+        row1[j] = a1;
+    }
+}
+
+/// One output row's `kb..k_hi` accumulation against the `b` panel columns
+/// `jb..j_hi` (ascending `k`, unrolled by four, exact-zero skip preserved).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn accum_row(
+    out_row: &mut [f64],
+    a_at: impl Fn(usize) -> f64,
+    b: &[f64],
+    kb: usize,
+    k_hi: usize,
+    jb: usize,
+    j_hi: usize,
+    n: usize,
+) {
+    let mut k = kb;
+    while k + 4 <= k_hi {
+        let av = [a_at(k), a_at(k + 1), a_at(k + 2), a_at(k + 3)];
+        if av.iter().all(|&v| v != 0.0) {
+            axpy4(
+                out_row,
+                av,
+                &b[k * n + jb..k * n + j_hi],
+                &b[(k + 1) * n + jb..(k + 1) * n + j_hi],
+                &b[(k + 2) * n + jb..(k + 2) * n + j_hi],
+                &b[(k + 3) * n + jb..(k + 3) * n + j_hi],
+            );
+        } else {
+            for (dk, &aik) in av.iter().enumerate() {
+                if aik != 0.0 {
+                    axpy(out_row, aik, &b[(k + dk) * n + jb..(k + dk) * n + j_hi]);
+                }
+            }
+        }
+        k += 4;
+    }
+    for kk in k..k_hi {
+        let aik = a_at(kk);
+        if aik != 0.0 {
+            axpy(out_row, aik, &b[kk * n + jb..kk * n + j_hi]);
+        }
+    }
+}
+
+/// Two output rows' `kb..k_hi` accumulation with shared `b` loads; falls
+/// back to [`accum_row`] semantics per row whenever a zero `a` entry makes
+/// the fused pass inapplicable.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn accum_row_pair(
+    row0: &mut [f64],
+    row1: &mut [f64],
+    a0_at: impl Fn(usize) -> f64,
+    a1_at: impl Fn(usize) -> f64,
+    b: &[f64],
+    kb: usize,
+    k_hi: usize,
+    jb: usize,
+    j_hi: usize,
+    n: usize,
+) {
+    let mut k = kb;
+    while k + 4 <= k_hi {
+        let av0 = [a0_at(k), a0_at(k + 1), a0_at(k + 2), a0_at(k + 3)];
+        let av1 = [a1_at(k), a1_at(k + 1), a1_at(k + 2), a1_at(k + 3)];
+        let ok0 = av0.iter().all(|&v| v != 0.0);
+        let ok1 = av1.iter().all(|&v| v != 0.0);
+        if ok0 && ok1 {
+            axpy4x2(
+                row0,
+                row1,
+                av0,
+                av1,
+                &b[k * n + jb..k * n + j_hi],
+                &b[(k + 1) * n + jb..(k + 1) * n + j_hi],
+                &b[(k + 2) * n + jb..(k + 2) * n + j_hi],
+                &b[(k + 3) * n + jb..(k + 3) * n + j_hi],
+            );
+        } else {
+            for (row, av, ok) in [(&mut *row0, av0, ok0), (&mut *row1, av1, ok1)] {
+                if ok {
+                    axpy4(
+                        row,
+                        av,
+                        &b[k * n + jb..k * n + j_hi],
+                        &b[(k + 1) * n + jb..(k + 1) * n + j_hi],
+                        &b[(k + 2) * n + jb..(k + 2) * n + j_hi],
+                        &b[(k + 3) * n + jb..(k + 3) * n + j_hi],
+                    );
+                } else {
+                    for (dk, &aik) in av.iter().enumerate() {
+                        if aik != 0.0 {
+                            axpy(row, aik, &b[(k + dk) * n + jb..(k + dk) * n + j_hi]);
+                        }
+                    }
+                }
+            }
+        }
+        k += 4;
+    }
+    for kk in k..k_hi {
+        for (row, a_at) in [(&mut *row0, &a0_at as &dyn Fn(usize) -> f64), (&mut *row1, &a1_at)] {
+            let aik = a_at(kk);
+            if aik != 0.0 {
+                axpy(row, aik, &b[kk * n + jb..kk * n + j_hi]);
+            }
+        }
+    }
+}
+
 /// Blocked `C += A * B` for output rows `r0..r1`; `out` is the chunk holding
 /// exactly those rows. Accumulates each output element in ascending-`k`
 /// order (matching the historical `i-k-j` loop bit for bit, including its
-/// skip of exact-zero `a[i][k]` entries).
-fn gemm_nn_rows(
+/// skip of exact-zero `a[i][k]` entries); the `k` dimension is unrolled by
+/// four when the participating `a` entries are all non-zero, which changes
+/// memory traffic but not a single floating-point operation.
+#[inline(always)]
+fn gemm_nn_rows_impl(
     a: &[f64],
     b: &[f64],
     out: &mut [f64],
@@ -239,26 +445,34 @@ fn gemm_nn_rows(
         let k_hi = (kb + KC).min(k_dim);
         for jb in (0..n).step_by(NC) {
             let j_hi = (jb + NC).min(n);
-            for i in r0..r1 {
+            let mut i = r0;
+            while i + 2 <= r1 {
+                let (head, tail) = out.split_at_mut((i + 1 - r0) * n);
+                let row0 = &mut head[(i - r0) * n + jb..(i - r0) * n + j_hi];
+                let row1 = &mut tail[jb..j_hi];
+                let a_row0 = &a[i * k_dim..(i + 1) * k_dim];
+                let a_row1 = &a[(i + 1) * k_dim..(i + 2) * k_dim];
+                accum_row_pair(row0, row1, |k| a_row0[k], |k| a_row1[k], b, kb, k_hi, jb, j_hi, n);
+                i += 2;
+            }
+            if i < r1 {
                 let a_row = &a[i * k_dim..(i + 1) * k_dim];
                 let out_row = &mut out[(i - r0) * n + jb..(i - r0) * n + j_hi];
-                for k in kb..k_hi {
-                    let aik = a_row[k];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[k * n + jb..k * n + j_hi];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += aik * bv;
-                    }
-                }
+                accum_row(out_row, |k| a_row[k], b, kb, k_hi, jb, j_hi, n);
             }
         }
     }
 }
 
 /// `C[i][j] = dot(a.row(i), b.row(j))` for output rows `r0..r1`.
-fn gemm_nt_rows(
+///
+/// Four output columns are computed per sweep with independent accumulator
+/// chains; each chain folds `0.0 + Σ_k a[i][k] * b[j][k]` in ascending `k`
+/// order exactly like the historical per-element iterator sum, so results
+/// are bit-identical while the four chains hide the floating-point add
+/// latency that used to serialise the kernel.
+#[inline(always)]
+fn gemm_nt_rows_impl(
     a: &[f64],
     b: &[f64],
     out: &mut [f64],
@@ -270,8 +484,27 @@ fn gemm_nt_rows(
     for i in r0..r1 {
         let a_row = &a[i * k_dim..(i + 1) * k_dim];
         let out_row = &mut out[(i - r0) * n..(i - r0 + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b[j * k_dim..(j + 1) * k_dim];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k_dim..(j + 1) * k_dim];
+            let b1 = &b[(j + 1) * k_dim..(j + 2) * k_dim];
+            let b2 = &b[(j + 2) * k_dim..(j + 3) * k_dim];
+            let b3 = &b[(j + 3) * k_dim..(j + 4) * k_dim];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for ((((&x, &y0), &y1), &y2), &y3) in a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+                s0 += x * y0;
+                s1 += x * y1;
+                s2 += x * y2;
+                s3 += x * y3;
+            }
+            out_row[j] = s0;
+            out_row[j + 1] = s1;
+            out_row[j + 2] = s2;
+            out_row[j + 3] = s3;
+            j += 4;
+        }
+        for (jj, o) in out_row.iter_mut().enumerate().skip(j) {
+            let b_row = &b[jj * k_dim..(jj + 1) * k_dim];
             *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
         }
     }
@@ -280,28 +513,114 @@ fn gemm_nt_rows(
 /// `C += A^T * B` for the output rows starting at `r0` (columns of `A`);
 /// the row count is implied by `out.len() / n`. Per-element accumulation
 /// runs over `k` (the shared row index) in ascending order with the same
-/// exact-zero skip as the historical loop, so the result is bit-identical
-/// for every row sharding.
-fn gemm_tn_rows(a: &[f64], b: &[f64], out: &mut [f64], r0: usize, a_cols: usize, n: usize) {
+/// exact-zero skip as the historical loop — unrolled by four like
+/// [`gemm_nn_rows`] — so the result is bit-identical for every row sharding.
+#[inline(always)]
+fn gemm_tn_rows_impl(a: &[f64], b: &[f64], out: &mut [f64], r0: usize, a_cols: usize, n: usize) {
     let a_rows = a.len().checked_div(a_cols).unwrap_or(0);
     let r1 = r0 + out.len().checked_div(n).unwrap_or(0);
     for kb in (0..a_rows).step_by(KC) {
         let k_hi = (kb + KC).min(a_rows);
-        for k in kb..k_hi {
-            let b_row = &b[k * n..(k + 1) * n];
-            let a_row = &a[k * a_cols..(k + 1) * a_cols];
-            for i in r0..r1 {
-                let aki = a_row[i];
-                if aki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[(i - r0) * n..(i - r0 + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aki * bv;
-                }
+        for jb in (0..n).step_by(NC) {
+            let j_hi = (jb + NC).min(n);
+            let mut i = r0;
+            while i + 2 <= r1 {
+                let (head, tail) = out.split_at_mut((i + 1 - r0) * n);
+                let row0 = &mut head[(i - r0) * n + jb..(i - r0) * n + j_hi];
+                let row1 = &mut tail[jb..j_hi];
+                accum_row_pair(
+                    row0,
+                    row1,
+                    |k| a[k * a_cols + i],
+                    |k| a[k * a_cols + i + 1],
+                    b,
+                    kb,
+                    k_hi,
+                    jb,
+                    j_hi,
+                    n,
+                );
+                i += 2;
+            }
+            if i < r1 {
+                let out_row = &mut out[(i - r0) * n + jb..(i - r0) * n + j_hi];
+                accum_row(out_row, |k| a[k * a_cols + i], b, kb, k_hi, jb, j_hi, n);
             }
         }
     }
+}
+
+/// AVX2-compiled clone of [`gemm_nn_rows_impl`] (same scalar ops, wider
+/// auto-vectorisation; see [`avx2_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_nn_rows_avx2(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    r0: usize,
+    r1: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    gemm_nn_rows_impl(a, b, out, r0, r1, k_dim, n);
+}
+
+fn gemm_nn_rows(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    r0: usize,
+    r1: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    simd_dispatch!(gemm_nn_rows_impl, gemm_nn_rows_avx2, (a, b, out, r0, r1, k_dim, n))
+}
+
+/// AVX2-compiled clone of [`gemm_nt_rows_impl`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_nt_rows_avx2(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    r0: usize,
+    r1: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    gemm_nt_rows_impl(a, b, out, r0, r1, k_dim, n);
+}
+
+fn gemm_nt_rows(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    r0: usize,
+    r1: usize,
+    k_dim: usize,
+    n: usize,
+) {
+    simd_dispatch!(gemm_nt_rows_impl, gemm_nt_rows_avx2, (a, b, out, r0, r1, k_dim, n))
+}
+
+/// AVX2-compiled clone of [`gemm_tn_rows_impl`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_tn_rows_avx2(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    r0: usize,
+    a_cols: usize,
+    n: usize,
+) {
+    gemm_tn_rows_impl(a, b, out, r0, a_cols, n);
+}
+
+fn gemm_tn_rows(a: &[f64], b: &[f64], out: &mut [f64], r0: usize, a_cols: usize, n: usize) {
+    simd_dispatch!(gemm_tn_rows_impl, gemm_tn_rows_avx2, (a, b, out, r0, a_cols, n))
 }
 
 /// Matrix product `a * b` through the blocked kernel, sharding output rows
@@ -311,6 +630,20 @@ fn gemm_tn_rows(a: &[f64], b: &[f64], out: &mut [f64], r0: usize, a_cols: usize,
 /// Panics if the inner dimensions differ.
 #[track_caller]
 pub fn gemm(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    gemm_into(a, b, &mut out, par);
+    out
+}
+
+/// [`gemm`] writing into a caller-provided `a.rows() x b.cols()` buffer —
+/// the allocation-free variant backing the pooled autodiff tape. The buffer
+/// is fully overwritten (any prior contents are discarded); the accumulation
+/// order is identical to [`gemm`], so results are bit-identical.
+///
+/// # Panics
+/// Panics if the inner dimensions differ or the output shape is wrong.
+#[track_caller]
+pub fn gemm_into(a: &Matrix, b: &Matrix, out: &mut Matrix, par: Parallelism) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -321,13 +654,13 @@ pub fn gemm(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
         b.cols()
     );
     let (m, k_dim, n) = (a.rows(), a.cols(), b.cols());
-    let mut out = Matrix::zeros(m, n);
+    assert_eq!(out.shape(), (m, n), "gemm_into: output buffer has the wrong shape");
+    out.fill_with(0.0);
     let workers = gemm_workers(par, m * k_dim * n, m);
     let (a_s, b_s) = (a.as_slice(), b.as_slice());
     par_for_row_chunks(out.as_mut_slice(), m, n, workers, |r0, r1, chunk| {
         gemm_nn_rows(a_s, b_s, chunk, r0, r1, k_dim, n);
     });
-    out
 }
 
 /// Matrix product `a * b^T` without materialising the transpose, sharding
@@ -337,6 +670,19 @@ pub fn gemm(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
 /// Panics if the column counts differ.
 #[track_caller]
 pub fn gemm_nt(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    gemm_nt_into(a, b, &mut out, par);
+    out
+}
+
+/// [`gemm_nt`] writing into a caller-provided `a.rows() x b.rows()` buffer.
+/// Every output element is assigned (not accumulated), so prior contents are
+/// irrelevant; results are bit-identical to [`gemm_nt`].
+///
+/// # Panics
+/// Panics if the column counts differ or the output shape is wrong.
+#[track_caller]
+pub fn gemm_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix, par: Parallelism) {
     assert_eq!(
         a.cols(),
         b.cols(),
@@ -347,13 +693,12 @@ pub fn gemm_nt(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
         b.cols()
     );
     let (m, k_dim, n) = (a.rows(), a.cols(), b.rows());
-    let mut out = Matrix::zeros(m, n);
+    assert_eq!(out.shape(), (m, n), "gemm_nt_into: output buffer has the wrong shape");
     let workers = gemm_workers(par, m * k_dim * n, m);
     let (a_s, b_s) = (a.as_slice(), b.as_slice());
     par_for_row_chunks(out.as_mut_slice(), m, n, workers, |r0, r1, chunk| {
         gemm_nt_rows(a_s, b_s, chunk, r0, r1, k_dim, n);
     });
-    out
 }
 
 /// Matrix product `a^T * b` without materialising the transpose, sharding
@@ -363,6 +708,19 @@ pub fn gemm_nt(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
 /// Panics if the row counts differ.
 #[track_caller]
 pub fn gemm_tn(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    gemm_tn_into(a, b, &mut out, par);
+    out
+}
+
+/// [`gemm_tn`] writing into a caller-provided `a.cols() x b.cols()` buffer.
+/// The buffer is fully overwritten; accumulation order is identical to
+/// [`gemm_tn`], so results are bit-identical.
+///
+/// # Panics
+/// Panics if the row counts differ or the output shape is wrong.
+#[track_caller]
+pub fn gemm_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix, par: Parallelism) {
     assert_eq!(
         a.rows(),
         b.rows(),
@@ -373,13 +731,13 @@ pub fn gemm_tn(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
         b.cols()
     );
     let (a_rows, m, n) = (a.rows(), a.cols(), b.cols());
-    let mut out = Matrix::zeros(m, n);
+    assert_eq!(out.shape(), (m, n), "gemm_tn_into: output buffer has the wrong shape");
+    out.fill_with(0.0);
     let workers = gemm_workers(par, a_rows * m * n, m);
     let (a_s, b_s) = (a.as_slice(), b.as_slice());
     par_for_row_chunks(out.as_mut_slice(), m, n, workers, |r0, _r1, chunk| {
         gemm_tn_rows(a_s, b_s, chunk, r0, m, n);
     });
-    out
 }
 
 #[cfg(test)]

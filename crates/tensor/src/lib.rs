@@ -17,7 +17,11 @@
 //! * [`kernels`] — the cache-blocked, optionally multi-threaded GEMM layer
 //!   and the workspace-wide [`kernels::Parallelism`] knob every
 //!   matrix product funnels through.
-//! * [`graph`] — the autodiff tape (`Graph`, `TensorId`, ~40 primitive ops).
+//! * [`graph`] — the autodiff tape (`Graph`, `TensorId`, ~40 primitive ops),
+//!   reusable across optimisation steps via [`Graph::reset`].
+//! * [`pool`] — the shape-keyed [`pool::BufferPool`] that keeps a reset
+//!   tape's value/gradient buffers alive across steps (allocation-free
+//!   steady-state training).
 //! * [`rng`] — seeded sampling helpers (Box–Muller normals, permutations).
 //! * [`gradcheck`] — finite-difference gradient verification used throughout
 //!   the workspace's test suites.
@@ -28,8 +32,10 @@ pub mod gradcheck;
 pub mod graph;
 pub mod kernels;
 pub mod matrix;
+pub mod pool;
 pub mod rng;
 
 pub use graph::{stable_sigmoid, stable_softplus, Graph, TensorId};
 pub use kernels::Parallelism;
 pub use matrix::Matrix;
+pub use pool::BufferPool;

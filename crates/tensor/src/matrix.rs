@@ -221,6 +221,78 @@ impl Matrix {
         self.data[0]
     }
 
+    /// Sets every element to `v`.
+    pub fn fill_with(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Overwrites `self` with the contents of a same-shape matrix.
+    #[track_caller]
+    pub fn copy_from(&mut self, src: &Self) {
+        self.assert_same_shape(src, "copy_from");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Overwrites `self` with `f` applied elementwise to a same-shape source.
+    ///
+    /// Dispatches to an AVX2-compiled copy when the CPU supports it — the
+    /// scalar operations are unchanged (no FMA contraction, no
+    /// reassociation), so results are bit-identical; only the register width
+    /// differs.
+    #[track_caller]
+    pub fn fill_map(&mut self, src: &Self, f: impl Fn(f64) -> f64) {
+        self.assert_same_shape(src, "fill_map");
+        #[cfg(target_arch = "x86_64")]
+        {
+            if crate::kernels::avx2_available() {
+                // SAFETY: feature presence verified at runtime; the body is
+                // ordinary safe Rust.
+                unsafe { fill_map_avx2(&mut self.data, &src.data, f) };
+                return;
+            }
+        }
+        for (o, &v) in self.data.iter_mut().zip(&src.data) {
+            *o = f(v);
+        }
+    }
+
+    /// Overwrites `self` with `f` combined elementwise over two same-shape
+    /// sources (AVX2-dispatched like [`Matrix::fill_map`]).
+    #[track_caller]
+    pub fn fill_zip(&mut self, a: &Self, b: &Self, f: impl Fn(f64, f64) -> f64) {
+        self.assert_same_shape(a, "fill_zip");
+        a.assert_same_shape(b, "fill_zip");
+        #[cfg(target_arch = "x86_64")]
+        {
+            if crate::kernels::avx2_available() {
+                // SAFETY: feature presence verified at runtime.
+                unsafe { fill_zip_avx2(&mut self.data, &a.data, &b.data, f) };
+                return;
+            }
+        }
+        for ((o, &x), &y) in self.data.iter_mut().zip(&a.data).zip(&b.data) {
+            *o = f(x, y);
+        }
+    }
+
+    /// Writes the transpose of `src` into `self` (which must be
+    /// `src.cols() x src.rows()`).
+    #[track_caller]
+    pub fn transpose_from(&mut self, src: &Self) {
+        assert_eq!(
+            self.shape(),
+            (src.cols, src.rows),
+            "transpose_from: output shape {:?} does not transpose {:?}",
+            self.shape(),
+            src.shape()
+        );
+        for i in 0..src.rows {
+            for j in 0..src.cols {
+                self[(j, i)] = src[(i, j)];
+            }
+        }
+    }
+
     /// Applies `f` elementwise, returning a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
         Self { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
@@ -279,10 +351,19 @@ impl Matrix {
         self.zip_map(other, |a, b| a / b)
     }
 
-    /// Adds `other` into `self` in place.
+    /// Adds `other` into `self` in place (AVX2-dispatched like
+    /// [`Matrix::fill_map`]).
     #[track_caller]
     pub fn add_assign(&mut self, other: &Self) {
         self.assert_same_shape(other, "add_assign");
+        #[cfg(target_arch = "x86_64")]
+        {
+            if crate::kernels::avx2_available() {
+                // SAFETY: feature presence verified at runtime.
+                unsafe { add_assign_avx2(&mut self.data, &other.data) };
+                return;
+            }
+        }
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -518,6 +599,33 @@ impl Matrix {
     /// True when `self` and `other` agree within absolute tolerance `tol`.
     pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
         self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+}
+
+/// AVX2-compiled clone of the scalar [`Matrix::fill_map`] loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fill_map_avx2(out: &mut [f64], src: &[f64], f: impl Fn(f64) -> f64) {
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o = f(v);
+    }
+}
+
+/// AVX2-compiled clone of the scalar [`Matrix::fill_zip`] loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fill_zip_avx2(out: &mut [f64], a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = f(x, y);
+    }
+}
+
+/// AVX2-compiled clone of the scalar [`Matrix::add_assign`] loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_assign_avx2(out: &mut [f64], src: &[f64]) {
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o += v;
     }
 }
 

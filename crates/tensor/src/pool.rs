@@ -1,0 +1,119 @@
+//! Shape-keyed buffer pool backing the reusable autodiff tape.
+//!
+//! Training loops build one [`Graph`](crate::Graph) per optimisation step
+//! with the same batch shapes every time. Allocating fresh value/gradient
+//! buffers for every node each step dominated the step cost (large buffers
+//! round-trip through `mmap`, so every step paid page faults on top of the
+//! allocator). A [`BufferPool`] keeps the `Vec<f64>` backing stores alive
+//! across [`Graph::reset`](crate::Graph::reset) calls, keyed by element
+//! count, so a warmed-up step loop performs no heap allocation at all.
+
+use std::collections::HashMap;
+
+use crate::matrix::Matrix;
+
+/// Maximum parked buffers per element count. Balanced take/give patterns
+/// (pooled leaf constructors + ops) never approach this; the cap only bounds
+/// growth when callers repeatedly hand externally-allocated matrices to
+/// [`Graph::constant`](crate::Graph::constant) on a reused tape.
+const MAX_PARKED_PER_LEN: usize = 256;
+
+/// A pool of reusable `f64` buffers keyed by element count.
+///
+/// Buffers are handed out as [`Matrix`] values whose **contents are
+/// unspecified** (recycled buffers keep their stale values); callers must
+/// overwrite every element, or use [`BufferPool::take_zeroed`].
+#[derive(Default)]
+pub struct BufferPool {
+    free: HashMap<usize, Vec<Vec<f64>>>,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn parked(&self) -> usize {
+        self.free.values().map(Vec::len).sum()
+    }
+
+    /// Takes a `rows x cols` buffer with **unspecified contents**.
+    ///
+    /// A recycled buffer of matching element count is reused when available;
+    /// otherwise a fresh zeroed matrix is allocated. Callers must overwrite
+    /// every element before reading.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        if let Some(data) = self.free.get_mut(&len).and_then(Vec::pop) {
+            return Matrix::from_vec(rows, cols, data);
+        }
+        Matrix::zeros(rows, cols)
+    }
+
+    /// Takes a `rows x cols` buffer with every element set to zero.
+    pub fn take_zeroed(&mut self, rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        if let Some(mut data) = self.free.get_mut(&len).and_then(Vec::pop) {
+            data.fill(0.0);
+            return Matrix::from_vec(rows, cols, data);
+        }
+        Matrix::zeros(rows, cols)
+    }
+
+    /// Returns a buffer to the pool for reuse (empty matrices are dropped,
+    /// as are buffers beyond a generous per-length cap).
+    pub fn give(&mut self, m: Matrix) {
+        let len = m.len();
+        if len == 0 {
+            return;
+        }
+        let stack = self.free.entry(len).or_default();
+        if stack.len() < MAX_PARKED_PER_LEN {
+            stack.push(m.into_vec());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_buffers_by_len() {
+        let mut pool = BufferPool::new();
+        let m = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        pool.give(m);
+        assert_eq!(pool.parked(), 1);
+        // A 3x2 request reuses the 6-element buffer (shape is re-interpreted).
+        let t = pool.take(3, 2);
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn take_zeroed_clears_stale_contents() {
+        let mut pool = BufferPool::new();
+        pool.give(Matrix::full(2, 2, 7.0));
+        let z = pool.take_zeroed(2, 2);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mismatched_lengths_allocate_fresh() {
+        let mut pool = BufferPool::new();
+        pool.give(Matrix::ones(2, 2));
+        let m = pool.take(3, 3);
+        assert_eq!(m.shape(), (3, 3));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(pool.parked(), 1, "the 4-element buffer stays parked");
+    }
+
+    #[test]
+    fn empty_buffers_are_not_pooled() {
+        let mut pool = BufferPool::new();
+        pool.give(Matrix::zeros(0, 5));
+        assert_eq!(pool.parked(), 0);
+    }
+}

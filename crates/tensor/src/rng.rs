@@ -55,12 +55,21 @@ pub fn rand_uniform(rng: &mut StdRng, rows: usize, cols: usize, lo: f64, hi: f64
 
 /// A random permutation of `0..n` (Fisher–Yates).
 pub fn permutation(rng: &mut StdRng, n: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..n).collect();
+    let mut idx = Vec::with_capacity(n);
+    permutation_into(rng, &mut idx, n);
+    idx
+}
+
+/// Writes a random permutation of `0..n` into `out`, reusing its capacity —
+/// the allocation-free variant of [`permutation`]. Consumes exactly the same
+/// RNG draws, so the resulting permutation is identical.
+pub fn permutation_into(rng: &mut StdRng, out: &mut Vec<usize>, n: usize) {
+    out.clear();
+    out.extend(0..n);
     for i in (1..n).rev() {
         let j = rng.random_range(0..=i);
-        idx.swap(i, j);
+        out.swap(i, j);
     }
-    idx
 }
 
 /// Samples `k` indices from `0..n` without replacement.
