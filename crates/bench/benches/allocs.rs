@@ -1,7 +1,10 @@
-//! Allocation-count probe: asserts that a warmed-up two-phase SBRL-HAP
+//! Allocation-count and thread-spawn probes: a warmed-up two-phase SBRL-HAP
 //! optimisation step — the exact per-iteration structure of
 //! `sbrl-core`'s trainer (network phase + weight phase, reusable tape,
-//! recycled bindings/context/scratch) — performs **zero** heap allocations.
+//! recycled bindings/context/scratch) — must perform **zero** heap
+//! allocations (under `Parallelism::Serial`), and once the persistent
+//! worker pool is warm the parallel path must spawn **zero** new threads
+//! per step.
 //!
 //! Requires the `alloc-probe` feature, which installs the counting global
 //! allocator from `sbrl_bench::alloc_probe`:
@@ -12,8 +15,10 @@
 //!
 //! The step uses a fixed batch (the trainer's shapes recur per step; a fixed
 //! batch makes the shape set deterministic, so the warm-up provably
-//! populates every buffer-pool class) and runs under
-//! `Parallelism::Serial` (worker threads would allocate their stacks).
+//! populates every buffer-pool class). The allocation section runs under
+//! `Parallelism::Serial` (worker threads would allocate their stacks); the
+//! thread-spawn section then warms the pool under `Parallelism::Threads(4)`
+//! and asserts `sbrl_tensor::workers::threads_spawned()` stays flat.
 
 use sbrl_bench::alloc_probe;
 use sbrl_core::{weight_objective, SampleWeights, SbrlConfig};
@@ -21,7 +26,7 @@ use sbrl_data::{SyntheticConfig, SyntheticProcess};
 use sbrl_models::{select_by_treatment, Backbone, BatchContext, Cfr, CfrConfig};
 use sbrl_nn::{loss::l2_penalty, Adam, Binding, Optimizer, OutcomeLoss};
 use sbrl_stats::{HsicScratch, Rff};
-use sbrl_tensor::rng::rng_from_seed;
+use sbrl_tensor::rng::{randn, rng_from_seed};
 use sbrl_tensor::{Graph, Parallelism};
 
 const BATCH: usize = 64;
@@ -30,8 +35,12 @@ const MEASURED_STEPS: usize = 25;
 
 fn main() {
     // `--test` smoke mode (CI bench smoke) runs the probe once like any
-    // other bench; the assertion is identical either way.
+    // other bench; the assertion is identical either way. The zero-alloc
+    // contract is a BitExact-tier contract (docs/PERFORMANCE.md): Fast's
+    // sharded statistics gather per-worker partials into fresh vectors, so
+    // the probe pins the tier rather than inheriting `SBRL_NUMERICS`.
     Parallelism::Serial.set_global();
+    sbrl_tensor::kernels::NumericsMode::BitExact.set_global();
 
     let process = SyntheticProcess::new(SyntheticConfig::syn_8_8_8_2(), 7);
     let data = process.generate(2.5, 256, 0);
@@ -133,4 +142,40 @@ fn main() {
     );
     assert_eq!(delta, 0, "steady-state training steps must not allocate");
     println!("test allocs/steady_state_steps_allocate_zero ... ok");
+
+    // ---- Thread-spawn probe --------------------------------------------
+    // The persistent worker pool replaces PR 3's per-call `thread::scope`
+    // spawns. Warm it under the parallel knob, then assert that further
+    // training steps — plus a large sharded GEMM per step, well above the
+    // kernel layer's parallel gating — spawn zero new threads.
+    Parallelism::Threads(4).set_global();
+    let big_a = randn(&mut rng, 256, 256);
+    let big_b = randn(&mut rng, 256, 256);
+    std::hint::black_box(big_a.matmul(&big_b)); // warms the pool
+    let warmed = sbrl_tensor::workers::threads_spawned();
+    assert!(warmed > 0, "the warm-up GEMM must have taken the pooled parallel path");
+
+    for _ in 0..MEASURED_STEPS {
+        step(
+            &mut tape,
+            &mut model,
+            &mut weights,
+            &mut net_binding,
+            &mut frozen_binding,
+            &mut w_binding,
+            &mut scratch,
+            &mut rng,
+        );
+        std::hint::black_box(big_a.matmul(&big_b));
+    }
+    let spawned = sbrl_tensor::workers::threads_spawned() - warmed;
+
+    Parallelism::Serial.set_global();
+    println!(
+        "threads: {spawned} spawned across {MEASURED_STEPS} warmed-up parallel steps \
+         (pool size {})",
+        sbrl_tensor::workers::pool_size()
+    );
+    assert_eq!(spawned, 0, "warmed-up parallel steps must not spawn threads");
+    println!("test allocs/steady_state_steps_spawn_zero_threads ... ok");
 }

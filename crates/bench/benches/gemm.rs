@@ -1,13 +1,16 @@
 //! Blocked-GEMM kernel bench at `Syn_16_16_16_2` training shapes: the
 //! batch-by-width products of one forward pass plus the fused-transpose
-//! backward pair, each timed serially and under the parallel sharded path.
-//! Emits the serial-vs-parallel baseline tracked in `results/BENCH_gemm.json`
+//! backward pair, each timed serially, under the parallel sharded path, and
+//! under the parallel path with `NumericsMode::Fast` (FMA microkernels).
+//! Emits the baseline tracked in `results/BENCH_gemm.json`
 //! (see `docs/PERFORMANCE.md`).
 
 mod common;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sbrl_tensor::kernels::{available_cores, gemm, gemm_nt, gemm_tn, Parallelism};
+use sbrl_tensor::kernels::{
+    available_cores, gemm_mode, gemm_nt_mode, gemm_tn_mode, NumericsMode, Parallelism,
+};
 use sbrl_tensor::rng::{randn, rng_from_seed};
 use std::hint::black_box;
 
@@ -15,6 +18,11 @@ fn bench_gemm(c: &mut Criterion) {
     let mut rng = rng_from_seed(0);
     let mut group = c.benchmark_group("gemm");
     let parallel = Parallelism::Threads(available_cores());
+    let tiers = [
+        ("serial", Parallelism::Serial, NumericsMode::BitExact),
+        ("parallel", parallel, NumericsMode::BitExact),
+        ("fast", parallel, NumericsMode::Fast),
+    ];
 
     // Forward-pass shapes of a syn_16 (50-feature) batch at paper widths
     // (256 x 50 -> rep width 128 -> 128), plus a square stress shape.
@@ -25,29 +33,24 @@ fn bench_gemm(c: &mut Criterion) {
     ] {
         let a = randn(&mut rng, m, k);
         let b = randn(&mut rng, k, n);
-        group.bench_function(&format!("{label}/serial"), |bch| {
-            bch.iter(|| black_box(gemm(&a, &b, Parallelism::Serial)));
-        });
-        group.bench_function(&format!("{label}/parallel"), |bch| {
-            bch.iter(|| black_box(gemm(&a, &b, parallel)));
-        });
+        for (tier, par, mode) in tiers {
+            group.bench_function(&format!("{label}/{tier}"), |bch| {
+                bch.iter(|| black_box(gemm_mode(&a, &b, par, mode)));
+            });
+        }
     }
 
     // The autodiff tape's MatMul backward pair: dA = g * B^T, dB = A^T * g.
     let x = randn(&mut rng, 256, 128);
     let g = randn(&mut rng, 256, 128);
-    group.bench_function("bwd_nt_256x128x128/serial", |bch| {
-        bch.iter(|| black_box(gemm_nt(&g, &x, Parallelism::Serial)));
-    });
-    group.bench_function("bwd_nt_256x128x128/parallel", |bch| {
-        bch.iter(|| black_box(gemm_nt(&g, &x, parallel)));
-    });
-    group.bench_function("bwd_tn_256x128x128/serial", |bch| {
-        bch.iter(|| black_box(gemm_tn(&x, &g, Parallelism::Serial)));
-    });
-    group.bench_function("bwd_tn_256x128x128/parallel", |bch| {
-        bch.iter(|| black_box(gemm_tn(&x, &g, parallel)));
-    });
+    for (tier, par, mode) in tiers {
+        group.bench_function(&format!("bwd_nt_256x128x128/{tier}"), |bch| {
+            bch.iter(|| black_box(gemm_nt_mode(&g, &x, par, mode)));
+        });
+        group.bench_function(&format!("bwd_tn_256x128x128/{tier}"), |bch| {
+            bch.iter(|| black_box(gemm_tn_mode(&x, &g, par, mode)));
+        });
+    }
     group.finish();
 }
 

@@ -1,15 +1,16 @@
 //! HSIC kernel-statistic bench at Fig. 5 scale: the classic biased RBF
 //! estimator (O(n²) kernel fills + implicit double-centring; it used to pay
 //! two O(n³) centring GEMMs) and the pairwise HSIC-RFF matrix (O(d² n) with
-//! per-column feature maps computed once, sharded over column pairs), serial
-//! vs parallel. Emits the baseline tracked in `results/BENCH_hsic.json`
+//! per-column feature maps computed once, sharded over column pairs):
+//! serial, parallel, and parallel + `NumericsMode::Fast` (FMA + tree
+//! reductions). Emits the baseline tracked in `results/BENCH_hsic.json`
 //! (see `docs/PERFORMANCE.md`).
 
 mod common;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sbrl_stats::{hsic_biased, pairwise_hsic_matrix_with, Rff};
-use sbrl_tensor::kernels::{available_cores, Parallelism};
+use sbrl_stats::{hsic_biased_with, pairwise_hsic_matrix_with, Rff};
+use sbrl_tensor::kernels::{available_cores, NumericsMode, Parallelism};
 use sbrl_tensor::rng::{randn, rng_from_seed};
 use std::hint::black_box;
 
@@ -17,25 +18,26 @@ fn bench_hsic(c: &mut Criterion) {
     let mut rng = rng_from_seed(0);
     let mut group = c.benchmark_group("hsic");
     let parallel = Parallelism::Threads(available_cores());
+    let tiers = [
+        ("serial", Parallelism::Serial, NumericsMode::BitExact),
+        ("parallel", parallel, NumericsMode::BitExact),
+        ("fast", parallel, NumericsMode::Fast),
+    ];
 
-    // hsic_biased parallelises through the global knob (its cost is the
-    // kernel matrices and centring GEMMs), so the knob is pinned per case.
     let x = randn(&mut rng, 256, 8);
     let y = randn(&mut rng, 256, 8);
-    for (label, par) in [("serial", Parallelism::Serial), ("parallel", parallel)] {
+    for (label, par, mode) in tiers {
         group.bench_function(&format!("biased_256x8/{label}"), |bch| {
-            par.set_global();
-            bch.iter(|| black_box(hsic_biased(&x, &y, -1.0, -1.0)));
+            bch.iter(|| black_box(hsic_biased_with(&x, &y, 1.0, 1.0, par, mode)));
         });
     }
-    Parallelism::from_env().set_global();
 
     // The Fig. 5 diagnostic: all column pairs of a 256 x 16 representation.
     let z = randn(&mut rng, 256, 16);
     let rff = Rff::sample(&mut rng, 5);
-    for (label, par) in [("serial", Parallelism::Serial), ("parallel", parallel)] {
+    for (label, par, mode) in tiers {
         group.bench_function(&format!("pairwise_256x16/{label}"), |bch| {
-            bch.iter(|| black_box(pairwise_hsic_matrix_with(&z, &rff, None, par)));
+            bch.iter(|| black_box(pairwise_hsic_matrix_with(&z, &rff, None, par, mode)));
         });
     }
     group.finish();

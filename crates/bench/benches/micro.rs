@@ -1,6 +1,7 @@
 //! Micro-benchmarks of the numerical hot paths behind every experiment:
 //! the matmul kernel, the differentiable weighted IPMs, the HSIC-RFF
-//! decorrelation loss and one full alternating training step.
+//! decorrelation loss and one full alternating training step — each also
+//! timed under the `NumericsMode::Fast` global knob (`*_fast` cases).
 
 mod common;
 
@@ -9,6 +10,7 @@ use sbrl_stats::{
     decorrelation_loss_graph_scratch, ipm_weighted_graph, DecorrelationConfig, HsicScratch,
     IpmKind, Rff,
 };
+use sbrl_tensor::kernels::NumericsMode;
 use sbrl_tensor::rng::{randn, rng_from_seed};
 use sbrl_tensor::{Graph, Matrix};
 use std::hint::black_box;
@@ -22,48 +24,63 @@ fn bench_micro(c: &mut Criterion) {
 
     let a = randn(&mut rng, 128, 64);
     let b = randn(&mut rng, 64, 64);
-    group.bench_function("matmul_128x64x64", |bch| {
-        bch.iter(|| black_box(a.matmul(&b)));
-    });
-
     let phi = randn(&mut rng, 128, 48);
     let ones = Matrix::ones(128, 1);
     let treated: Vec<usize> = (0..64).collect();
     let control: Vec<usize> = (64..128).collect();
-    for (label, kind) in [
-        ("ipm_mmd_lin_fwd_bwd", IpmKind::MmdLin),
-        ("ipm_wasserstein_fwd_bwd", IpmKind::Wasserstein { lambda: 10.0, iterations: 5 }),
-    ] {
+    let z = randn(&mut rng, 128, 48);
+    let rff = Rff::sample(&mut rng, 5);
+    let cfg = DecorrelationConfig { normalize: false, ..Default::default() };
+
+    // Graph-space ops resolve the numerics knob globally, so each tier pins
+    // it for its cases; the env value is restored below.
+    for (suffix, mode) in [("", NumericsMode::BitExact), ("_fast", NumericsMode::Fast)] {
+        mode.set_global();
+
+        group.bench_function(&format!("matmul_128x64x64{suffix}"), |bch| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+
+        for (label, kind) in [
+            ("ipm_mmd_lin_fwd_bwd", IpmKind::MmdLin),
+            ("ipm_wasserstein_fwd_bwd", IpmKind::Wasserstein { lambda: 10.0, iterations: 5 }),
+        ] {
+            let mut g = Graph::new();
+            group.bench_function(&format!("{label}{suffix}"), |bch| {
+                bch.iter(|| {
+                    g.reset();
+                    let p = g.constant_copied(&phi);
+                    let w = g.param_copied(&ones);
+                    let loss = ipm_weighted_graph(&mut g, kind, p, w, &treated, &control);
+                    g.backward(loss);
+                    black_box(g.grad(w).map(Matrix::norm_fro))
+                });
+            });
+        }
+
         let mut g = Graph::new();
-        group.bench_function(label, |bch| {
+        let mut scratch = HsicScratch::new();
+        group.bench_function(&format!("hsic_decorrelation_fwd_bwd{suffix}"), |bch| {
             bch.iter(|| {
                 g.reset();
-                let p = g.constant_copied(&phi);
+                let zc = g.constant_copied(&z);
                 let w = g.param_copied(&ones);
-                let loss = ipm_weighted_graph(&mut g, kind, p, w, &treated, &control);
+                let mut r = rng_from_seed(1);
+                let loss = decorrelation_loss_graph_scratch(
+                    &mut g,
+                    zc,
+                    w,
+                    &rff,
+                    &cfg,
+                    &mut r,
+                    &mut scratch,
+                );
                 g.backward(loss);
                 black_box(g.grad(w).map(Matrix::norm_fro))
             });
         });
     }
-
-    let z = randn(&mut rng, 128, 48);
-    let rff = Rff::sample(&mut rng, 5);
-    let cfg = DecorrelationConfig { normalize: false, ..Default::default() };
-    let mut g = Graph::new();
-    let mut scratch = HsicScratch::new();
-    group.bench_function("hsic_decorrelation_fwd_bwd", |bch| {
-        bch.iter(|| {
-            g.reset();
-            let zc = g.constant_copied(&z);
-            let w = g.param_copied(&ones);
-            let mut r = rng_from_seed(1);
-            let loss =
-                decorrelation_loss_graph_scratch(&mut g, zc, w, &rff, &cfg, &mut r, &mut scratch);
-            g.backward(loss);
-            black_box(g.grad(w).map(Matrix::norm_fro))
-        });
-    });
+    NumericsMode::from_env().set_global();
     group.finish();
 }
 

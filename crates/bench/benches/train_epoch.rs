@@ -1,14 +1,15 @@
 //! End-to-end training bench: one bench-scale CFR+SBRL-HAP fit on
 //! `Syn_16_16_16_2` (the full alternating loop — backbone GEMMs, weighted
-//! IPM, HSIC-RFF decorrelation), serial vs parallel global knob. Emits the
-//! baseline tracked in `results/BENCH_train_epoch.json`.
+//! IPM, HSIC-RFF decorrelation), under the serial, parallel, and
+//! parallel + `NumericsMode::Fast` global knobs. Emits the baseline tracked
+//! in `results/BENCH_train_epoch.json`.
 
 mod common;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sbrl_data::SyntheticConfig;
 use sbrl_experiments::fit_method;
-use sbrl_tensor::kernels::{available_cores, Parallelism};
+use sbrl_tensor::kernels::{available_cores, NumericsMode, Parallelism};
 use std::hint::black_box;
 
 fn bench_train_epoch(c: &mut Criterion) {
@@ -16,12 +17,18 @@ fn bench_train_epoch(c: &mut Criterion) {
     let data = common::synthetic_fixture(SyntheticConfig::syn_16_16_16_2(), 1);
     let budget = common::budget(&preset);
     let spec = common::hap_method();
+    let parallel = Parallelism::Threads(available_cores());
     let mut group = c.benchmark_group("train_epoch");
-    for (label, par) in
-        [("serial", Parallelism::Serial), ("parallel", Parallelism::Threads(available_cores()))]
-    {
+    // The fit resolves both knobs globally, so each case pins them for its
+    // duration and the pair is restored from the environment afterwards.
+    for (label, par, mode) in [
+        ("serial", Parallelism::Serial, NumericsMode::BitExact),
+        ("parallel", parallel, NumericsMode::BitExact),
+        ("fast", parallel, NumericsMode::Fast),
+    ] {
         group.bench_function(&format!("syn16_sbrl_hap/{label}"), |bch| {
             par.set_global();
+            mode.set_global();
             bch.iter(|| {
                 let fitted = fit_method(spec, &preset, &data.train, &data.val, &budget)
                     .expect("bench training");
@@ -30,6 +37,7 @@ fn bench_train_epoch(c: &mut Criterion) {
         });
     }
     Parallelism::from_env().set_global();
+    NumericsMode::from_env().set_global();
     group.finish();
 }
 

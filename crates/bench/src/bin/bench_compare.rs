@@ -3,23 +3,31 @@
 //! gross regressions.
 //!
 //! ```sh
-//! bench_compare <baseline.json> <fresh.json> [tolerance]
+//! bench_compare <baseline.json> <fresh.json> [tolerance] [--strict]
 //! ```
 //!
 //! A case regresses when `fresh > tolerance * baseline` (default tolerance
 //! 2.0 — generous on purpose: CI runners are noisy and heterogeneous; the
-//! gate exists to catch order-of-magnitude rots, not micro-jitter). Cases
-//! present in only one file are reported but not fatal, so benches can be
-//! added or retired without breaking CI in the same commit.
+//! gate exists to catch order-of-magnitude rots, not micro-jitter). By
+//! default, cases present in only one file are reported but not fatal, so
+//! benches can be added or retired without breaking CI in the same commit;
+//! `--strict` makes a baseline case that is *missing* from the fresh run
+//! fatal, so the gate provably covers every committed column (fresh-only
+//! cases stay non-fatal — they are new columns awaiting a baseline).
 
 use std::process::ExitCode;
 
 use sbrl_bench::parse_bench_medians;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let strict = {
+        let before = args.len();
+        args.retain(|a| a != "--strict");
+        args.len() != before
+    };
     if args.len() < 3 || args.len() > 4 {
-        eprintln!("usage: bench_compare <baseline.json> <fresh.json> [tolerance]");
+        eprintln!("usage: bench_compare <baseline.json> <fresh.json> [tolerance] [--strict]");
         return ExitCode::from(2);
     }
     let tolerance: f64 = match args.get(3).map(|t| t.parse()) {
@@ -49,6 +57,7 @@ fn main() -> ExitCode {
 
     let mut regressions = 0usize;
     let mut compared = 0usize;
+    let mut missing = 0usize;
     for (name, base_ns) in &baseline {
         match fresh.iter().find(|(n, _)| n == name) {
             Some((_, fresh_ns)) => {
@@ -65,7 +74,11 @@ fn main() -> ExitCode {
                      ({ratio:.2}x)"
                 );
             }
-            None => println!("  missing  {name}: present in baseline only (skipped)"),
+            None => {
+                missing += 1;
+                let note = if strict { "fatal under --strict" } else { "skipped" };
+                println!("  missing  {name}: present in baseline only ({note})");
+            }
         }
     }
     for (name, _) in &fresh {
@@ -77,6 +90,13 @@ fn main() -> ExitCode {
     if compared == 0 {
         eprintln!("bench_compare: no overlapping cases between the two files");
         return ExitCode::from(2);
+    }
+    if strict && missing > 0 {
+        eprintln!(
+            "bench_compare: {missing} baseline case(s) missing from the fresh run \
+             (--strict requires full coverage)"
+        );
+        return ExitCode::FAILURE;
     }
     if regressions > 0 {
         eprintln!(

@@ -21,6 +21,7 @@ use sbrl_nn::{
     loss::l2_penalty, Adam, BatchIter, Binding, EarlyStopping, LrSchedule, Optimizer, OutcomeLoss,
 };
 use sbrl_stats::{HsicScratch, Rff};
+use sbrl_tensor::kernels::NumericsMode;
 use sbrl_tensor::rng::rng_from_seed;
 use sbrl_tensor::{Graph, Matrix};
 
@@ -177,6 +178,9 @@ pub struct FittedModel<B: Backbone> {
     y_transform: (f64, f64),
     weights: Vec<f64>,
     report: TrainReport,
+    /// Numerics tier the fit ran under — provenance, since `BitExact` and
+    /// `Fast` fits of the same seed are not bit-identical.
+    numerics: NumericsMode,
 }
 
 impl<B: Backbone> std::fmt::Debug for FittedModel<B> {
@@ -184,6 +188,7 @@ impl<B: Backbone> std::fmt::Debug for FittedModel<B> {
         f.debug_struct("FittedModel")
             .field("model", &self.model.name())
             .field("loss_kind", &self.loss_kind)
+            .field("numerics", &self.numerics)
             .field("report", &self.report)
             .finish_non_exhaustive()
     }
@@ -206,14 +211,15 @@ impl<B: Backbone> FittedModel<B> {
         EffectEstimate { y0_hat, y1_hat }
     }
 
-    /// [`FittedModel::predict`] sharded across `workers` scoped threads —
-    /// the serving-shaped hot path for large inference matrices.
+    /// [`FittedModel::predict`] sharded across the workspace's persistent
+    /// worker pool — the serving-shaped hot path for large inference
+    /// matrices.
     ///
-    /// Rows are split into contiguous shards, each shard is predicted on its
-    /// own thread, and the pieces are reassembled in order. Every per-row
-    /// operation of the inference path is independent of the other rows, so
-    /// the result is **bit-identical** to a single-threaded
-    /// [`FittedModel::predict`] for any worker count.
+    /// Rows are split into contiguous shards, each shard is predicted as one
+    /// pool task (no per-call thread spawns), and the pieces are reassembled
+    /// in order. Every per-row operation of the inference path is
+    /// independent of the other rows, so the result is **bit-identical** to
+    /// a single-threaded [`FittedModel::predict`] for any worker count.
     ///
     /// `workers == 0` selects the worker count from the workspace-wide
     /// [`Parallelism`](sbrl_tensor::kernels::Parallelism) knob
@@ -234,16 +240,10 @@ impl<B: Backbone> FittedModel<B> {
             .map(|w| ((w * chunk).min(n), ((w + 1) * chunk).min(n)))
             .filter(|(lo, hi)| lo < hi)
             .collect();
-        let shards: Vec<EffectEstimate> = std::thread::scope(|s| {
-            let handles: Vec<_> = ranges
-                .iter()
-                .map(|&(lo, hi)| {
-                    let rows: Vec<usize> = (lo..hi).collect();
-                    let piece = x.select_rows(&rows);
-                    s.spawn(move || self.predict(&piece))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("predict worker panicked")).collect()
+        let shards = sbrl_tensor::kernels::par_map_values(ranges.len(), workers, |w| {
+            let (lo, hi) = ranges[w];
+            let rows: Vec<usize> = (lo..hi).collect();
+            self.predict(&x.select_rows(&rows))
         });
         let mut y0_hat = Vec::with_capacity(n);
         let mut y1_hat = Vec::with_capacity(n);
@@ -310,6 +310,13 @@ impl<B: Backbone> FittedModel<B> {
     /// The outcome-loss kind used at training time.
     pub fn loss_kind(&self) -> OutcomeLoss {
         self.loss_kind
+    }
+
+    /// The [`NumericsMode`] tier the global knob held while this model was
+    /// fitted (provenance: `BitExact` fits reproduce the golden regressions
+    /// bit for bit, `Fast` fits are tolerance-equivalent).
+    pub fn numerics(&self) -> NumericsMode {
+        self.numerics
     }
 }
 
@@ -491,7 +498,15 @@ pub(crate) fn fit_backbone<B: Backbone>(
         weight_stats: weights.stats(),
         val_curve,
     };
-    Ok(FittedModel { model, scaler, loss_kind, y_transform, weights: weights.values(), report })
+    Ok(FittedModel {
+        model,
+        scaler,
+        loss_kind,
+        y_transform,
+        weights: weights.values(),
+        report,
+        numerics: NumericsMode::global(),
+    })
 }
 
 /// Trains a prebuilt backbone with the positional argument list of the 0.1

@@ -13,7 +13,7 @@
 use sbrl_data::{CausalDataset, OutcomeKind};
 
 /// Predicted potential outcomes for one dataset.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct EffectEstimate {
     /// Predicted outcome under control per unit (probability for binary).
     pub y0_hat: Vec<f64>,

@@ -11,7 +11,9 @@
 //! * [`IpmKind::Wasserstein`] — entropic Sinkhorn approximation,
 //!   differentiated through the fixed-point iterations.
 
-use sbrl_tensor::kernels::{effective_workers, par_map_values, Parallelism};
+use sbrl_tensor::kernels::{
+    effective_workers, par_map_values, reduce_dot, reduce_sum, NumericsMode, Parallelism,
+};
 use sbrl_tensor::{Graph, Matrix, TensorId};
 
 use crate::kernels::{median_bandwidth, pairwise_sq_dists_with, rbf_kernel_with};
@@ -216,8 +218,8 @@ fn sinkhorn_graph(
 /// Plain weighted IPM on matrices (no gradients). Weights are renormalised
 /// per group; pass `None` for unit weights.
 ///
-/// Uses the process-global [`Parallelism`] knob; see
-/// [`ipm_weighted_plain_with`] for an explicit setting.
+/// Uses the process-global [`Parallelism`] and [`NumericsMode`] knobs; see
+/// [`ipm_weighted_plain_with`] for explicit settings.
 pub fn ipm_weighted_plain(
     kind: IpmKind,
     phi_t: &Matrix,
@@ -225,15 +227,27 @@ pub fn ipm_weighted_plain(
     w_t: Option<&[f64]>,
     w_c: Option<&[f64]>,
 ) -> f64 {
-    ipm_weighted_plain_with(kind, phi_t, phi_c, w_t, w_c, Parallelism::global())
+    ipm_weighted_plain_with(
+        kind,
+        phi_t,
+        phi_c,
+        w_t,
+        w_c,
+        Parallelism::global(),
+        NumericsMode::global(),
+    )
 }
 
-/// [`ipm_weighted_plain`] under an explicit [`Parallelism`] setting.
+/// [`ipm_weighted_plain`] under explicit [`Parallelism`] and
+/// [`NumericsMode`] settings.
 ///
 /// The O(n²) pairwise terms (kernel matrices, quadratic forms, Sinkhorn
 /// fixed-point updates) are row-sharded; per-row reductions are computed by
-/// exactly one worker and folded in serial row order, so the result is
-/// bit-identical for every setting.
+/// exactly one worker. In [`NumericsMode::BitExact`] the folds keep the
+/// historical serial order (bit-identical for every worker count); in
+/// [`NumericsMode::Fast`] they switch to multi-accumulator / pairwise-tree
+/// reductions whose shape depends only on operand lengths, so Fast is also
+/// deterministic at every worker count — just not bit-identical to BitExact.
 pub fn ipm_weighted_plain_with(
     kind: IpmKind,
     phi_t: &Matrix,
@@ -241,6 +255,7 @@ pub fn ipm_weighted_plain_with(
     w_t: Option<&[f64]>,
     w_c: Option<&[f64]>,
     par: Parallelism,
+    mode: NumericsMode,
 ) -> f64 {
     if phi_t.rows() == 0 || phi_c.rows() == 0 {
         return 0.0;
@@ -255,16 +270,16 @@ pub fn ipm_weighted_plain_with(
         }
         IpmKind::MmdRbf { sigma } => {
             let sigma = if sigma > 0.0 { sigma } else { median_bandwidth(&phi_t.vstack(phi_c)) };
-            let ktt = rbf_kernel_with(phi_t, phi_t, sigma, par);
-            let kcc = rbf_kernel_with(phi_c, phi_c, sigma, par);
-            let ktc = rbf_kernel_with(phi_t, phi_c, sigma, par);
-            let tt = quad_plain(&wt, &ktt, &wt, par);
-            let cc = quad_plain(&wc, &kcc, &wc, par);
-            let tc = quad_plain(&wt, &ktc, &wc, par);
+            let ktt = rbf_kernel_with(phi_t, phi_t, sigma, par, mode);
+            let kcc = rbf_kernel_with(phi_c, phi_c, sigma, par, mode);
+            let ktc = rbf_kernel_with(phi_t, phi_c, sigma, par, mode);
+            let tt = quad_plain(&wt, &ktt, &wt, par, mode);
+            let cc = quad_plain(&wc, &kcc, &wc, par, mode);
+            let tc = quad_plain(&wt, &ktc, &wc, par, mode);
             (tt + cc - 2.0 * tc).max(0.0)
         }
         IpmKind::Wasserstein { lambda, iterations } => {
-            sinkhorn_plain(phi_t, phi_c, &wt, &wc, lambda, iterations, par)
+            sinkhorn_plain(phi_t, phi_c, &wt, &wc, lambda, iterations, par, mode)
         }
     }
 }
@@ -295,18 +310,24 @@ fn weighted_mean_rows(x: &Matrix, w: &[f64]) -> Vec<f64> {
     mean
 }
 
-/// `u^T K v`. The per-row inner products are sharded across workers; the
-/// final fold runs in serial row order (with the historical skip of exactly
-/// zero `u[i]`), so the value is bit-identical for every [`Parallelism`].
-fn quad_plain(u: &[f64], k: &Matrix, v: &[f64], par: Parallelism) -> f64 {
+/// `u^T K v`. The per-row inner products are sharded across workers
+/// (`reduce_dot` keeps the historical serial fold in BitExact and the
+/// multi-accumulator tree in Fast, both with the historical skip of exactly
+/// zero `u[i]`). The final fold over rows runs in serial row order in
+/// BitExact and as a pairwise tree in Fast, so the value is deterministic
+/// for every [`Parallelism`] in both modes.
+fn quad_plain(u: &[f64], k: &Matrix, v: &[f64], par: Parallelism, mode: NumericsMode) -> f64 {
     let workers = effective_workers(par, u.len() * v.len(), MIN_PAIR_TERMS_PER_WORKER);
     let row_terms = par_map_values(u.len(), workers, |i| {
         if u[i] == 0.0 {
             0.0
         } else {
-            u[i] * k.row(i).iter().zip(v).map(|(&kij, &vj)| kij * vj).sum::<f64>()
+            u[i] * reduce_dot(k.row(i), v, mode)
         }
     });
+    if mode.is_fast() {
+        return reduce_sum(&row_terms, mode);
+    }
     let mut acc = 0.0;
     for (&ui, &term) in u.iter().zip(&row_terms) {
         if ui == 0.0 {
@@ -319,9 +340,12 @@ fn quad_plain(u: &[f64], k: &Matrix, v: &[f64], par: Parallelism) -> f64 {
 
 /// Entropic OT cost via Sinkhorn iterations. The `u` / `v` fixed-point
 /// updates are independent per entry (each is one row/column inner product
-/// followed by a division), so they shard across workers bit-identically;
-/// the final transport-cost reduction keeps the historical serial
-/// accumulation order.
+/// followed by a division), so they shard across workers without changing
+/// any floating-point chain. BitExact keeps the historical serial folds
+/// (bit-identical across worker counts); Fast switches the inner products
+/// and the transport-cost reduction to multi-accumulator / pairwise trees
+/// whose shape depends only on operand lengths.
+#[allow(clippy::too_many_arguments)]
 fn sinkhorn_plain(
     phi_t: &Matrix,
     phi_c: &Matrix,
@@ -330,8 +354,9 @@ fn sinkhorn_plain(
     lambda: f64,
     iterations: usize,
     par: Parallelism,
+    mode: NumericsMode,
 ) -> f64 {
-    let m = pairwise_sq_dists_with(phi_t, phi_c, par).map(|v| (v + 1e-10).sqrt());
+    let m = pairwise_sq_dists_with(phi_t, phi_c, par, mode).map(|v| (v + 1e-10).sqrt());
     let mean_cost = m.mean().max(1e-12);
     let k = m.map(|v| (-lambda * v / mean_cost).exp());
     let (nt, nc) = k.shape();
@@ -340,13 +365,22 @@ fn sinkhorn_plain(
     let mut v = vec![1.0; nc];
     for _ in 0..iterations {
         u = par_map_values(nt, workers, |i| {
-            let kv: f64 = k.row(i).iter().zip(&v).map(|(&kij, &vj)| kij * vj).sum();
+            let kv = reduce_dot(k.row(i), &v, mode);
             a[i] / (kv + 1e-12)
         });
         v = par_map_values(nc, workers, |j| {
-            let ktu: f64 = (0..nt).map(|i| k[(i, j)] * u[i]).sum();
+            let ktu = if mode.is_fast() {
+                col_dot_fast(k.as_slice(), nc, j, &u)
+            } else {
+                (0..nt).map(|i| k[(i, j)] * u[i]).sum()
+            };
             b[j] / (ktu + 1e-12)
         });
+    }
+    if mode.is_fast() {
+        let row_costs =
+            par_map_values(nt, workers, |i| u[i] * triple_dot_fast(k.row(i), &v, m.row(i)));
+        return reduce_sum(&row_costs, mode);
     }
     let mut cost = 0.0;
     for i in 0..nt {
@@ -355,6 +389,48 @@ fn sinkhorn_plain(
         }
     }
     cost
+}
+
+/// Fast-mode column inner product `Σ_i k[i·stride + col] · u[i]` with four
+/// independent accumulators; the reduction shape depends only on `u.len()`.
+#[inline]
+fn col_dot_fast(ks: &[f64], stride: usize, col: usize, u: &[f64]) -> f64 {
+    let n = u.len();
+    let mut acc = [0.0f64; 4];
+    let mut i = 0;
+    while i + 4 <= n {
+        acc[0] += ks[i * stride + col] * u[i];
+        acc[1] += ks[(i + 1) * stride + col] * u[i + 1];
+        acc[2] += ks[(i + 2) * stride + col] * u[i + 2];
+        acc[3] += ks[(i + 3) * stride + col] * u[i + 3];
+        i += 4;
+    }
+    while i < n {
+        acc[0] += ks[i * stride + col] * u[i];
+        i += 1;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Fast-mode elementwise triple product `Σ_j k[j] · v[j] · m[j]` with four
+/// independent accumulators; the reduction shape depends only on the length.
+#[inline]
+fn triple_dot_fast(k: &[f64], v: &[f64], m: &[f64]) -> f64 {
+    let n = k.len().min(v.len()).min(m.len());
+    let mut acc = [0.0f64; 4];
+    let mut j = 0;
+    while j + 4 <= n {
+        acc[0] += k[j] * v[j] * m[j];
+        acc[1] += k[j + 1] * v[j + 1] * m[j + 1];
+        acc[2] += k[j + 2] * v[j + 2] * m[j + 2];
+        acc[3] += k[j + 3] * v[j + 3] * m[j + 3];
+        j += 4;
+    }
+    while j < n {
+        acc[0] += k[j] * v[j] * m[j];
+        j += 1;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
 }
 
 #[cfg(test)]

@@ -4,8 +4,14 @@
 //! The O(n·m) fills are row-sharded across the workspace's
 //! [`Parallelism`] knob; every setting produces bit-identical matrices
 //! because each output row is computed independently by exactly one worker.
+//! Under [`NumericsMode::Fast`] the row squared-norms and the `A Bᵀ` cross
+//! term switch to the FMA/pairwise-tree reductions of `sbrl-tensor`, which
+//! stay deterministic for every thread count but are not bit-identical to
+//! the default [`NumericsMode::BitExact`] chains.
 
-use sbrl_tensor::kernels::{effective_workers, par_for_row_chunks, Parallelism};
+use sbrl_tensor::kernels::{
+    effective_workers, gemm_nt_mode, par_for_row_chunks, reduce_dot, NumericsMode, Parallelism,
+};
 use sbrl_tensor::Matrix;
 
 /// Minimum number of output elements a worker must own before the pairwise
@@ -15,26 +21,33 @@ const MIN_ELEMS_PER_WORKER: usize = 1 << 14;
 /// Pairwise squared Euclidean distances between the rows of `a` (`n x d`)
 /// and the rows of `b` (`m x d`), returned as an `n x m` matrix.
 ///
-/// Uses the process-global [`Parallelism`] knob; see
-/// [`pairwise_sq_dists_with`] for an explicit setting.
+/// Uses the process-global [`Parallelism`] and [`NumericsMode`] knobs; see
+/// [`pairwise_sq_dists_with`] for explicit settings.
 #[track_caller]
 pub fn pairwise_sq_dists(a: &Matrix, b: &Matrix) -> Matrix {
-    pairwise_sq_dists_with(a, b, Parallelism::global())
+    pairwise_sq_dists_with(a, b, Parallelism::global(), NumericsMode::global())
 }
 
-/// [`pairwise_sq_dists`] under an explicit [`Parallelism`] setting. Output
-/// rows are sharded across workers; results are bit-identical for every
-/// setting.
+/// [`pairwise_sq_dists`] under explicit [`Parallelism`] and [`NumericsMode`]
+/// settings. Output rows are sharded across workers; for a fixed mode the
+/// result is bit-identical for every worker count.
 #[track_caller]
-pub fn pairwise_sq_dists_with(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
+pub fn pairwise_sq_dists_with(
+    a: &Matrix,
+    b: &Matrix,
+    par: Parallelism,
+    mode: NumericsMode,
+) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "pairwise_sq_dists: feature dims differ");
     let (n, m) = (a.rows(), b.rows());
     if n == 0 || m == 0 {
         return Matrix::zeros(n, m);
     }
-    let a2: Vec<f64> = (0..a.rows()).map(|i| a.row(i).iter().map(|x| x * x).sum()).collect();
-    let b2: Vec<f64> = (0..b.rows()).map(|j| b.row(j).iter().map(|x| x * x).sum()).collect();
-    let cross = sbrl_tensor::kernels::gemm_nt(a, b, par);
+    // `reduce_dot` in BitExact is the historical serial `Σ x·x` fold; Fast
+    // swaps in the multi-accumulator tree.
+    let a2: Vec<f64> = (0..a.rows()).map(|i| reduce_dot(a.row(i), a.row(i), mode)).collect();
+    let b2: Vec<f64> = (0..b.rows()).map(|j| reduce_dot(b.row(j), b.row(j), mode)).collect();
+    let cross = gemm_nt_mode(a, b, par, mode);
     let mut out = Matrix::zeros(n, m);
     let workers = effective_workers(par, n * m, MIN_ELEMS_PER_WORKER);
     let cross_s = cross.as_slice();
@@ -52,17 +65,23 @@ pub fn pairwise_sq_dists_with(a: &Matrix, b: &Matrix, par: Parallelism) -> Matri
 }
 
 /// RBF (Gaussian) kernel matrix `exp(-||a_i - b_j||^2 / (2 sigma^2))` under
-/// the process-global [`Parallelism`] knob.
+/// the process-global [`Parallelism`] and [`NumericsMode`] knobs.
 #[track_caller]
 pub fn rbf_kernel(a: &Matrix, b: &Matrix, sigma: f64) -> Matrix {
-    rbf_kernel_with(a, b, sigma, Parallelism::global())
+    rbf_kernel_with(a, b, sigma, Parallelism::global(), NumericsMode::global())
 }
 
-/// [`rbf_kernel`] under an explicit [`Parallelism`] setting (bit-identical
-/// for every setting).
+/// [`rbf_kernel`] under explicit [`Parallelism`] and [`NumericsMode`]
+/// settings (bit-identical across worker counts for a fixed mode).
 #[track_caller]
-pub fn rbf_kernel_with(a: &Matrix, b: &Matrix, sigma: f64, par: Parallelism) -> Matrix {
-    let mut d = pairwise_sq_dists_with(a, b, par);
+pub fn rbf_kernel_with(
+    a: &Matrix,
+    b: &Matrix,
+    sigma: f64,
+    par: Parallelism,
+    mode: NumericsMode,
+) -> Matrix {
+    let mut d = pairwise_sq_dists_with(a, b, par, mode);
     let denom = 2.0 * sigma * sigma;
     let (n, m) = d.shape();
     let workers = effective_workers(par, n * m, MIN_ELEMS_PER_WORKER);

@@ -14,8 +14,12 @@
 //! The O(n²) pairwise loops (kernel matrices, HSIC pair sums, Sinkhorn
 //! updates) are sharded across the workspace-wide
 //! [`Parallelism`](sbrl_tensor::kernels::Parallelism) knob with
-//! bit-identical results for every thread count; the `*_with` variants
-//! accept an explicit setting.
+//! bit-identical results for every thread count, and honour the
+//! [`NumericsMode`](sbrl_tensor::kernels::NumericsMode) tier: `BitExact`
+//! (default) keeps the historical serial folds, `Fast` swaps in
+//! multi-accumulator / pairwise-tree reductions that are deterministic for
+//! every worker count but not bit-identical to `BitExact`. The `*_with`
+//! variants accept explicit settings.
 
 #![warn(missing_docs)]
 
@@ -25,8 +29,8 @@ pub mod kernels;
 
 pub use hsic::{
     decorrelation_loss_graph, decorrelation_loss_graph_scratch, decorrelation_loss_plain,
-    hsic_biased, hsic_rff_pair, mean_offdiag_hsic, pairwise_hsic_matrix, pairwise_hsic_matrix_with,
-    DecorrelationConfig, HsicScratch, Rff,
+    hsic_biased, hsic_biased_with, hsic_rff_pair, mean_offdiag_hsic, pairwise_hsic_matrix,
+    pairwise_hsic_matrix_with, DecorrelationConfig, HsicScratch, Rff,
 };
 pub use ipm::{
     ipm_graph, ipm_plain, ipm_weighted_graph, ipm_weighted_plain, ipm_weighted_plain_with, IpmKind,

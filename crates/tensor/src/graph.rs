@@ -504,7 +504,7 @@ impl Graph {
     // ----- elementwise unary ops --------------------------------------------------
 
     /// Pool-backed elementwise map over a node's value.
-    fn unary_map(&mut self, a: TensorId, op: Op, f: impl Fn(f64) -> f64) -> TensorId {
+    fn unary_map(&mut self, a: TensorId, op: Op, f: impl Fn(f64) -> f64 + Sync) -> TensorId {
         let mut v = self.take_like(a);
         v.fill_map(&self.nodes[a.0].value, f);
         self.unary(a, v, op)

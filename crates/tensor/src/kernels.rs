@@ -9,14 +9,24 @@
 //!   (env-driven via `SBRL_THREADS`, default = available cores) governs every
 //!   kernel; [`Parallelism::Serial`] reproduces the historical
 //!   single-threaded output **bit for bit**.
+//! * [`NumericsMode`] — the workspace-wide floating-point contract knob
+//!   (env-driven via `SBRL_NUMERICS`, default [`NumericsMode::BitExact`]).
+//!   `BitExact` preserves every historical accumulation chain;
+//!   [`NumericsMode::Fast`] opts into FMA contraction in the row microkernels
+//!   and deterministic pairwise-tree reductions ([`reduce_sum`],
+//!   [`reduce_dot`]), trading bit-reproducibility against the historical
+//!   chains for throughput while staying within the documented relative-error
+//!   bounds (enforced by `tests/numerics_mode.rs`).
 //! * [`gemm`], [`gemm_nt`], [`gemm_tn`] — cache-blocked matrix products
 //!   (tiled over the inner dimension and output columns) with a row-sharded
-//!   scoped-thread parallel path. Each output element is accumulated in the
+//!   parallel path. In `BitExact` each output element is accumulated in the
 //!   same floating-point order regardless of blocking or thread count, so
 //!   results are bit-identical across all `Parallelism` settings.
 //! * [`shard_ranges`], [`par_for_row_chunks`], [`par_map_values`] — the
 //!   sharding primitives, reused by `sbrl-stats` for its pairwise loops and
-//!   by `sbrl-core` for batched inference.
+//!   by `sbrl-core` for batched inference. Since this PR they execute on the
+//!   persistent worker pool in [`crate::workers`] instead of spawning scoped
+//!   threads per call.
 //!
 //! # Example
 //!
@@ -135,6 +145,98 @@ pub fn available_cores() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Floating-point contract of the numerical kernels.
+///
+/// The workspace's second process-global knob, next to [`Parallelism`]. It
+/// resolves, in order:
+///
+/// 1. an explicit [`NumericsMode::set_global`] call;
+/// 2. the `SBRL_NUMERICS` environment variable (`fast`, case-insensitive,
+///    selects [`NumericsMode::Fast`]; anything else is `BitExact`);
+/// 3. the default, [`NumericsMode::BitExact`].
+///
+/// `BitExact` is the historical contract: no FMA contraction, no reduction
+/// reordering, output bit-identical to the pre-kernel-layer code at every
+/// `Parallelism` setting. `Fast` relaxes exactly two things — the row
+/// microkernels may contract `mul + add` into hardware FMA (where the CPU
+/// has it), and long reductions use a fixed pairwise tree with four-wide
+/// accumulator blocks — in exchange for measurably higher throughput. Fast
+/// results stay within the relative-error bounds documented in
+/// `docs/PERFORMANCE.md` ("Numerics tiers") and are **deterministic on a
+/// given machine**: the reduction tree depends only on operand length, never
+/// on the thread count or scheduling, so a fixed `SBRL_THREADS` (indeed any
+/// thread count) reproduces Fast output bit for bit run-to-run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NumericsMode {
+    /// Historical bit-exact arithmetic: every accumulation chain unchanged.
+    #[default]
+    BitExact,
+    /// FMA microkernels + deterministic pairwise-tree reductions.
+    Fast,
+}
+
+/// Global numerics knob storage: 0 = unresolved, 1 = bit-exact, 2 = fast.
+static GLOBAL_NUMERICS: AtomicUsize = AtomicUsize::new(0);
+
+impl NumericsMode {
+    /// Resolves the knob from the `SBRL_NUMERICS` environment variable:
+    /// `fast` (case-insensitive) = [`NumericsMode::Fast`], anything
+    /// else/unset = [`NumericsMode::BitExact`].
+    pub fn from_env() -> Self {
+        match std::env::var("SBRL_NUMERICS") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("fast") => NumericsMode::Fast,
+            _ => NumericsMode::BitExact,
+        }
+    }
+
+    /// True for [`NumericsMode::Fast`].
+    pub fn is_fast(self) -> bool {
+        matches!(self, NumericsMode::Fast)
+    }
+
+    /// The knob's canonical spelling (`"bitexact"` / `"fast"`), as accepted
+    /// by `SBRL_NUMERICS` and recorded in `FittedModel` provenance.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NumericsMode::BitExact => "bitexact",
+            NumericsMode::Fast => "fast",
+        }
+    }
+
+    /// Installs `self` as the process-global knob used by every kernel that
+    /// does not take an explicit `NumericsMode`.
+    pub fn set_global(self) {
+        let stored = match self {
+            NumericsMode::BitExact => 1,
+            NumericsMode::Fast => 2,
+        };
+        GLOBAL_NUMERICS.store(stored, Ordering::Relaxed);
+    }
+
+    /// The process-global knob. The first read resolves
+    /// [`NumericsMode::from_env`] and caches it; later
+    /// [`NumericsMode::set_global`] calls override it.
+    pub fn global() -> Self {
+        match GLOBAL_NUMERICS.load(Ordering::Relaxed) {
+            1 => NumericsMode::BitExact,
+            2 => NumericsMode::Fast,
+            _ => {
+                let resolved = NumericsMode::from_env();
+                // A concurrent initialiser may race us; both compute the
+                // same env-derived value, so a plain store is fine.
+                resolved.set_global();
+                resolved
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for NumericsMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Splits `0..n` into at most `workers` contiguous, non-empty ranges.
 pub fn shard_ranges(n: usize, workers: usize) -> Vec<(usize, usize)> {
     if n == 0 {
@@ -155,13 +257,34 @@ pub fn effective_workers(par: Parallelism, units: usize, min_units: usize) -> us
     par.workers().min(by_work.max(1))
 }
 
+/// Sendable raw-pointer wrapper used to hand **disjoint** regions of one
+/// output buffer to pool tasks; every user below derives the regions from
+/// [`shard_ranges`], which guarantees disjointness.
+struct SendPtr<T>(*mut T);
+// SAFETY: the wrapper is only used to pass pointers into pool tasks that
+// write non-overlapping regions while the submitter keeps the underlying
+// buffer mutably borrowed until every task completes.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor method (rather than direct field access) so closures capture
+    /// the `Sync` wrapper, not the raw pointer field — edition-2021 disjoint
+    /// capture would otherwise grab the non-`Sync` `*mut T` itself.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
 /// Runs `f(row_lo, row_hi, chunk)` over disjoint row blocks of the
 /// `rows x cols` row-major buffer `out`, sharded across up to `workers`
-/// scoped threads (`workers <= 1` runs inline on the calling thread).
+/// threads of the persistent pool in [`crate::workers`] (`workers <= 1`
+/// runs inline on the calling thread and never touches the pool).
 ///
 /// Each invocation owns the sub-slice for rows `row_lo..row_hi`; rows are
 /// never shared, so any per-row computation is race-free and bit-identical
-/// to a serial left-to-right pass.
+/// to a serial left-to-right pass regardless of which pool thread runs
+/// which block.
 pub fn par_for_row_chunks<F>(out: &mut [f64], rows: usize, cols: usize, workers: usize, f: F)
 where
     F: Fn(usize, usize, &mut [f64]) + Sync,
@@ -173,20 +296,22 @@ where
         return;
     }
     let ranges = shard_ranges(rows, workers);
-    std::thread::scope(|s| {
-        let mut rest = out;
-        for &(lo, hi) in &ranges {
-            let (chunk, tail) = rest.split_at_mut((hi - lo) * cols);
-            rest = tail;
-            let f = &f;
-            s.spawn(move || f(lo, hi, chunk));
-        }
+    let base = SendPtr(out.as_mut_ptr());
+    crate::workers::run_tasks(ranges.len(), workers, &|t| {
+        let (lo, hi) = ranges[t];
+        // SAFETY: `shard_ranges` yields disjoint `lo..hi` row ranges, so
+        // every task reconstitutes a non-overlapping sub-slice of `out`,
+        // which stays mutably borrowed until `run_tasks` returns.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut(base.get().add(lo * cols), (hi - lo) * cols) };
+        f(lo, hi, chunk);
     });
 }
 
 /// Evaluates `f(i)` for every `i in 0..n`, sharded across up to `workers`
-/// scoped threads, and returns the results in index order. Each slot is
-/// computed exactly once, so the output is identical to a serial map.
+/// threads of the persistent pool, and returns the results in index order.
+/// Each slot is computed exactly once, so the output is identical to a
+/// serial map.
 pub fn par_map_values<R, F>(n: usize, workers: usize, f: F) -> Vec<R>
 where
     R: Send + Default + Clone,
@@ -201,17 +326,14 @@ where
         return out;
     }
     let ranges = shard_ranges(n, workers);
-    std::thread::scope(|s| {
-        let mut rest = out.as_mut_slice();
-        for &(lo, hi) in &ranges {
-            let (chunk, tail) = rest.split_at_mut(hi - lo);
-            rest = tail;
-            let f = &f;
-            s.spawn(move || {
-                for (k, slot) in chunk.iter_mut().enumerate() {
-                    *slot = f(lo + k);
-                }
-            });
+    let base = SendPtr(out.as_mut_ptr());
+    crate::workers::run_tasks(ranges.len(), workers, &|t| {
+        let (lo, hi) = ranges[t];
+        for i in lo..hi {
+            // SAFETY: ranges are disjoint and every slot was initialised by
+            // `vec![R::default(); n]`, so this assignment (which drops the
+            // default in place) races with nothing.
+            unsafe { *base.get().add(i) = f(i) };
         }
     });
     out
@@ -237,45 +359,67 @@ pub(crate) fn avx2_available() -> bool {
     *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
 }
 
-/// Dispatches a row kernel to its AVX2-compiled variant when available.
-macro_rules! simd_dispatch {
-    ($generic:ident, $avx2:ident, ($($arg:expr),*)) => {{
-        #[cfg(target_arch = "x86_64")]
-        {
-            if avx2_available() {
-                // SAFETY: `avx2_available` verified the CPU feature at
-                // runtime; the function body is ordinary safe Rust.
-                return unsafe { $avx2($($arg),*) };
-            }
-        }
-        $generic($($arg),*)
-    }};
+/// True when the running CPU supports AVX2 **and** FMA3 (checked once,
+/// cached). [`NumericsMode::Fast`] only takes the FMA kernel variants on
+/// such CPUs; elsewhere `Fast` falls back to the bit-exact microkernels
+/// (a scalar `f64::mul_add` without hardware FMA would be a slow `libm`
+/// call, not an optimisation), which trivially satisfies the Fast error
+/// bounds.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn fma_available() -> bool {
+    use std::sync::OnceLock;
+    static FMA: OnceLock<bool> = OnceLock::new();
+    *FMA.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+/// One multiply-add step of an accumulation chain: `acc + a * b`, contracted
+/// to a single fused multiply-add when the kernel was instantiated for
+/// [`NumericsMode::Fast`] on FMA hardware. The `FMA = false` instantiation
+/// is exactly the historical two-operation sequence.
+#[inline(always)]
+fn madd<const FMA: bool>(acc: f64, a: f64, b: f64) -> f64 {
+    if FMA {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
 }
 
 /// One `out_row[j] += aik * b_row[j]` pass (skipped entirely by the callers
 /// when `aik == 0.0`, preserving the historical exact-zero semantics).
 #[inline(always)]
-fn axpy(out_row: &mut [f64], aik: f64, b_row: &[f64]) {
+fn axpy<const FMA: bool>(out_row: &mut [f64], aik: f64, b_row: &[f64]) {
     for (o, &bv) in out_row.iter_mut().zip(b_row) {
-        *o += aik * bv;
+        *o = madd::<FMA>(*o, aik, bv);
     }
 }
 
 /// Four consecutive-`k` accumulation passes fused into one sweep over the
-/// output row. Each element performs `(((o + a0*b0) + a1*b1) + a2*b2) +
-/// a3*b3` — exactly the operation sequence of four separate [`axpy`] passes
-/// in ascending `k` order — while the output row is loaded and stored once
-/// instead of four times (the kernels' main throughput lever).
+/// output row. With `FMA = false` each element performs `(((o + a0*b0) +
+/// a1*b1) + a2*b2) + a3*b3` — exactly the operation sequence of four
+/// separate [`axpy`] passes in ascending `k` order — while the output row is
+/// loaded and stored once instead of four times (the kernels' main
+/// throughput lever). `FMA = true` contracts each step into a fused
+/// multiply-add, same chain order.
 #[inline(always)]
-fn axpy4(out_row: &mut [f64], av: [f64; 4], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) {
+fn axpy4<const FMA: bool>(
+    out_row: &mut [f64],
+    av: [f64; 4],
+    b0: &[f64],
+    b1: &[f64],
+    b2: &[f64],
+    b3: &[f64],
+) {
     let len = out_row.len();
     let (b0, b1, b2, b3) = (&b0[..len], &b1[..len], &b2[..len], &b3[..len]);
     for j in 0..len {
         let mut acc = out_row[j];
-        acc += av[0] * b0[j];
-        acc += av[1] * b1[j];
-        acc += av[2] * b2[j];
-        acc += av[3] * b3[j];
+        acc = madd::<FMA>(acc, av[0], b0[j]);
+        acc = madd::<FMA>(acc, av[1], b1[j]);
+        acc = madd::<FMA>(acc, av[2], b2[j]);
+        acc = madd::<FMA>(acc, av[3], b3[j]);
         out_row[j] = acc;
     }
 }
@@ -286,7 +430,7 @@ fn axpy4(out_row: &mut [f64], av: [f64; 4], b0: &[f64], b1: &[f64], b2: &[f64], 
 /// load/store-bound without FMA, which bit-identity rules out).
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
-fn axpy4x2(
+fn axpy4x2<const FMA: bool>(
     row0: &mut [f64],
     row1: &mut [f64],
     av0: [f64; 4],
@@ -302,16 +446,16 @@ fn axpy4x2(
     for j in 0..len {
         let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
         let mut a0 = row0[j];
-        a0 += av0[0] * v0;
-        a0 += av0[1] * v1;
-        a0 += av0[2] * v2;
-        a0 += av0[3] * v3;
+        a0 = madd::<FMA>(a0, av0[0], v0);
+        a0 = madd::<FMA>(a0, av0[1], v1);
+        a0 = madd::<FMA>(a0, av0[2], v2);
+        a0 = madd::<FMA>(a0, av0[3], v3);
         row0[j] = a0;
         let mut a1 = row1[j];
-        a1 += av1[0] * v0;
-        a1 += av1[1] * v1;
-        a1 += av1[2] * v2;
-        a1 += av1[3] * v3;
+        a1 = madd::<FMA>(a1, av1[0], v0);
+        a1 = madd::<FMA>(a1, av1[1], v1);
+        a1 = madd::<FMA>(a1, av1[2], v2);
+        a1 = madd::<FMA>(a1, av1[3], v3);
         row1[j] = a1;
     }
 }
@@ -320,7 +464,7 @@ fn axpy4x2(
 /// `jb..j_hi` (ascending `k`, unrolled by four, exact-zero skip preserved).
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
-fn accum_row(
+fn accum_row<const FMA: bool>(
     out_row: &mut [f64],
     a_at: impl Fn(usize) -> f64,
     b: &[f64],
@@ -334,7 +478,7 @@ fn accum_row(
     while k + 4 <= k_hi {
         let av = [a_at(k), a_at(k + 1), a_at(k + 2), a_at(k + 3)];
         if av.iter().all(|&v| v != 0.0) {
-            axpy4(
+            axpy4::<FMA>(
                 out_row,
                 av,
                 &b[k * n + jb..k * n + j_hi],
@@ -345,7 +489,7 @@ fn accum_row(
         } else {
             for (dk, &aik) in av.iter().enumerate() {
                 if aik != 0.0 {
-                    axpy(out_row, aik, &b[(k + dk) * n + jb..(k + dk) * n + j_hi]);
+                    axpy::<FMA>(out_row, aik, &b[(k + dk) * n + jb..(k + dk) * n + j_hi]);
                 }
             }
         }
@@ -354,7 +498,7 @@ fn accum_row(
     for kk in k..k_hi {
         let aik = a_at(kk);
         if aik != 0.0 {
-            axpy(out_row, aik, &b[kk * n + jb..kk * n + j_hi]);
+            axpy::<FMA>(out_row, aik, &b[kk * n + jb..kk * n + j_hi]);
         }
     }
 }
@@ -364,7 +508,7 @@ fn accum_row(
 /// the fused pass inapplicable.
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
-fn accum_row_pair(
+fn accum_row_pair<const FMA: bool>(
     row0: &mut [f64],
     row1: &mut [f64],
     a0_at: impl Fn(usize) -> f64,
@@ -383,7 +527,7 @@ fn accum_row_pair(
         let ok0 = av0.iter().all(|&v| v != 0.0);
         let ok1 = av1.iter().all(|&v| v != 0.0);
         if ok0 && ok1 {
-            axpy4x2(
+            axpy4x2::<FMA>(
                 row0,
                 row1,
                 av0,
@@ -396,7 +540,7 @@ fn accum_row_pair(
         } else {
             for (row, av, ok) in [(&mut *row0, av0, ok0), (&mut *row1, av1, ok1)] {
                 if ok {
-                    axpy4(
+                    axpy4::<FMA>(
                         row,
                         av,
                         &b[k * n + jb..k * n + j_hi],
@@ -407,7 +551,7 @@ fn accum_row_pair(
                 } else {
                     for (dk, &aik) in av.iter().enumerate() {
                         if aik != 0.0 {
-                            axpy(row, aik, &b[(k + dk) * n + jb..(k + dk) * n + j_hi]);
+                            axpy::<FMA>(row, aik, &b[(k + dk) * n + jb..(k + dk) * n + j_hi]);
                         }
                     }
                 }
@@ -419,7 +563,7 @@ fn accum_row_pair(
         for (row, a_at) in [(&mut *row0, &a0_at as &dyn Fn(usize) -> f64), (&mut *row1, &a1_at)] {
             let aik = a_at(kk);
             if aik != 0.0 {
-                axpy(row, aik, &b[kk * n + jb..kk * n + j_hi]);
+                axpy::<FMA>(row, aik, &b[kk * n + jb..kk * n + j_hi]);
             }
         }
     }
@@ -432,7 +576,7 @@ fn accum_row_pair(
 /// four when the participating `a` entries are all non-zero, which changes
 /// memory traffic but not a single floating-point operation.
 #[inline(always)]
-fn gemm_nn_rows_impl(
+fn gemm_nn_rows_impl<const FMA: bool>(
     a: &[f64],
     b: &[f64],
     out: &mut [f64],
@@ -452,13 +596,24 @@ fn gemm_nn_rows_impl(
                 let row1 = &mut tail[jb..j_hi];
                 let a_row0 = &a[i * k_dim..(i + 1) * k_dim];
                 let a_row1 = &a[(i + 1) * k_dim..(i + 2) * k_dim];
-                accum_row_pair(row0, row1, |k| a_row0[k], |k| a_row1[k], b, kb, k_hi, jb, j_hi, n);
+                accum_row_pair::<FMA>(
+                    row0,
+                    row1,
+                    |k| a_row0[k],
+                    |k| a_row1[k],
+                    b,
+                    kb,
+                    k_hi,
+                    jb,
+                    j_hi,
+                    n,
+                );
                 i += 2;
             }
             if i < r1 {
                 let a_row = &a[i * k_dim..(i + 1) * k_dim];
                 let out_row = &mut out[(i - r0) * n + jb..(i - r0) * n + j_hi];
-                accum_row(out_row, |k| a_row[k], b, kb, k_hi, jb, j_hi, n);
+                accum_row::<FMA>(out_row, |k| a_row[k], b, kb, k_hi, jb, j_hi, n);
             }
         }
     }
@@ -472,7 +627,7 @@ fn gemm_nn_rows_impl(
 /// are bit-identical while the four chains hide the floating-point add
 /// latency that used to serialise the kernel.
 #[inline(always)]
-fn gemm_nt_rows_impl(
+fn gemm_nt_rows_impl<const FMA: bool>(
     a: &[f64],
     b: &[f64],
     out: &mut [f64],
@@ -492,10 +647,10 @@ fn gemm_nt_rows_impl(
             let b3 = &b[(j + 3) * k_dim..(j + 4) * k_dim];
             let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
             for ((((&x, &y0), &y1), &y2), &y3) in a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
-                s0 += x * y0;
-                s1 += x * y1;
-                s2 += x * y2;
-                s3 += x * y3;
+                s0 = madd::<FMA>(s0, x, y0);
+                s1 = madd::<FMA>(s1, x, y1);
+                s2 = madd::<FMA>(s2, x, y2);
+                s3 = madd::<FMA>(s3, x, y3);
             }
             out_row[j] = s0;
             out_row[j + 1] = s1;
@@ -505,7 +660,11 @@ fn gemm_nt_rows_impl(
         }
         for (jj, o) in out_row.iter_mut().enumerate().skip(j) {
             let b_row = &b[jj * k_dim..(jj + 1) * k_dim];
-            *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+            let mut s = 0.0f64;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                s = madd::<FMA>(s, x, y);
+            }
+            *o = s;
         }
     }
 }
@@ -516,7 +675,14 @@ fn gemm_nt_rows_impl(
 /// exact-zero skip as the historical loop — unrolled by four like
 /// [`gemm_nn_rows`] — so the result is bit-identical for every row sharding.
 #[inline(always)]
-fn gemm_tn_rows_impl(a: &[f64], b: &[f64], out: &mut [f64], r0: usize, a_cols: usize, n: usize) {
+fn gemm_tn_rows_impl<const FMA: bool>(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    r0: usize,
+    a_cols: usize,
+    n: usize,
+) {
     let a_rows = a.len().checked_div(a_cols).unwrap_or(0);
     let r1 = r0 + out.len().checked_div(n).unwrap_or(0);
     for kb in (0..a_rows).step_by(KC) {
@@ -528,7 +694,7 @@ fn gemm_tn_rows_impl(a: &[f64], b: &[f64], out: &mut [f64], r0: usize, a_cols: u
                 let (head, tail) = out.split_at_mut((i + 1 - r0) * n);
                 let row0 = &mut head[(i - r0) * n + jb..(i - r0) * n + j_hi];
                 let row1 = &mut tail[jb..j_hi];
-                accum_row_pair(
+                accum_row_pair::<FMA>(
                     row0,
                     row1,
                     |k| a[k * a_cols + i],
@@ -544,7 +710,7 @@ fn gemm_tn_rows_impl(a: &[f64], b: &[f64], out: &mut [f64], r0: usize, a_cols: u
             }
             if i < r1 {
                 let out_row = &mut out[(i - r0) * n + jb..(i - r0) * n + j_hi];
-                accum_row(out_row, |k| a[k * a_cols + i], b, kb, k_hi, jb, j_hi, n);
+                accum_row::<FMA>(out_row, |k| a[k * a_cols + i], b, kb, k_hi, jb, j_hi, n);
             }
         }
     }
@@ -563,10 +729,14 @@ unsafe fn gemm_nn_rows_avx2(
     k_dim: usize,
     n: usize,
 ) {
-    gemm_nn_rows_impl(a, b, out, r0, r1, k_dim, n);
+    gemm_nn_rows_impl::<false>(a, b, out, r0, r1, k_dim, n);
 }
 
-fn gemm_nn_rows(
+/// AVX2+FMA-compiled clone of [`gemm_nn_rows_impl`] with contracted
+/// multiply-adds — the [`NumericsMode::Fast`] kernel (see [`fma_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemm_nn_rows_fma(
     a: &[f64],
     b: &[f64],
     out: &mut [f64],
@@ -575,7 +745,35 @@ fn gemm_nn_rows(
     k_dim: usize,
     n: usize,
 ) {
-    simd_dispatch!(gemm_nn_rows_impl, gemm_nn_rows_avx2, (a, b, out, r0, r1, k_dim, n))
+    gemm_nn_rows_impl::<true>(a, b, out, r0, r1, k_dim, n);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_nn_rows(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    r0: usize,
+    r1: usize,
+    k_dim: usize,
+    n: usize,
+    fast: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: the required CPU features are verified at runtime; the
+        // function bodies are ordinary safe Rust.
+        if fast && fma_available() {
+            return unsafe { gemm_nn_rows_fma(a, b, out, r0, r1, k_dim, n) };
+        }
+        if avx2_available() {
+            return unsafe { gemm_nn_rows_avx2(a, b, out, r0, r1, k_dim, n) };
+        }
+    }
+    // Non-x86 (or pre-AVX2) fallback: Fast keeps the exact chains — a scalar
+    // `mul_add` without hardware FMA would be a slow libm call.
+    let _ = fast;
+    gemm_nn_rows_impl::<false>(a, b, out, r0, r1, k_dim, n)
 }
 
 /// AVX2-compiled clone of [`gemm_nt_rows_impl`].
@@ -590,10 +788,13 @@ unsafe fn gemm_nt_rows_avx2(
     k_dim: usize,
     n: usize,
 ) {
-    gemm_nt_rows_impl(a, b, out, r0, r1, k_dim, n);
+    gemm_nt_rows_impl::<false>(a, b, out, r0, r1, k_dim, n);
 }
 
-fn gemm_nt_rows(
+/// AVX2+FMA-compiled clone of [`gemm_nt_rows_impl`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemm_nt_rows_fma(
     a: &[f64],
     b: &[f64],
     out: &mut [f64],
@@ -602,7 +803,32 @@ fn gemm_nt_rows(
     k_dim: usize,
     n: usize,
 ) {
-    simd_dispatch!(gemm_nt_rows_impl, gemm_nt_rows_avx2, (a, b, out, r0, r1, k_dim, n))
+    gemm_nt_rows_impl::<true>(a, b, out, r0, r1, k_dim, n);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_nt_rows(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    r0: usize,
+    r1: usize,
+    k_dim: usize,
+    n: usize,
+    fast: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: CPU features verified at runtime; bodies are safe Rust.
+        if fast && fma_available() {
+            return unsafe { gemm_nt_rows_fma(a, b, out, r0, r1, k_dim, n) };
+        }
+        if avx2_available() {
+            return unsafe { gemm_nt_rows_avx2(a, b, out, r0, r1, k_dim, n) };
+        }
+    }
+    let _ = fast;
+    gemm_nt_rows_impl::<false>(a, b, out, r0, r1, k_dim, n)
 }
 
 /// AVX2-compiled clone of [`gemm_tn_rows_impl`].
@@ -616,22 +842,66 @@ unsafe fn gemm_tn_rows_avx2(
     a_cols: usize,
     n: usize,
 ) {
-    gemm_tn_rows_impl(a, b, out, r0, a_cols, n);
+    gemm_tn_rows_impl::<false>(a, b, out, r0, a_cols, n);
 }
 
-fn gemm_tn_rows(a: &[f64], b: &[f64], out: &mut [f64], r0: usize, a_cols: usize, n: usize) {
-    simd_dispatch!(gemm_tn_rows_impl, gemm_tn_rows_avx2, (a, b, out, r0, a_cols, n))
+/// AVX2+FMA-compiled clone of [`gemm_tn_rows_impl`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemm_tn_rows_fma(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    r0: usize,
+    a_cols: usize,
+    n: usize,
+) {
+    gemm_tn_rows_impl::<true>(a, b, out, r0, a_cols, n);
+}
+
+fn gemm_tn_rows(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    r0: usize,
+    a_cols: usize,
+    n: usize,
+    fast: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: CPU features verified at runtime; bodies are safe Rust.
+        if fast && fma_available() {
+            return unsafe { gemm_tn_rows_fma(a, b, out, r0, a_cols, n) };
+        }
+        if avx2_available() {
+            return unsafe { gemm_tn_rows_avx2(a, b, out, r0, a_cols, n) };
+        }
+    }
+    let _ = fast;
+    gemm_tn_rows_impl::<false>(a, b, out, r0, a_cols, n)
 }
 
 /// Matrix product `a * b` through the blocked kernel, sharding output rows
-/// across up to `par` worker threads. Bit-identical for every `par`.
+/// across up to `par` worker threads under the process-global
+/// [`NumericsMode`]. Bit-identical for every `par` within a mode.
 ///
 /// # Panics
 /// Panics if the inner dimensions differ.
 #[track_caller]
 pub fn gemm(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
+    gemm_mode(a, b, par, NumericsMode::global())
+}
+
+/// [`gemm`] under an explicit [`NumericsMode`] (race-free alternative to
+/// mutating the global knob — used by the differential tests).
+///
+/// # Panics
+/// Panics if the inner dimensions differ.
+#[track_caller]
+pub fn gemm_mode(a: &Matrix, b: &Matrix, par: Parallelism, mode: NumericsMode) -> Matrix {
     let mut out = Matrix::zeros(a.rows(), b.cols());
-    gemm_into(a, b, &mut out, par);
+    gemm_into_mode(a, b, &mut out, par, mode);
     out
 }
 
@@ -644,6 +914,21 @@ pub fn gemm(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
 /// Panics if the inner dimensions differ or the output shape is wrong.
 #[track_caller]
 pub fn gemm_into(a: &Matrix, b: &Matrix, out: &mut Matrix, par: Parallelism) {
+    gemm_into_mode(a, b, out, par, NumericsMode::global());
+}
+
+/// [`gemm_into`] under an explicit [`NumericsMode`].
+///
+/// # Panics
+/// Panics if the inner dimensions differ or the output shape is wrong.
+#[track_caller]
+pub fn gemm_into_mode(
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    par: Parallelism,
+    mode: NumericsMode,
+) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -658,8 +943,9 @@ pub fn gemm_into(a: &Matrix, b: &Matrix, out: &mut Matrix, par: Parallelism) {
     out.fill_with(0.0);
     let workers = gemm_workers(par, m * k_dim * n, m);
     let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    let fast = mode.is_fast();
     par_for_row_chunks(out.as_mut_slice(), m, n, workers, |r0, r1, chunk| {
-        gemm_nn_rows(a_s, b_s, chunk, r0, r1, k_dim, n);
+        gemm_nn_rows(a_s, b_s, chunk, r0, r1, k_dim, n, fast);
     });
 }
 
@@ -670,8 +956,17 @@ pub fn gemm_into(a: &Matrix, b: &Matrix, out: &mut Matrix, par: Parallelism) {
 /// Panics if the column counts differ.
 #[track_caller]
 pub fn gemm_nt(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
+    gemm_nt_mode(a, b, par, NumericsMode::global())
+}
+
+/// [`gemm_nt`] under an explicit [`NumericsMode`].
+///
+/// # Panics
+/// Panics if the column counts differ.
+#[track_caller]
+pub fn gemm_nt_mode(a: &Matrix, b: &Matrix, par: Parallelism, mode: NumericsMode) -> Matrix {
     let mut out = Matrix::zeros(a.rows(), b.rows());
-    gemm_nt_into(a, b, &mut out, par);
+    gemm_nt_into_mode(a, b, &mut out, par, mode);
     out
 }
 
@@ -683,6 +978,21 @@ pub fn gemm_nt(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
 /// Panics if the column counts differ or the output shape is wrong.
 #[track_caller]
 pub fn gemm_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix, par: Parallelism) {
+    gemm_nt_into_mode(a, b, out, par, NumericsMode::global());
+}
+
+/// [`gemm_nt_into`] under an explicit [`NumericsMode`].
+///
+/// # Panics
+/// Panics if the column counts differ or the output shape is wrong.
+#[track_caller]
+pub fn gemm_nt_into_mode(
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    par: Parallelism,
+    mode: NumericsMode,
+) {
     assert_eq!(
         a.cols(),
         b.cols(),
@@ -696,8 +1006,9 @@ pub fn gemm_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix, par: Parallelism) 
     assert_eq!(out.shape(), (m, n), "gemm_nt_into: output buffer has the wrong shape");
     let workers = gemm_workers(par, m * k_dim * n, m);
     let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    let fast = mode.is_fast();
     par_for_row_chunks(out.as_mut_slice(), m, n, workers, |r0, r1, chunk| {
-        gemm_nt_rows(a_s, b_s, chunk, r0, r1, k_dim, n);
+        gemm_nt_rows(a_s, b_s, chunk, r0, r1, k_dim, n, fast);
     });
 }
 
@@ -708,8 +1019,17 @@ pub fn gemm_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix, par: Parallelism) 
 /// Panics if the row counts differ.
 #[track_caller]
 pub fn gemm_tn(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
+    gemm_tn_mode(a, b, par, NumericsMode::global())
+}
+
+/// [`gemm_tn`] under an explicit [`NumericsMode`].
+///
+/// # Panics
+/// Panics if the row counts differ.
+#[track_caller]
+pub fn gemm_tn_mode(a: &Matrix, b: &Matrix, par: Parallelism, mode: NumericsMode) -> Matrix {
     let mut out = Matrix::zeros(a.cols(), b.cols());
-    gemm_tn_into(a, b, &mut out, par);
+    gemm_tn_into_mode(a, b, &mut out, par, mode);
     out
 }
 
@@ -721,6 +1041,21 @@ pub fn gemm_tn(a: &Matrix, b: &Matrix, par: Parallelism) -> Matrix {
 /// Panics if the row counts differ or the output shape is wrong.
 #[track_caller]
 pub fn gemm_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix, par: Parallelism) {
+    gemm_tn_into_mode(a, b, out, par, NumericsMode::global());
+}
+
+/// [`gemm_tn_into`] under an explicit [`NumericsMode`].
+///
+/// # Panics
+/// Panics if the row counts differ or the output shape is wrong.
+#[track_caller]
+pub fn gemm_tn_into_mode(
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    par: Parallelism,
+    mode: NumericsMode,
+) {
     assert_eq!(
         a.rows(),
         b.rows(),
@@ -735,9 +1070,188 @@ pub fn gemm_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix, par: Parallelism) 
     out.fill_with(0.0);
     let workers = gemm_workers(par, a_rows * m * n, m);
     let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    let fast = mode.is_fast();
     par_for_row_chunks(out.as_mut_slice(), m, n, workers, |r0, _r1, chunk| {
-        gemm_tn_rows(a_s, b_s, chunk, r0, m, n);
+        gemm_tn_rows(a_s, b_s, chunk, r0, m, n, fast);
     });
+}
+
+/// Base block width of the pairwise reductions: blocks of this many elements
+/// are folded with four independent accumulators, then merged by a binary
+/// counter whose tree shape depends only on the operand length.
+const REDUCE_BLOCK: usize = 64;
+
+/// Folds up to [`REDUCE_BLOCK`] values with four independent accumulator
+/// chains (deterministic for a fixed length).
+#[inline(always)]
+fn sum_block(xs: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut chunks = xs.chunks_exact(4);
+    for q in &mut chunks {
+        acc[0] += q[0];
+        acc[1] += q[1];
+        acc[2] += q[2];
+        acc[3] += q[3];
+    }
+    for &v in chunks.remainder() {
+        acc[0] += v;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Iterative pairwise ("binary counter") summation: `partial[l]` holds the
+/// sum of `2^l` consecutive base blocks, merged purely by block index. The
+/// reduction tree is a function of `xs.len()` alone — never of thread count
+/// or scheduling — which is what makes [`NumericsMode::Fast`] deterministic.
+/// Rounding error grows O(log n) instead of the serial fold's O(n).
+#[inline(always)]
+fn pairwise_sum_impl(xs: &[f64]) -> f64 {
+    // 64 levels cover any in-memory length (2^64 base blocks).
+    let mut partial = [0.0f64; 64];
+    let mut blocks = 0usize;
+    for chunk in xs.chunks(REDUCE_BLOCK) {
+        let mut s = sum_block(chunk);
+        let mut level = 0;
+        let mut m = blocks;
+        while m & 1 == 1 {
+            s += partial[level];
+            m >>= 1;
+            level += 1;
+        }
+        partial[level] = s;
+        blocks += 1;
+    }
+    let mut total = 0.0;
+    let mut level = 0;
+    while blocks > 0 {
+        if blocks & 1 == 1 {
+            total += partial[level];
+        }
+        blocks >>= 1;
+        level += 1;
+    }
+    total
+}
+
+/// AVX2-compiled clone of [`pairwise_sum_impl`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn pairwise_sum_avx2(xs: &[f64]) -> f64 {
+    pairwise_sum_impl(xs)
+}
+
+/// [`sum_block`] for a dot product, with optional FMA contraction.
+#[inline(always)]
+fn dot_block<const FMA: bool>(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f64; 4];
+    let mut i = 0;
+    while i + 4 <= n {
+        acc[0] = madd::<FMA>(acc[0], a[i], b[i]);
+        acc[1] = madd::<FMA>(acc[1], a[i + 1], b[i + 1]);
+        acc[2] = madd::<FMA>(acc[2], a[i + 2], b[i + 2]);
+        acc[3] = madd::<FMA>(acc[3], a[i + 3], b[i + 3]);
+        i += 4;
+    }
+    while i < n {
+        acc[0] = madd::<FMA>(acc[0], a[i], b[i]);
+        i += 1;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// [`pairwise_sum_impl`] for a dot product (same binary-counter tree).
+#[inline(always)]
+fn pairwise_dot_impl<const FMA: bool>(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let mut partial = [0.0f64; 64];
+    let mut blocks = 0usize;
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + REDUCE_BLOCK).min(n);
+        let mut s = dot_block::<FMA>(&a[lo..hi], &b[lo..hi]);
+        let mut level = 0;
+        let mut m = blocks;
+        while m & 1 == 1 {
+            s += partial[level];
+            m >>= 1;
+            level += 1;
+        }
+        partial[level] = s;
+        blocks += 1;
+        lo = hi;
+    }
+    let mut total = 0.0;
+    let mut level = 0;
+    while blocks > 0 {
+        if blocks & 1 == 1 {
+            total += partial[level];
+        }
+        blocks >>= 1;
+        level += 1;
+    }
+    total
+}
+
+/// AVX2+FMA-compiled clone of [`pairwise_dot_impl`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn pairwise_dot_fma(a: &[f64], b: &[f64]) -> f64 {
+    pairwise_dot_impl::<true>(a, b)
+}
+
+/// AVX2-compiled clone of [`pairwise_dot_impl`] without contraction (Fast
+/// tier on AVX2 CPUs that lack FMA).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn pairwise_dot_avx2(a: &[f64], b: &[f64]) -> f64 {
+    pairwise_dot_impl::<false>(a, b)
+}
+
+/// Sums `xs` under `mode`.
+///
+/// [`NumericsMode::BitExact`] is the exact serial left-to-right fold
+/// (`xs.iter().sum()`, unchanged from the historical code);
+/// [`NumericsMode::Fast`] uses the deterministic blocked pairwise tree —
+/// different rounding (usually *more* accurate), identical bits for
+/// identical input on every thread count.
+pub fn reduce_sum(xs: &[f64], mode: NumericsMode) -> f64 {
+    match mode {
+        NumericsMode::BitExact => xs.iter().sum(),
+        NumericsMode::Fast => {
+            #[cfg(target_arch = "x86_64")]
+            if avx2_available() {
+                // SAFETY: feature verified at runtime; body is safe Rust.
+                return unsafe { pairwise_sum_avx2(xs) };
+            }
+            pairwise_sum_impl(xs)
+        }
+    }
+}
+
+/// Dot product `Σ a[i] * b[i]` (over the shorter length) under `mode`.
+///
+/// [`NumericsMode::BitExact`] is the exact serial fold of the historical
+/// `zip-map-sum`; [`NumericsMode::Fast`] uses the deterministic pairwise
+/// tree with FMA contraction where the CPU supports it.
+pub fn reduce_dot(a: &[f64], b: &[f64], mode: NumericsMode) -> f64 {
+    match mode {
+        NumericsMode::BitExact => a.iter().zip(b).map(|(&x, &y)| x * y).sum(),
+        NumericsMode::Fast => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                // SAFETY: features verified at runtime; bodies are safe Rust.
+                if fma_available() {
+                    return unsafe { pairwise_dot_fma(a, b) };
+                }
+                if avx2_available() {
+                    return unsafe { pairwise_dot_avx2(a, b) };
+                }
+            }
+            pairwise_dot_impl::<false>(a, b)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -766,11 +1280,14 @@ mod tests {
 
     #[test]
     fn blocked_serial_gemm_is_bit_identical_to_reference() {
+        // Pins the BitExact contract explicitly (the plain `gemm` wrapper
+        // reads the global knob, which a `SBRL_NUMERICS=fast` test run sets
+        // to the Fast tier).
         let mut rng = rng_from_seed(0);
         for (m, k, n) in [(1, 1, 1), (3, 5, 7), (40, 33, 29), (130, 257, 65), (256, 64, 129)] {
             let a = randn(&mut rng, m, k);
             let b = randn(&mut rng, k, n);
-            let blocked = gemm(&a, &b, Parallelism::Serial);
+            let blocked = gemm_mode(&a, &b, Parallelism::Serial, NumericsMode::BitExact);
             let reference = reference_matmul(&a, &b);
             assert_eq!(blocked.as_slice(), reference.as_slice(), "shape {m}x{k}x{n}");
         }
@@ -893,5 +1410,96 @@ mod tests {
         assert_eq!(Parallelism::global(), Parallelism::Serial);
         before.set_global();
         assert_eq!(Parallelism::global().workers(), before.workers());
+    }
+
+    #[test]
+    fn numerics_mode_semantics() {
+        // Pure semantics only: the global knob's set/get round trip lives in
+        // tests/numerics_mode.rs behind a lock, because flipping the global
+        // to Fast here would race the bit-identity tests in this binary.
+        assert_eq!(NumericsMode::default(), NumericsMode::BitExact);
+        assert!(!NumericsMode::BitExact.is_fast());
+        assert!(NumericsMode::Fast.is_fast());
+        assert_eq!(NumericsMode::BitExact.as_str(), "bitexact");
+        assert_eq!(NumericsMode::Fast.as_str(), "fast");
+        assert_eq!(NumericsMode::Fast.to_string(), "fast");
+    }
+
+    #[test]
+    fn fast_gemm_stays_within_relative_tolerance_of_bitexact() {
+        let mut rng = rng_from_seed(7);
+        for (m, k, n) in [(3, 5, 7), (40, 33, 29), (64, 128, 48)] {
+            let a = randn(&mut rng, m, k);
+            let b = randn(&mut rng, k, n);
+            let exact = gemm_mode(&a, &b, Parallelism::Serial, NumericsMode::BitExact);
+            let fast = gemm_mode(&a, &b, Parallelism::Threads(4), NumericsMode::Fast);
+            for (x, y) in exact.as_slice().iter().zip(fast.as_slice()) {
+                let scale = k as f64 * x.abs().max(1.0);
+                assert!(
+                    (x - y).abs() <= 1e-13 * scale,
+                    "{m}x{k}x{n}: {x} vs {y} exceeds tolerance"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_gemm_is_deterministic_across_worker_counts() {
+        // Fast relaxes *which* chains are used, not their dependence on
+        // sharding: row ownership still fixes every chain, so any worker
+        // count reproduces the same bits.
+        let mut rng = rng_from_seed(8);
+        let a = randn(&mut rng, 61, 47);
+        let b = randn(&mut rng, 47, 53);
+        let one = gemm_mode(&a, &b, Parallelism::Serial, NumericsMode::Fast);
+        for workers in [2, 3, 8, 61] {
+            let par = gemm_mode(&a, &b, Parallelism::Threads(workers), NumericsMode::Fast);
+            assert_eq!(
+                one.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                par.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_reductions_are_accurate_and_length_deterministic() {
+        let mut rng = rng_from_seed(9);
+        for n in [0usize, 1, 3, 4, 63, 64, 65, 257, 4096, 5000] {
+            let xs: Vec<f64> = (0..n).map(|_| randn(&mut rng, 1, 1)[(0, 0)]).collect();
+            let ys: Vec<f64> = (0..n).map(|_| randn(&mut rng, 1, 1)[(0, 0)]).collect();
+            let exact_sum = reduce_sum(&xs, NumericsMode::BitExact);
+            let fast_sum = reduce_sum(&xs, NumericsMode::Fast);
+            let sum_scale = xs.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+            assert!(
+                (exact_sum - fast_sum).abs() <= 1e-13 * sum_scale,
+                "sum n={n}: {exact_sum} vs {fast_sum}"
+            );
+            let exact_dot = reduce_dot(&xs, &ys, NumericsMode::BitExact);
+            let fast_dot = reduce_dot(&xs, &ys, NumericsMode::Fast);
+            let dot_scale = xs.iter().zip(&ys).map(|(x, y)| (x * y).abs()).sum::<f64>().max(1.0);
+            assert!(
+                (exact_dot - fast_dot).abs() <= 1e-13 * dot_scale,
+                "dot n={n}: {exact_dot} vs {fast_dot}"
+            );
+            // Determinism: re-evaluation yields identical bits.
+            assert_eq!(fast_sum.to_bits(), reduce_sum(&xs, NumericsMode::Fast).to_bits());
+            assert_eq!(fast_dot.to_bits(), reduce_dot(&xs, &ys, NumericsMode::Fast).to_bits());
+        }
+    }
+
+    #[test]
+    fn fast_pairwise_sum_beats_serial_fold_on_hostile_input() {
+        // The classic pairwise-summation accuracy case: many tiny values
+        // after one large one. The serial fold loses the tiny increments to
+        // rounding; the tree keeps them.
+        let mut xs = vec![1e-16f64; 1 << 16];
+        xs.insert(0, 1.0);
+        let exact_err = (reduce_sum(&xs, NumericsMode::BitExact) - (1.0 + 65536e-16)).abs();
+        let fast_err = (reduce_sum(&xs, NumericsMode::Fast) - (1.0 + 65536e-16)).abs();
+        assert!(
+            fast_err <= exact_err,
+            "tree sum should not be less accurate: {fast_err} vs {exact_err}"
+        );
     }
 }

@@ -15,8 +15,11 @@
 //! Modules:
 //! * [`matrix`] — the dense matrix type and BLAS-free operations.
 //! * [`kernels`] — the cache-blocked, optionally multi-threaded GEMM layer
-//!   and the workspace-wide [`kernels::Parallelism`] knob every
-//!   matrix product funnels through.
+//!   and the workspace-wide [`kernels::Parallelism`] /
+//!   [`kernels::NumericsMode`] knobs every matrix product funnels through.
+//! * [`workers`] — the persistent worker pool (lazily spawned threads, a
+//!   chunked work queue) that executes every parallel kernel without
+//!   per-call thread spawns.
 //! * [`graph`] — the autodiff tape (`Graph`, `TensorId`, ~40 primitive ops),
 //!   reusable across optimisation steps via [`Graph::reset`].
 //! * [`pool`] — the shape-keyed [`pool::BufferPool`] that keeps a reset
@@ -34,8 +37,9 @@ pub mod kernels;
 pub mod matrix;
 pub mod pool;
 pub mod rng;
+pub mod workers;
 
 pub use graph::{stable_sigmoid, stable_softplus, Graph, TensorId};
-pub use kernels::Parallelism;
+pub use kernels::{NumericsMode, Parallelism};
 pub use matrix::Matrix;
 pub use pool::BufferPool;

@@ -1,0 +1,297 @@
+//! Persistent worker pool backing every parallel kernel in the workspace.
+//!
+//! PR 3's kernel layer parallelised with `std::thread::scope`, paying one
+//! thread spawn + join per worker *per call*. A single SBRL-HAP fit issues
+//! thousands of GEMMs, so at realistic thread counts the spawn overhead was
+//! a measurable fraction of the parallel path (and the reason small products
+//! were gated to stay inline). This module replaces those per-call spawns
+//! with one process-wide pool of **lazily spawned, persistent** worker
+//! threads fed by a chunked work queue:
+//!
+//! * Threads are spawned on first demand, never torn down, and counted by
+//!   [`threads_spawned`] — the thread-spawn probe in `sbrl-bench` asserts a
+//!   warmed-up training loop spawns **zero** new threads per step.
+//! * A parallel call publishes one `Job`: a lifetime-erased task body plus
+//!   an atomic chunk cursor. Workers (and the submitting thread itself)
+//!   *claim* chunk indices with `fetch_add` and run them; the submitter
+//!   blocks until every chunk is done, which is what makes the borrow
+//!   erasure sound.
+//! * Which thread runs which chunk is scheduling-dependent, but every chunk
+//!   writes disjoint output and is computed exactly once, so results are
+//!   identical to a serial left-to-right pass — the pool never changes a
+//!   floating-point chain in either [`NumericsMode`](crate::kernels::NumericsMode).
+//! * A claim loop never blocks on another job: if every pool thread is busy
+//!   (including the nested-parallelism case of a kernel invoked from inside
+//!   a pool worker), the submitter simply runs all of its own chunks inline.
+//!   Deadlock is impossible by construction.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on pool threads; requests beyond it share chunks among the
+/// existing workers (results are unaffected — only scheduling changes).
+const MAX_POOL_THREADS: usize = 64;
+
+/// One published parallel call: a lifetime-erased task body plus the chunk
+/// cursor and completion state.
+struct Job {
+    /// Erased `&'call (dyn Fn(usize) + Sync)`. Valid for the whole job
+    /// lifetime because the submitter blocks in [`run_tasks`] until
+    /// `done == total`, and no thread touches `f` after its final chunk.
+    f: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed chunk index.
+    next: AtomicUsize,
+    /// Total number of chunks.
+    total: usize,
+    /// Chunks fully executed.
+    done: AtomicUsize,
+    /// Set when any chunk panicked; the submitter re-raises.
+    panicked: AtomicBool,
+    /// Completion latch the submitter parks on.
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+}
+
+// SAFETY: `f` points at a `Sync` closure that outlives the job (the
+// submitter blocks until all chunks complete), so sharing the raw pointer
+// across threads is sound.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// Pool shared state: pending jobs plus the spawned-thread count.
+struct PoolState {
+    queue: VecDeque<Arc<Job>>,
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState { queue: VecDeque::new(), spawned: 0 }),
+        work_cv: Condvar::new(),
+    })
+}
+
+/// Total worker threads ever spawned by the pool (monotonic). The
+/// thread-spawn probe asserts this stays flat across warmed-up training
+/// steps.
+pub fn threads_spawned() -> u64 {
+    THREADS_SPAWNED.load(Ordering::Relaxed)
+}
+
+/// Number of persistent worker threads currently alive in the pool.
+pub fn pool_size() -> usize {
+    pool().state.lock().expect("pool lock").spawned
+}
+
+/// Grows the pool to at least `want` persistent threads (capped at
+/// [`MAX_POOL_THREADS`]); returns without spawning when already large
+/// enough — the steady-state path.
+fn ensure_threads(want: usize) {
+    let want = want.min(MAX_POOL_THREADS);
+    // Cheap steady-state exit without contending the lock for long: the
+    // count only grows, so a stale low read just re-checks under the lock.
+    let mut state = pool().state.lock().expect("pool lock");
+    while state.spawned < want {
+        std::thread::Builder::new()
+            .name(format!("sbrl-worker-{}", state.spawned))
+            .spawn(worker_loop)
+            .expect("spawning a pool worker thread");
+        THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+        state.spawned += 1;
+    }
+}
+
+/// Claims and executes chunks of `job` until the cursor is exhausted.
+fn execute_claims(job: &Job) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.total {
+            return;
+        }
+        // SAFETY: the submitter keeps the closure alive until `done == total`
+        // and this chunk has not yet been counted as done.
+        let f = unsafe { &*job.f };
+        if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+            job.panicked.store(true, Ordering::Relaxed);
+        }
+        if job.done.fetch_add(1, Ordering::AcqRel) + 1 == job.total {
+            let mut fin = job.finished.lock().expect("job latch lock");
+            *fin = true;
+            job.finished_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop() {
+    let pool = pool();
+    loop {
+        let job: Arc<Job> = {
+            let mut state = pool.state.lock().expect("pool lock");
+            loop {
+                // Retire jobs whose cursor is exhausted (their remaining
+                // chunks are in flight elsewhere; nothing left to claim).
+                while let Some(front) = state.queue.front() {
+                    if front.next.load(Ordering::Relaxed) >= front.total {
+                        state.queue.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(front) = state.queue.front() {
+                    break front.clone();
+                }
+                state = pool.work_cv.wait(state).expect("pool lock");
+            }
+        };
+        execute_claims(&job);
+    }
+}
+
+/// Runs `f(0)`, `f(1)`, …, `f(total - 1)` exactly once each across the
+/// persistent pool plus the calling thread, blocking until every call
+/// completes. `workers <= 1` (or `total <= 1`) runs everything inline on
+/// the calling thread and never touches the pool — the
+/// [`Parallelism::Serial`](crate::kernels::Parallelism) guarantee.
+///
+/// Chunks are claimed dynamically, so thread assignment is
+/// scheduling-dependent; callers must make each `f(i)` independent (write
+/// disjoint output), which is exactly the contract of the sharding helpers
+/// in [`crate::kernels`].
+///
+/// # Panics
+/// Re-raises (as a panic on the calling thread) if any `f(i)` panicked.
+pub fn run_tasks(total: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
+    if total == 0 {
+        return;
+    }
+    if workers <= 1 || total == 1 {
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    }
+    ensure_threads(workers.saturating_sub(1));
+
+    // Erase the borrow lifetime: sound because this function does not return
+    // until `done == total` (see the latch below).
+    // SAFETY: transmutes only the (unexpressed) lifetime of the trait-object
+    // pointer; layout is identical.
+    let f_erased: *const (dyn Fn(usize) + Sync + 'static) =
+        unsafe { std::mem::transmute(f as *const (dyn Fn(usize) + Sync)) };
+    let job = Arc::new(Job {
+        f: f_erased,
+        next: AtomicUsize::new(0),
+        total,
+        done: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        finished: Mutex::new(false),
+        finished_cv: Condvar::new(),
+    });
+
+    {
+        let mut state = pool().state.lock().expect("pool lock");
+        state.queue.push_back(job.clone());
+    }
+    pool().work_cv.notify_all();
+
+    // The submitter is a full participant: it claims chunks like any worker,
+    // which also guarantees forward progress when the pool is saturated or
+    // when this call is nested inside a pool worker.
+    execute_claims(&job);
+
+    // Park until the in-flight chunks of other workers complete.
+    {
+        let mut fin = job.finished.lock().expect("job latch lock");
+        while !*fin {
+            fin = job.finished_cv.wait(fin).expect("job latch lock");
+        }
+    }
+    if job.panicked.load(Ordering::Relaxed) {
+        panic!("a worker-pool task panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        for (total, workers) in [(1usize, 4usize), (7, 2), (64, 4), (100, 3), (5, 100)] {
+            let hits: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(0)).collect();
+            run_tasks(total, workers, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} ({total}/{workers})");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_requests_never_touch_the_pool() {
+        let before = threads_spawned();
+        let counter = AtomicU32::new(0);
+        run_tasks(16, 1, &|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+        assert_eq!(threads_spawned(), before, "workers <= 1 must stay inline");
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_calls() {
+        // Warm the pool, then verify repeated parallel calls spawn nothing.
+        run_tasks(8, 4, &|_| {});
+        let warmed = threads_spawned();
+        for _ in 0..50 {
+            run_tasks(8, 4, &|_| {});
+        }
+        assert_eq!(threads_spawned(), warmed, "steady-state calls must not spawn");
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        // A task that itself submits a parallel call must not deadlock: the
+        // inner submitter claims its own chunks when no worker is free.
+        let outer_hits = AtomicU32::new(0);
+        let inner_hits = AtomicU32::new(0);
+        run_tasks(4, 4, &|_| {
+            outer_hits.fetch_add(1, Ordering::Relaxed);
+            run_tasks(4, 4, &|_| {
+                inner_hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(outer_hits.load(Ordering::Relaxed), 4);
+        assert_eq!(inner_hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn task_panics_propagate_to_the_submitter() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_tasks(8, 4, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "submitter must re-raise worker panics");
+        // The pool stays usable afterwards.
+        let counter = AtomicU32::new(0);
+        run_tasks(8, 4, &|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+}

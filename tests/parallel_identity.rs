@@ -1,8 +1,11 @@
 //! Bit-identity guarantees of the parallel kernel layer: for random shapes,
 //! data, and worker counts, every sharded kernel (blocked GEMM, pairwise
 //! distances, HSIC matrices, plain IPMs) must reproduce its serial output
-//! bit for bit, and `Parallelism::Serial` must reproduce the exact
-//! predictions recorded before the kernel layer existed (PR 2 behaviour).
+//! bit for bit — in **both** numerics tiers, since the reduction trees of
+//! `NumericsMode::Fast` depend only on operand shapes — and
+//! `Parallelism::Serial` under the default `NumericsMode::BitExact` must
+//! reproduce the exact predictions recorded before the kernel layer existed
+//! (PR 2 behaviour).
 
 use proptest::prelude::*;
 use sbrl_hap::core::{Estimator, SbrlConfig, TrainConfig};
@@ -12,7 +15,7 @@ use sbrl_hap::stats::{
     ipm_weighted_plain_with, pairwise_hsic_matrix_with, pairwise_sq_dists_with, rbf_kernel_with,
     IpmKind, Rff,
 };
-use sbrl_hap::tensor::kernels::{gemm, gemm_nt, gemm_tn, Parallelism};
+use sbrl_hap::tensor::kernels::{gemm, gemm_nt, gemm_tn, NumericsMode, Parallelism};
 use sbrl_hap::tensor::rng::{randn, rng_from_seed};
 use sbrl_hap::tensor::Matrix;
 
@@ -70,14 +73,16 @@ proptest! {
         let a = random_matrix(seed, n, d);
         let b = random_matrix(seed ^ 7, m, d);
         let par = Parallelism::Threads(threads);
-        prop_assert_eq!(
-            bits(&pairwise_sq_dists_with(&a, &b, Parallelism::Serial)),
-            bits(&pairwise_sq_dists_with(&a, &b, par))
-        );
-        prop_assert_eq!(
-            bits(&rbf_kernel_with(&a, &b, 1.0, Parallelism::Serial)),
-            bits(&rbf_kernel_with(&a, &b, 1.0, par))
-        );
+        for mode in [NumericsMode::BitExact, NumericsMode::Fast] {
+            prop_assert_eq!(
+                bits(&pairwise_sq_dists_with(&a, &b, Parallelism::Serial, mode)),
+                bits(&pairwise_sq_dists_with(&a, &b, par, mode))
+            );
+            prop_assert_eq!(
+                bits(&rbf_kernel_with(&a, &b, 1.0, Parallelism::Serial, mode)),
+                bits(&rbf_kernel_with(&a, &b, 1.0, par, mode))
+            );
+        }
     }
 
     #[test]
@@ -90,10 +95,13 @@ proptest! {
         let mut rng = rng_from_seed(seed ^ 99);
         let rff = Rff::sample(&mut rng, 5);
         let weights: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64 * 0.25).collect();
-        for w in [None, Some(weights.as_slice())] {
-            let serial = pairwise_hsic_matrix_with(&z, &rff, w, Parallelism::Serial);
-            let parallel = pairwise_hsic_matrix_with(&z, &rff, w, Parallelism::Threads(threads));
-            prop_assert_eq!(bits(&serial), bits(&parallel));
+        for mode in [NumericsMode::BitExact, NumericsMode::Fast] {
+            for w in [None, Some(weights.as_slice())] {
+                let serial = pairwise_hsic_matrix_with(&z, &rff, w, Parallelism::Serial, mode);
+                let parallel =
+                    pairwise_hsic_matrix_with(&z, &rff, w, Parallelism::Threads(threads), mode);
+                prop_assert_eq!(bits(&serial), bits(&parallel));
+            }
         }
     }
 
@@ -106,16 +114,23 @@ proptest! {
         let phi_t = random_matrix(seed, nt, d);
         let phi_c = random_matrix(seed ^ 3, nc, d);
         let par = Parallelism::Threads(threads);
-        for kind in [
-            IpmKind::MmdLin,
-            IpmKind::MmdRbf { sigma: 1.0 },
-            IpmKind::MmdRbf { sigma: -1.0 }, // median heuristic path
-            IpmKind::Wasserstein { lambda: 10.0, iterations: 5 },
-        ] {
-            let serial =
-                ipm_weighted_plain_with(kind, &phi_t, &phi_c, None, None, Parallelism::Serial);
-            let parallel = ipm_weighted_plain_with(kind, &phi_t, &phi_c, None, None, par);
-            prop_assert!(serial.to_bits() == parallel.to_bits(), "{kind:?}: {serial} vs {parallel}");
+        for mode in [NumericsMode::BitExact, NumericsMode::Fast] {
+            for kind in [
+                IpmKind::MmdLin,
+                IpmKind::MmdRbf { sigma: 1.0 },
+                IpmKind::MmdRbf { sigma: -1.0 }, // median heuristic path
+                IpmKind::Wasserstein { lambda: 10.0, iterations: 5 },
+            ] {
+                let serial = ipm_weighted_plain_with(
+                    kind, &phi_t, &phi_c, None, None, Parallelism::Serial, mode,
+                );
+                let parallel =
+                    ipm_weighted_plain_with(kind, &phi_t, &phi_c, None, None, par, mode);
+                prop_assert!(
+                    serial.to_bits() == parallel.to_bits(),
+                    "{kind:?} ({mode}): {serial} vs {parallel}"
+                );
+            }
         }
     }
 }
@@ -151,6 +166,10 @@ fn serial_mode_reproduces_recorded_pr2_predictions() {
         ..TrainConfig::default()
     };
     let fit = |par: Parallelism| {
+        // Pin the default tier explicitly: the golden bits are a BitExact
+        // contract and must hold even when the suite runs with
+        // SBRL_NUMERICS=fast in the environment.
+        NumericsMode::BitExact.set_global();
         par.set_global();
         let fitted = Estimator::builder()
             .backbone(CfrConfig::small(train_data.dim()))
@@ -171,6 +190,7 @@ fn serial_mode_reproduces_recorded_pr2_predictions() {
     // The parallel path trains to bit-identical predictions.
     let parallel = fit(Parallelism::Threads(4));
     Parallelism::from_env().set_global();
+    NumericsMode::from_env().set_global();
     assert_eq!(
         serial.y0_hat.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         parallel.y0_hat.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
