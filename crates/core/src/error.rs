@@ -7,19 +7,64 @@
 //! juggling per-layer error types.
 
 use std::fmt;
+use std::time::Duration;
 
 use sbrl_data::DataError;
 use sbrl_models::ParseBackboneError;
+
+/// Which term of the training objective went non-finite — the recovery log
+/// and SKIPPED lines say *what* diverged, not just when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NonFiniteTerm {
+    /// The weighted factual outcome loss `L^w_Y` (Eq. 13).
+    FactualLoss,
+    /// The backbone regularizers / L2 added on top of a finite factual loss.
+    Regularizer,
+    /// The sample-weight objective `L_w` (Eq. 11) of the weight phase.
+    WeightObjective,
+    /// A parameter gradient (the loss itself was still finite).
+    Gradient,
+}
+
+impl fmt::Display for NonFiniteTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            NonFiniteTerm::FactualLoss => "factual loss",
+            NonFiniteTerm::Regularizer => "regularizer",
+            NonFiniteTerm::WeightObjective => "weight objective",
+            NonFiniteTerm::Gradient => "gradient",
+        };
+        f.write_str(name)
+    }
+}
 
 /// Typed failure of the fit/predict pipeline.
 #[derive(Debug)]
 pub enum SbrlError {
     /// The training or validation data failed structural validation.
     Data(DataError),
-    /// The loss became non-finite at the given iteration.
+    /// A training-objective term became non-finite (and the configured
+    /// [`RecoveryPolicy`](crate::RecoveryPolicy) retries, if any, were
+    /// exhausted).
     NonFiniteLoss {
         /// Iteration at which the divergence was detected.
         iteration: usize,
+        /// Which objective term diverged.
+        term: NonFiniteTerm,
+    },
+    /// The fit exceeded [`TrainConfig::time_budget`](crate::TrainConfig)
+    /// (checked at the top of every iteration — the watchdog).
+    TimedOut {
+        /// Iteration at which the budget check tripped.
+        iteration: usize,
+        /// Wall-clock time elapsed when the check tripped.
+        elapsed: Duration,
+    },
+    /// A worker-pool task panicked during batched inference; the panic was
+    /// contained to its shard and the pool remains usable.
+    WorkerPanic {
+        /// Chunk index of the (lowest) panicking task.
+        task: usize,
     },
     /// An estimator/training configuration failed validation.
     InvalidConfig {
@@ -36,14 +81,31 @@ impl fmt::Display for SbrlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SbrlError::Data(e) => write!(f, "invalid data: {e}"),
-            SbrlError::NonFiniteLoss { iteration } => {
-                write!(f, "loss became non-finite at iteration {iteration}")
+            SbrlError::NonFiniteLoss { iteration, term } => {
+                write!(f, "the {term} became non-finite at iteration {iteration}")
+            }
+            SbrlError::TimedOut { iteration, elapsed } => {
+                write!(
+                    f,
+                    "training exceeded its time budget at iteration {iteration} \
+                     (elapsed {:.3}s)",
+                    elapsed.as_secs_f64()
+                )
+            }
+            SbrlError::WorkerPanic { task } => {
+                write!(f, "batched inference worker task {task} panicked")
             }
             SbrlError::InvalidConfig { what, message } => {
                 write!(f, "invalid configuration ({what}): {message}")
             }
             SbrlError::Parse(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl From<sbrl_tensor::workers::TaskPanicked> for SbrlError {
+    fn from(e: sbrl_tensor::workers::TaskPanicked) -> Self {
+        SbrlError::WorkerPanic { task: e.task }
     }
 }
 
@@ -112,12 +174,37 @@ mod tests {
     fn display_covers_every_variant() {
         let d = SbrlError::Data(DataError::Empty);
         assert!(d.to_string().contains("invalid data"));
-        let n = SbrlError::NonFiniteLoss { iteration: 7 };
+        let n = SbrlError::NonFiniteLoss { iteration: 7, term: NonFiniteTerm::FactualLoss };
         assert!(n.to_string().contains("iteration 7"));
+        assert!(n.to_string().contains("factual loss"));
+        let t = SbrlError::TimedOut { iteration: 3, elapsed: Duration::from_millis(1500) };
+        assert!(t.to_string().contains("iteration 3") && t.to_string().contains("1.500"));
+        let w = SbrlError::WorkerPanic { task: 2 };
+        assert!(w.to_string().contains("task 2"));
         let c = SbrlError::InvalidConfig { what: "train.lr", message: "must be finite".into() };
         assert!(c.to_string().contains("train.lr"));
         let p = SbrlError::Parse(ParseError::Framework { input: "JUNK".into() });
         assert!(p.to_string().contains("JUNK"));
+    }
+
+    #[test]
+    fn non_finite_terms_name_the_objective_term() {
+        let names: Vec<String> = [
+            NonFiniteTerm::FactualLoss,
+            NonFiniteTerm::Regularizer,
+            NonFiniteTerm::WeightObjective,
+            NonFiniteTerm::Gradient,
+        ]
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
+        assert_eq!(names, ["factual loss", "regularizer", "weight objective", "gradient"]);
+    }
+
+    #[test]
+    fn task_panics_convert_to_worker_panic() {
+        let e: SbrlError = sbrl_tensor::workers::TaskPanicked { task: 5 }.into();
+        assert!(matches!(e, SbrlError::WorkerPanic { task: 5 }));
     }
 
     #[test]

@@ -166,6 +166,22 @@ impl EstimatorBuilder {
         self
     }
 
+    /// Recovery policy for non-finite divergence (rollback + backoff +
+    /// resume); overrides `TrainConfig::recovery`.
+    pub fn recovery(mut self, policy: crate::RecoveryPolicy) -> Self {
+        let cfg = self.train_cfg.unwrap_or_default();
+        self.train_cfg = Some(TrainConfig { recovery: policy, ..cfg });
+        self
+    }
+
+    /// Wall-clock watchdog budget checked every iteration; overrides
+    /// `TrainConfig::time_budget`.
+    pub fn time_budget(mut self, budget: std::time::Duration) -> Self {
+        let cfg = self.train_cfg.unwrap_or_default();
+        self.train_cfg = Some(TrainConfig { time_budget: Some(budget), ..cfg });
+        self
+    }
+
     /// Master seed: drives backbone initialisation, batching, RFF sampling
     /// — overrides `TrainConfig::seed`.
     pub fn seed(mut self, seed: u64) -> Self {

@@ -16,6 +16,10 @@
 //!   [`FittedModel`] inference wrapper;
 //! * [`estimator`] — the fluent [`Estimator::builder`] fit pipeline;
 //! * [`method`] — the name-addressable 3 x 3 method grid;
+//! * [`recovery`] — the checkpoint-rollback [`RecoveryPolicy`] and the
+//!   [`FitReport`] fault-tolerance provenance carried on [`FittedModel`];
+//! * [`faults`] — deterministic fault injection (`fault-inject` feature;
+//!   zero overhead and no hooks when off);
 //! * [`error`] — the unified [`SbrlError`] type.
 //!
 //! ```no_run
@@ -48,17 +52,22 @@
 pub mod config;
 pub mod error;
 pub mod estimator;
+pub mod faults;
 pub mod method;
 pub mod ood;
+pub mod recovery;
 pub mod regularizers;
 pub mod trainer;
 pub mod weights;
 
 pub use config::{Framework, SbrlConfig};
-pub use error::{ParseError, SbrlError};
+pub use error::{NonFiniteTerm, ParseError, SbrlError};
 pub use estimator::{Estimator, EstimatorBuilder};
+#[cfg(feature = "fault-inject")]
+pub use faults::{inject, FaultGuard, FaultPlan};
 pub use method::MethodSpec;
 pub use ood::{BlendedEstimator, OodDetector, OodDetectorConfig};
+pub use recovery::{FitReport, RecoveryEvent, RecoveryPolicy};
 pub use regularizers::{weight_objective, WeightLossTerms};
 #[allow(deprecated)]
 pub use trainer::{train, TrainError};

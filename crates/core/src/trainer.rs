@@ -12,7 +12,8 @@
 //! Validation uses the unweighted factual loss; the best-evaluated iterate
 //! is restored at the end (Sec. V-C: early stopping, best iterate).
 
-use std::time::Instant;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 use sbrl_data::{CausalDataset, OutcomeKind, Scaler};
 use sbrl_metrics::{evaluate, EffectEstimate, Evaluation};
@@ -26,9 +27,16 @@ use sbrl_tensor::rng::rng_from_seed;
 use sbrl_tensor::{Graph, Matrix};
 
 use crate::config::SbrlConfig;
-use crate::error::SbrlError;
+use crate::error::{NonFiniteTerm, SbrlError};
+use crate::faults;
+use crate::recovery::{FitReport, RecoveryEvent, RecoveryPolicy};
 use crate::regularizers::weight_objective;
 use crate::weights::SampleWeights;
+
+/// Salt folded into the batch-shuffle seed at each recovery, so a resumed
+/// run draws a fresh (but fully reproducible) batch sequence instead of
+/// replaying the exact batches that diverged.
+const RECOVERY_SEED_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Standardised covariates are winsorised to this many standard deviations.
 /// Unbounded test-time inputs otherwise let deep ELU heads extrapolate
@@ -71,6 +79,15 @@ pub struct TrainConfig {
     /// normalisation; prevents divergence on heavy-tailed surfaces such as
     /// IHDP's exponential response).
     pub standardize_outcome: bool,
+    /// What to do when a training-objective term goes non-finite: the
+    /// default performs no retries (the fit fails with a typed
+    /// [`NonFiniteLoss`](SbrlError::NonFiniteLoss), exactly as before);
+    /// `max_retries > 0` enables checkpoint rollback + backoff + resume.
+    pub recovery: RecoveryPolicy,
+    /// Wall-clock watchdog: when set, the budget is checked at the top of
+    /// every iteration and an overrun fails the fit with a typed
+    /// [`TimedOut`](SbrlError::TimedOut). `None` (default) = unbounded.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for TrainConfig {
@@ -87,6 +104,8 @@ impl Default for TrainConfig {
             seed: 0,
             standardize: true,
             standardize_outcome: true,
+            recovery: RecoveryPolicy::default(),
+            time_budget: None,
         }
     }
 }
@@ -138,6 +157,7 @@ impl TrainConfig {
                 });
             }
         }
+        self.recovery.validate()?;
         Ok(())
     }
 }
@@ -181,6 +201,9 @@ pub struct FittedModel<B: Backbone> {
     /// Numerics tier the fit ran under — provenance, since `BitExact` and
     /// `Fast` fits of the same seed are not bit-identical.
     numerics: NumericsMode,
+    /// Fault-tolerance provenance: the recovery policy the fit ran under
+    /// and every rollback it performed.
+    fit_report: FitReport,
 }
 
 impl<B: Backbone> std::fmt::Debug for FittedModel<B> {
@@ -190,6 +213,7 @@ impl<B: Backbone> std::fmt::Debug for FittedModel<B> {
             .field("loss_kind", &self.loss_kind)
             .field("numerics", &self.numerics)
             .field("report", &self.report)
+            .field("fit_report", &self.fit_report)
             .finish_non_exhaustive()
     }
 }
@@ -224,7 +248,26 @@ impl<B: Backbone> FittedModel<B> {
     /// `workers == 0` selects the worker count from the workspace-wide
     /// [`Parallelism`](sbrl_tensor::kernels::Parallelism) knob
     /// (`SBRL_THREADS` / available cores).
+    /// # Panics
+    /// Re-raises a worker-task panic as a panic on the calling thread.
+    /// Server loops use [`FittedModel::try_predict_batched`], which
+    /// contains the panic and returns it as a typed error instead.
     pub fn predict_batched(&self, x: &Matrix, workers: usize) -> EffectEstimate {
+        self.try_predict_batched(x, workers)
+            .unwrap_or_else(|e| panic!("predict_batched failed: {e}"))
+    }
+
+    /// [`FittedModel::predict_batched`] with typed failure: a panic inside
+    /// a prediction shard is contained by the worker pool
+    /// ([`run_tasks_catching`](sbrl_tensor::workers::run_tasks_catching))
+    /// and surfaces as [`SbrlError::WorkerPanic`] naming the shard, with
+    /// the pool left fully usable — one poisoned request cannot take down
+    /// a serving loop.
+    pub fn try_predict_batched(
+        &self,
+        x: &Matrix,
+        workers: usize,
+    ) -> Result<EffectEstimate, SbrlError> {
         let n = x.rows();
         let workers = if workers == 0 {
             sbrl_tensor::kernels::Parallelism::global().workers()
@@ -232,26 +275,27 @@ impl<B: Backbone> FittedModel<B> {
             workers
         };
         let workers = workers.clamp(1, n.max(1));
-        if workers == 1 {
-            return self.predict(x);
-        }
         let chunk = n.div_ceil(workers);
         let ranges: Vec<(usize, usize)> = (0..workers)
             .map(|w| ((w * chunk).min(n), ((w + 1) * chunk).min(n)))
             .filter(|(lo, hi)| lo < hi)
             .collect();
-        let shards = sbrl_tensor::kernels::par_map_values(ranges.len(), workers, |w| {
+        let shards: Vec<OnceLock<EffectEstimate>> =
+            (0..ranges.len()).map(|_| OnceLock::new()).collect();
+        sbrl_tensor::workers::run_tasks_catching(ranges.len(), workers, &|w| {
             let (lo, hi) = ranges[w];
             let rows: Vec<usize> = (lo..hi).collect();
-            self.predict(&x.select_rows(&rows))
-        });
+            let est = self.predict(&x.select_rows(&rows));
+            let _ = shards[w].set(est);
+        })?;
         let mut y0_hat = Vec::with_capacity(n);
         let mut y1_hat = Vec::with_capacity(n);
         for shard in shards {
-            y0_hat.extend(shard.y0_hat);
-            y1_hat.extend(shard.y1_hat);
+            let est = shard.into_inner().expect("a completed task set its shard");
+            y0_hat.extend(est.y0_hat);
+            y1_hat.extend(est.y1_hat);
         }
-        EffectEstimate { y0_hat, y1_hat }
+        Ok(EffectEstimate { y0_hat, y1_hat })
     }
 
     /// Evaluates against a dataset carrying the counterfactual oracle.
@@ -318,6 +362,13 @@ impl<B: Backbone> FittedModel<B> {
     pub fn numerics(&self) -> NumericsMode {
         self.numerics
     }
+
+    /// Fault-tolerance provenance of the fit: the [`RecoveryPolicy`] it ran
+    /// under, its watchdog budget, and every rollback-recovery it performed
+    /// (empty for a clean fit).
+    pub fn fit_report(&self) -> &FitReport {
+        &self.fit_report
+    }
 }
 
 fn loss_kind_for(outcome: OutcomeKind) -> OutcomeLoss {
@@ -366,6 +417,7 @@ pub(crate) fn fit_backbone<B: Backbone>(
     cfg.validate()?;
     train.validate()?;
     val.validate()?;
+    faults::fit_begin();
     let started = Instant::now();
     let loss_kind = loss_kind_for(train.outcome);
     let mut rng = rng_from_seed(cfg.seed ^ 0x5b71_7a11);
@@ -419,7 +471,22 @@ pub(crate) fn fit_backbone<B: Backbone>(
     let mut val_curve = Vec::new();
     let mut iterations_run = 0usize;
 
+    // Recovery state. The weight-store checkpoint is maintained only when
+    // rollback is enabled — the default policy pays nothing on this path.
+    let mut lr_now = cfg.lr;
+    let mut clip_now = Adam::DEFAULT_CLIP_NORM;
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+    let mut best_weights = (cfg.recovery.max_retries > 0).then(|| weights.snapshot());
+
     for iter in 0..cfg.iterations {
+        // ---- Watchdog: fail typed (not hang) past the wall-clock budget ----
+        faults::stall(iter);
+        if let Some(budget) = cfg.time_budget {
+            let elapsed = started.elapsed();
+            if elapsed > budget {
+                return Err(SbrlError::TimedOut { iteration: iter, elapsed });
+            }
+        }
         iterations_run = iter + 1;
         let batch = batches.next_batch(&mut rng);
         tb.clear();
@@ -429,6 +496,7 @@ pub(crate) fn fit_backbone<B: Backbone>(
         ctx.rebuild(&tb);
 
         // ---- Phase 1: network update with weights fixed (Eq. 13) ----
+        let mut diverged: Option<NonFiniteTerm> = None;
         {
             tape.reset();
             net_binding.reset(model.store());
@@ -447,15 +515,39 @@ pub(crate) fn fit_backbone<B: Backbone>(
             let l2 = l2_penalty(g, model.store(), &mut net_binding, &l2_handles, cfg.l2);
             let total = g.add(with_reg, l2);
             g.give_id_buf(pass.taps.z_o);
-            if !g.scalar(total).is_finite() {
-                return Err(SbrlError::NonFiniteLoss { iteration: iter });
+            // Classify *which* term diverged: the factual loss itself, or
+            // the regularizers/L2 stacked on a still-finite factual loss.
+            let pred_val = faults::poison(NonFiniteTerm::FactualLoss, iter, g.scalar(pred));
+            let total_val = if pred_val.is_finite() {
+                faults::poison(NonFiniteTerm::Regularizer, iter, g.scalar(total))
+            } else {
+                f64::NAN
+            };
+            if !pred_val.is_finite() {
+                diverged = Some(NonFiniteTerm::FactualLoss);
+            } else if !total_val.is_finite() {
+                diverged = Some(NonFiniteTerm::Regularizer);
+            } else {
+                g.backward(total);
+                // The gradient scan runs only when its verdict can change
+                // anything — rollback enabled or a fault plan armed — so
+                // the default configuration pays nothing extra here.
+                let check_grads = cfg.recovery.max_retries > 0 || faults::any_armed();
+                let grad_bad = check_grads
+                    && (faults::grad_poisoned(iter)
+                        || net_binding
+                            .bound()
+                            .any(|(_, id)| g.grad(id).is_some_and(|m| !m.all_finite())));
+                if grad_bad {
+                    diverged = Some(NonFiniteTerm::Gradient);
+                } else {
+                    opt.step(model.store_mut(), g, &net_binding);
+                }
             }
-            g.backward(total);
-            opt.step(model.store_mut(), g, &net_binding);
         }
 
         // ---- Phase 2: weight update with the network frozen (Eq. 11) ----
-        if sbrl.weights_enabled() {
+        if sbrl.weights_enabled() && diverged.is_none() {
             tape.reset();
             frozen_binding.reset(model.store());
             weights.reset_binding(&mut w_binding);
@@ -467,11 +559,48 @@ pub(crate) fn fit_backbone<B: Backbone>(
             let terms =
                 weight_objective(g, sbrl, &pass.taps, &ctx, w, r_w, &rff, &mut rng, &mut scratch);
             g.give_id_buf(pass.taps.z_o);
-            if !g.scalar(terms.total).is_finite() {
-                return Err(SbrlError::NonFiniteLoss { iteration: iter });
+            let lw_val =
+                faults::poison(NonFiniteTerm::WeightObjective, iter, g.scalar(terms.total));
+            if !lw_val.is_finite() {
+                diverged = Some(NonFiniteTerm::WeightObjective);
+            } else {
+                g.backward(terms.total);
+                weights.step(g, &w_binding);
             }
-            g.backward(terms.total);
-            weights.step(g, &w_binding);
+        }
+
+        // ---- Rollback recovery: restore the last best-validated checkpoint,
+        // back off, reseed the shuffle, resume (docs/ROBUSTNESS.md) ----
+        if let Some(term) = diverged {
+            if recoveries.len() >= cfg.recovery.max_retries {
+                return Err(SbrlError::NonFiniteLoss { iteration: iter, term });
+            }
+            let retry = recoveries.len() + 1;
+            model.store_mut().restore(&best_snapshot);
+            if let Some(bw) = &best_weights {
+                weights.restore(bw);
+            }
+            lr_now *= cfg.recovery.lr_backoff;
+            clip_now *= cfg.recovery.grad_clip_escalation;
+            // Fresh optimisers on purpose: stale Adam moment estimates are
+            // frequently what diverged in the first place.
+            opt = Adam::new(model.store(), lr_now)
+                .with_schedule(schedule)
+                .with_clip_norm(Some(clip_now));
+            weights.reset_optimizer(cfg.weight_lr, LrSchedule::Constant);
+            rng = rng_from_seed(
+                cfg.seed ^ 0x5b71_7a11 ^ RECOVERY_SEED_SALT.wrapping_mul(retry as u64),
+            );
+            batches = BatchIter::new(&mut rng, n, cfg.batch_size);
+            recoveries.push(RecoveryEvent {
+                iteration: iter,
+                term,
+                retry,
+                rolled_back_to: best_iter,
+                lr: lr_now,
+                clip_norm: clip_now,
+            });
+            continue;
         }
 
         // ---- Validation / early stopping ----
@@ -482,6 +611,9 @@ pub(crate) fn fit_backbone<B: Backbone>(
                 best_val = vl;
                 best_iter = iter;
                 best_snapshot = model.store().snapshot();
+                if let Some(bw) = &mut best_weights {
+                    *bw = weights.snapshot();
+                }
             }
             if stopper.update(iter, vl) {
                 break;
@@ -506,6 +638,7 @@ pub(crate) fn fit_backbone<B: Backbone>(
         weights: weights.values(),
         report,
         numerics: NumericsMode::global(),
+        fit_report: FitReport { recoveries, policy: cfg.recovery, time_budget: cfg.time_budget },
     })
 }
 

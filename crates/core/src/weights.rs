@@ -109,6 +109,23 @@ impl SampleWeights {
         self.opt.step(&mut self.store, g, binding);
     }
 
+    /// Snapshot of the raw weight parameters (checkpoint-rollback support:
+    /// the trainer pairs this with the backbone's `store().snapshot()`).
+    pub fn snapshot(&self) -> Vec<Matrix> {
+        self.store.snapshot()
+    }
+
+    /// Restores a snapshot taken with [`SampleWeights::snapshot`].
+    pub fn restore(&mut self, snapshot: &[Matrix]) {
+        self.store.restore(snapshot);
+    }
+
+    /// Replaces the optimiser with a fresh one (recovery resumes with clean
+    /// Adam moments — stale moment estimates are often what diverged).
+    pub fn reset_optimizer(&mut self, lr: f64, schedule: LrSchedule) {
+        self.opt = Adam::new(&self.store, lr).with_schedule(schedule);
+    }
+
     /// Summary statistics of the current weights (min, mean, max).
     pub fn stats(&self) -> (f64, f64, f64) {
         let v = self.values();

@@ -55,6 +55,21 @@ pub enum DataError {
         /// Comma-separated list of registered names.
         known: String,
     },
+    /// A simulator/dataset specification is structurally invalid (e.g. a
+    /// treated count outside `1..n`): the spec degrades to a typed error
+    /// instead of panicking a sweep.
+    InvalidSpec {
+        /// Which spec field is at fault.
+        what: &'static str,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// An operation needed the counterfactual oracle (`mu0`/`mu1` or
+    /// `ycf`), but the dataset does not carry it.
+    MissingOracle {
+        /// The operation that needed the oracle.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -74,6 +89,12 @@ impl fmt::Display for DataError {
             DataError::Empty => write!(f, "dataset holds no samples"),
             DataError::UnknownDataset { name, known } => {
                 write!(f, "unknown dataset '{name}' (registered datasets: {known})")
+            }
+            DataError::InvalidSpec { what, message } => {
+                write!(f, "invalid dataset spec ({what}): {message}")
+            }
+            DataError::MissingOracle { context } => {
+                write!(f, "{context} needs the counterfactual oracle, which this dataset lacks")
             }
         }
     }

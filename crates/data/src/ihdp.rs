@@ -24,7 +24,7 @@
 use sbrl_tensor::rng::{rng_from_seed, sample_bernoulli, sample_standard_normal, sample_uniform};
 use sbrl_tensor::{stable_sigmoid, Matrix};
 
-use crate::dataset::{CausalDataset, OutcomeKind, Scaler};
+use crate::dataset::{CausalDataset, DataError, OutcomeKind, Scaler};
 use crate::sampling::weighted_sample_without_replacement;
 use crate::splits::{train_val_indices, DataSplit};
 
@@ -91,8 +91,44 @@ pub struct IhdpSimulator {
 
 impl IhdpSimulator {
     /// Generates covariates and the confounded treatment assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed configuration; use [`Self::try_new`] to get the
+    /// typed [`DataError`] instead.
     pub fn new(config: IhdpConfig, seed: u64) -> Self {
-        assert!(config.n_treated > 0 && config.n_treated < config.n);
+        Self::try_new(config, seed).unwrap_or_else(|e| panic!("invalid IhdpConfig: {e}"))
+    }
+
+    /// Fallible variant of [`Self::new`]: rejects malformed configurations
+    /// with [`DataError::InvalidSpec`] instead of panicking.
+    pub fn try_new(config: IhdpConfig, seed: u64) -> Result<Self, DataError> {
+        if config.n_treated == 0 || config.n_treated >= config.n {
+            return Err(DataError::InvalidSpec {
+                what: "ihdp.n_treated",
+                message: format!(
+                    "need 0 < n_treated < n, got n_treated={} with n={}",
+                    config.n_treated, config.n
+                ),
+            });
+        }
+        for (what, f) in [
+            ("ihdp.test_fraction", config.test_fraction),
+            ("ihdp.val_fraction", config.val_fraction),
+        ] {
+            if !f.is_finite() || !(0.0..1.0).contains(&f) {
+                return Err(DataError::InvalidSpec {
+                    what,
+                    message: format!("need a finite fraction in [0, 1), got {f}"),
+                });
+            }
+        }
+        if !config.rho.is_finite() || config.rho.abs() <= 1.0 {
+            return Err(DataError::InvalidSpec {
+                what: "ihdp.rho",
+                message: format!("need a finite bias rate with |rho| > 1, got {}", config.rho),
+            });
+        }
         let mut rng = rng_from_seed(seed ^ IHDP_TAG);
         let n = config.n;
         let mut x = Matrix::zeros(n, TOTAL_COVARIATES);
@@ -166,7 +202,7 @@ impl IhdpSimulator {
                 (p / u, i) // Efraimidis–Spirakis-style key: P(select) ∝ p
             })
             .collect();
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut t = vec![0.0; n];
         for &(_, i) in scored.iter().take(config.n_treated) {
             t[i] = 1.0;
@@ -175,7 +211,7 @@ impl IhdpSimulator {
         let x_cont = x.slice_cols(0, NUM_CONTINUOUS);
         let x_cont_std = Scaler::fit(&x_cont).transform(&x_cont);
         let x_std = Scaler::fit(&x).transform(&x);
-        Self { config, x, t, x_cont_std, x_std }
+        Ok(Self { config, x, t, x_cont_std, x_std })
     }
 
     /// The benchmark configuration.
@@ -195,9 +231,20 @@ impl IhdpSimulator {
 
     /// One replication: simulate outcomes (fresh response-surface draw) and
     /// partition into the biased test fold plus train/validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replication lacks oracle outcomes (cannot happen for
+    /// simulated data); use [`Self::try_replicate`] for the typed error.
     pub fn replicate(&self, rep_seed: u64) -> DataSplit {
+        self.try_replicate(rep_seed).expect("simulator carries oracle outcomes")
+    }
+
+    /// Fallible variant of [`Self::replicate`]: reports a missing
+    /// counterfactual oracle as [`DataError::MissingOracle`].
+    pub fn try_replicate(&self, rep_seed: u64) -> Result<DataSplit, DataError> {
         let full = self.simulate_outcomes(rep_seed);
-        self.partition(&full, rep_seed)
+        self.try_partition(&full, rep_seed)
     }
 
     /// Simulates the response surface and outcomes for one replication over
@@ -278,10 +325,27 @@ impl IhdpSimulator {
 
     /// Partitions a replication: biased 10% test fold over the standardised
     /// continuous covariates, remaining 70/30 train/validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full` lacks oracle outcomes; use [`Self::try_partition`]
+    /// for the typed error.
     pub fn partition(&self, full: &CausalDataset, rep_seed: u64) -> DataSplit {
+        self.try_partition(full, rep_seed).expect("simulator carries oracle outcomes")
+    }
+
+    /// Fallible variant of [`Self::partition`]: reports a missing
+    /// counterfactual oracle as [`DataError::MissingOracle`].
+    pub fn try_partition(
+        &self,
+        full: &CausalDataset,
+        rep_seed: u64,
+    ) -> Result<DataSplit, DataError> {
         let mut rng = rng_from_seed(rep_seed ^ IHDP_TAG ^ 0x5511);
         let n = full.n();
-        let ite = full.true_ite().expect("simulator carries oracle outcomes");
+        let ite = full
+            .true_ite()
+            .ok_or(DataError::MissingOracle { context: "the IHDP partitioning protocol" })?;
         // D_i on the six standardised continuous covariates; effects are
         // standardised too so the tilt is scale-free for continuous outcomes.
         let e_mean = ite.iter().sum::<f64>() / n as f64;
@@ -309,11 +373,11 @@ impl IhdpSimulator {
             train_val_indices(&mut rng, rest.len(), self.config.val_fraction);
         let train_idx: Vec<usize> = tr_local.iter().map(|&k| rest[k]).collect();
         let val_idx: Vec<usize> = va_local.iter().map(|&k| rest[k]).collect();
-        DataSplit {
+        Ok(DataSplit {
             train: full.select(&train_idx),
             val: full.select(&val_idx),
             test: full.select(&test_idx),
-        }
+        })
     }
 }
 
@@ -326,6 +390,26 @@ mod tests {
 
     fn sim() -> IhdpSimulator {
         IhdpSimulator::new(IhdpConfig::default(), 0)
+    }
+
+    #[test]
+    fn malformed_specs_degrade_to_typed_errors() {
+        use crate::dataset::DataError;
+        let bad = |cfg: IhdpConfig| match IhdpSimulator::try_new(cfg, 0) {
+            Ok(_) => panic!("expected {cfg:?} to be rejected"),
+            Err(e) => e,
+        };
+        let e = bad(IhdpConfig { n_treated: 0, ..IhdpConfig::default() });
+        assert!(matches!(e, DataError::InvalidSpec { what: "ihdp.n_treated", .. }), "{e}");
+        let e = bad(IhdpConfig { n_treated: 747, ..IhdpConfig::default() });
+        assert!(matches!(e, DataError::InvalidSpec { what: "ihdp.n_treated", .. }), "{e}");
+        let e = bad(IhdpConfig { test_fraction: 1.5, ..IhdpConfig::default() });
+        assert!(matches!(e, DataError::InvalidSpec { what: "ihdp.test_fraction", .. }), "{e}");
+        let e = bad(IhdpConfig { val_fraction: f64::NAN, ..IhdpConfig::default() });
+        assert!(matches!(e, DataError::InvalidSpec { what: "ihdp.val_fraction", .. }), "{e}");
+        let e = bad(IhdpConfig { rho: 0.5, ..IhdpConfig::default() });
+        assert!(matches!(e, DataError::InvalidSpec { what: "ihdp.rho", .. }), "{e}");
+        assert!(IhdpSimulator::try_new(IhdpConfig::default(), 0).is_ok());
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl Default for DatasetOptions {
 }
 
 /// A generator closure realising a named dataset at the requested options.
-pub type DatasetGenerator = Box<dyn Fn(&DatasetOptions) -> DataSplit + Send + Sync>;
+/// Generators are fallible: malformed sizing degrades to a typed
+/// [`DataError`] instead of panicking inside the simulator.
+pub type DatasetGenerator =
+    Box<dyn Fn(&DatasetOptions) -> Result<DataSplit, DataError> + Send + Sync>;
 
 struct DatasetEntry {
     name: String,
@@ -87,18 +90,18 @@ impl DatasetRegistry {
         r.register(
             "syn_8_8_8_2",
             "Synthetic Syn_8_8_8_2 (8 instruments / 8 confounders / 8 adjusters / 2 unstable)",
-            |o| synthetic_split(SyntheticConfig::syn_8_8_8_2(), o),
+            |o| Ok(synthetic_split(SyntheticConfig::syn_8_8_8_2(), o)),
         );
         r.register("syn_16_16_16_2", "Synthetic Syn_16_16_16_2 (high-dimensional variant)", |o| {
-            synthetic_split(SyntheticConfig::syn_16_16_16_2(), o)
+            Ok(synthetic_split(SyntheticConfig::syn_16_16_16_2(), o))
         });
         r.register(
             "twins",
             "Twins-like simulator with the paper's augmentation and partitioning protocol",
             |o| {
                 let total = (o.n_train + o.n_val + o.n_test).max(100);
-                TwinsSimulator::new(TwinsConfig { n: total, ..Default::default() }, o.seed)
-                    .partition(o.seed)
+                TwinsSimulator::try_new(TwinsConfig { n: total, ..Default::default() }, o.seed)?
+                    .try_partition(o.seed)
             },
         );
         r.register(
@@ -109,7 +112,7 @@ impl DatasetRegistry {
                 // Keep the paper's treated fraction (139 of 747) at any size.
                 let n_treated = ((total as f64 * 139.0 / 747.0).round() as usize).max(1);
                 let cfg = IhdpConfig { n: total, n_treated, ..IhdpConfig::default() };
-                IhdpSimulator::new(cfg, o.seed).replicate(o.seed)
+                IhdpSimulator::try_new(cfg, o.seed)?.try_replicate(o.seed)
             },
         );
         r
@@ -120,7 +123,7 @@ impl DatasetRegistry {
         &mut self,
         name: impl Into<String>,
         description: impl Into<String>,
-        generate: impl Fn(&DatasetOptions) -> DataSplit + Send + Sync + 'static,
+        generate: impl Fn(&DatasetOptions) -> Result<DataSplit, DataError> + Send + Sync + 'static,
     ) {
         let name = name.into();
         self.entries.retain(|e| !e.name.eq_ignore_ascii_case(&name));
@@ -150,7 +153,7 @@ impl DatasetRegistry {
     /// registered names.
     pub fn generate(&self, name: &str, opts: &DatasetOptions) -> Result<DataSplit, DataError> {
         match self.find(name) {
-            Some(entry) => Ok((entry.generate)(opts)),
+            Some(entry) => (entry.generate)(opts),
             None => Err(DataError::UnknownDataset {
                 name: name.to_string(),
                 known: self.names().join(", "),
@@ -235,7 +238,7 @@ mod tests {
     fn custom_entries_can_be_registered_and_shadowed() {
         let mut r = DatasetRegistry::new();
         r.register("tiny", "first", |o| {
-            synthetic_split(
+            Ok(synthetic_split(
                 SyntheticConfig {
                     m_instrument: 2,
                     m_confounder: 2,
@@ -245,10 +248,10 @@ mod tests {
                     threshold_pool: 400,
                 },
                 o,
-            )
+            ))
         });
         assert!(r.contains("tiny"));
-        r.register("tiny", "second", |o| synthetic_split(SyntheticConfig::syn_8_8_8_2(), o));
+        r.register("tiny", "second", |o| Ok(synthetic_split(SyntheticConfig::syn_8_8_8_2(), o)));
         assert_eq!(r.names().len(), 1);
         assert_eq!(r.describe("tiny"), Some("second"));
     }

@@ -59,7 +59,7 @@ pub fn weighted_sample_without_replacement(
             (key, i)
         })
         .collect();
-    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("keys are finite"));
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut idx: Vec<usize> = keyed.into_iter().take(k).map(|(_, i)| i).collect();
     idx.sort_unstable();
     idx

@@ -27,7 +27,7 @@
 use sbrl_tensor::rng::{rng_from_seed, sample_bernoulli, sample_standard_normal, sample_uniform};
 use sbrl_tensor::{stable_sigmoid, Matrix};
 
-use crate::dataset::{CausalDataset, OutcomeKind};
+use crate::dataset::{CausalDataset, DataError, OutcomeKind};
 use crate::sampling::{selection_log_weight, weighted_sample_without_replacement};
 use crate::splits::{train_val_indices, DataSplit};
 
@@ -69,7 +69,42 @@ pub struct TwinsSimulator {
 
 impl TwinsSimulator {
     /// Generates the full record table from `seed`.
+    ///
+    /// # Panics
+    /// On a structurally invalid [`TwinsConfig`]; sweeps that must degrade
+    /// gracefully use [`TwinsSimulator::try_new`].
     pub fn new(config: TwinsConfig, seed: u64) -> Self {
+        Self::try_new(config, seed).unwrap_or_else(|e| panic!("invalid TwinsConfig: {e}"))
+    }
+
+    /// [`TwinsSimulator::new`] with typed spec validation: a malformed
+    /// config (zero cohort, out-of-range fractions, a bias rate the
+    /// selection mechanism cannot represent) is a [`DataError::InvalidSpec`]
+    /// instead of a panic.
+    pub fn try_new(config: TwinsConfig, seed: u64) -> Result<Self, DataError> {
+        if config.n < 2 {
+            return Err(DataError::InvalidSpec {
+                what: "twins.n",
+                message: format!("needs at least 2 records, got {}", config.n),
+            });
+        }
+        for (what, v) in [
+            ("twins.test_fraction", config.test_fraction),
+            ("twins.val_fraction", config.val_fraction),
+        ] {
+            if !v.is_finite() || !(0.0..1.0).contains(&v) {
+                return Err(DataError::InvalidSpec {
+                    what,
+                    message: format!("must be a finite fraction in [0, 1), got {v}"),
+                });
+            }
+        }
+        if !config.rho.is_finite() || config.rho.abs() <= 1.0 {
+            return Err(DataError::InvalidSpec {
+                what: "twins.rho",
+                message: format!("bias rate needs |rho| > 1 and finite, got {}", config.rho),
+            });
+        }
         let mut rng = rng_from_seed(seed ^ 0x7717_5000);
         let n = config.n;
         let mut x = Matrix::zeros(n, TOTAL_COVARIATES);
@@ -182,7 +217,7 @@ impl TwinsSimulator {
             mu1: Some(mu1),
             outcome: OutcomeKind::Binary,
         };
-        Self { config, full }
+        Ok(Self { config, full })
     }
 
     /// The full record table (all 43 covariates, both potential outcomes).
@@ -202,10 +237,25 @@ impl TwinsSimulator {
 
     /// One partitioning round: biased 20% test fold (`rho` tilt on `X_V`),
     /// remaining 70/30 train/validation.
+    ///
+    /// # Panics
+    /// Never for a simulator built by [`TwinsSimulator::new`] /
+    /// [`TwinsSimulator::try_new`] (its table always carries the oracle);
+    /// kept infallible for the many test/bench call sites. Fallible callers
+    /// use [`TwinsSimulator::try_partition`].
     pub fn partition(&self, round: u64) -> DataSplit {
+        self.try_partition(round).expect("simulator carries oracle outcomes")
+    }
+
+    /// [`TwinsSimulator::partition`] with typed failure when the record
+    /// table lacks the counterfactual oracle the biased sampler needs.
+    pub fn try_partition(&self, round: u64) -> Result<DataSplit, DataError> {
         let mut rng = rng_from_seed(round ^ 0x7717_5041);
         let n = self.full.n();
-        let ite = self.full.true_ite().expect("simulator carries oracle outcomes");
+        let ite = self
+            .full
+            .true_ite()
+            .ok_or(DataError::MissingOracle { context: "the twins partitioning protocol" })?;
         let v_cols: Vec<usize> = Self::unstable_columns().collect();
         let log_w: Vec<f64> = (0..n)
             .map(|i| {
@@ -223,11 +273,11 @@ impl TwinsSimulator {
         let train_idx: Vec<usize> = tr_local.iter().map(|&k| rest[k]).collect();
         let val_idx: Vec<usize> = va_local.iter().map(|&k| rest[k]).collect();
 
-        DataSplit {
+        Ok(DataSplit {
             train: self.full.select(&train_idx),
             val: self.full.select(&val_idx),
             test: self.full.select(&test_idx),
-        }
+        })
     }
 }
 
@@ -301,6 +351,23 @@ mod tests {
         assert_eq!(a.test.yf, b.test.yf);
         assert!(a.test.x.approx_eq(&b.test.x, 0.0));
         assert_ne!(a.test.yf, c.test.yf);
+    }
+
+    #[test]
+    fn malformed_specs_degrade_to_typed_errors() {
+        let bad = TwinsConfig { n: 1, ..Default::default() };
+        assert!(matches!(
+            TwinsSimulator::try_new(bad, 0),
+            Err(DataError::InvalidSpec { what: "twins.n", .. })
+        ));
+        let bad = TwinsConfig { test_fraction: 1.2, ..Default::default() };
+        assert!(TwinsSimulator::try_new(bad, 0).is_err());
+        let bad = TwinsConfig { val_fraction: f64::NAN, ..Default::default() };
+        assert!(TwinsSimulator::try_new(bad, 0).is_err());
+        let bad = TwinsConfig { rho: 0.5, ..Default::default() };
+        assert!(TwinsSimulator::try_new(bad, 0).is_err());
+        // The happy path is unchanged.
+        assert!(TwinsSimulator::try_new(TwinsConfig { n: 100, ..Default::default() }, 0).is_ok());
     }
 
     #[test]

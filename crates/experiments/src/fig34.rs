@@ -12,7 +12,9 @@ use sbrl_metrics::{env_aggregate, Evaluation};
 use crate::methods::MethodSpec;
 use crate::presets::{bench_variant, paper_syn_16_16_16_2, quick_variant};
 use crate::report::{fmt_mean_std, fmt_num, render_table, results_dir, write_tsv};
-use crate::runner::{render_failures, run_synthetic_sweep, MethodEnvResults, SyntheticExperiment};
+use crate::runner::{
+    render_failures, render_retries, run_synthetic_sweep, MethodEnvResults, SyntheticExperiment,
+};
 use crate::scale::Scale;
 
 /// Builds the Fig. 3/4 experiment for a scale.
@@ -124,6 +126,7 @@ pub fn render(exp: &SyntheticExperiment, results: &[MethodEnvResults], scale: Sc
         &r4c,
     ));
     write_tsv(results_dir().join("fig4_counterfactual_f1.tsv"), &h4c, &r4c).ok();
+    out.push_str(&render_retries(results.iter().flat_map(|r| &r.retries)));
     out.push_str(&render_failures(results.iter().flat_map(|r| &r.failures)));
     out
 }
@@ -143,6 +146,7 @@ mod tests {
             method: "CFR".into(),
             per_env: vec![vec![eval(0.4, 0.8)], vec![eval(0.7, 0.6)]],
             failures: Vec::new(),
+            retries: Vec::new(),
         }]
     }
 

@@ -16,7 +16,7 @@ use sbrl_tensor::Matrix;
 use crate::methods::{BackboneKind, MethodSpec};
 use crate::presets::{bench_variant, paper_syn_16_16_16_2, quick_variant};
 use crate::report::{fmt_num, render_table, results_dir, write_tsv};
-use crate::runner::fit_method;
+use crate::runner::{fit_method_retrying, DEFAULT_FIT_RETRIES};
 use crate::scale::Scale;
 
 /// Result for one method: average off-diagonal HSIC and the matrix itself.
@@ -33,8 +33,9 @@ pub struct DecorrelationResult {
 pub const SAMPLED_DIMS: usize = 25;
 
 /// Runs the Fig. 5 analysis; failed fits are skipped and described in the
-/// second element so the report can record them.
-pub fn analyse(scale: Scale) -> (Vec<DecorrelationResult>, Vec<String>) {
+/// second element, fits recovered by reseeded retries in the third, so the
+/// report can record both.
+pub fn analyse(scale: Scale) -> (Vec<DecorrelationResult>, Vec<String>, Vec<String>) {
     let preset = match scale {
         Scale::Paper => paper_syn_16_16_16_2(),
         Scale::Quick => quick_variant(paper_syn_16_16_16_2()),
@@ -50,13 +51,29 @@ pub fn analyse(scale: Scale) -> (Vec<DecorrelationResult>, Vec<String>) {
     let rff = Rff::sample(&mut rng, Rff::DEFAULT_NUM_FUNCTIONS);
 
     let mut failures = Vec::new();
+    let mut retries = Vec::new();
     let results = Framework::ALL
         .into_iter()
         .filter_map(|framework| {
             let spec = MethodSpec { backbone: BackboneKind::Cfr, framework };
             let train_cfg = scale.train_config(preset.lr, preset.l2, 7);
-            let fitted = match fit_method(spec, &preset, &train_data, &val_data, &train_cfg) {
-                Ok(fitted) => fitted,
+            let fitted = match fit_method_retrying(
+                spec,
+                &preset,
+                &train_data,
+                &val_data,
+                &train_cfg,
+                DEFAULT_FIT_RETRIES,
+            ) {
+                Ok((fitted, 0)) => fitted,
+                Ok((fitted, attempts)) => {
+                    let msg = format!(
+                        "method {} recovered after {attempts} reseeded retries",
+                        spec.name()
+                    );
+                    crate::runner::record_retry("fig5", msg, &mut retries);
+                    fitted
+                }
                 Err(e) => {
                     let msg = format!("method {} FAILED: {e}", spec.name());
                     crate::runner::record_failure("fig5", msg, &mut failures);
@@ -77,7 +94,7 @@ pub fn analyse(scale: Scale) -> (Vec<DecorrelationResult>, Vec<String>) {
             Some(DecorrelationResult { method: spec.name(), mean_hsic, matrix })
         })
         .collect();
-    (results, failures)
+    (results, failures, retries)
 }
 
 /// Coarse text heat map of a pairwise matrix (darker = more dependent).
@@ -97,7 +114,7 @@ pub fn text_heatmap(m: &Matrix) -> String {
 
 /// Runs Fig. 5 and renders the report.
 pub fn run(scale: Scale) -> String {
-    let (results, failures) = analyse(scale);
+    let (results, failures, retries) = analyse(scale);
     let header = vec!["Method".to_string(), "avg HSIC_RFF".to_string()];
     let rows: Vec<Vec<String>> =
         results.iter().map(|r| vec![r.method.clone(), fmt_num(r.mean_hsic)]).collect();
@@ -107,6 +124,7 @@ pub fn run(scale: Scale) -> String {
         &rows,
     );
     write_tsv(results_dir().join("fig5_hsic.tsv"), &header, &rows).ok();
+    out.push_str(&crate::runner::render_retries(&retries));
     out.push_str(&crate::runner::render_failures(&failures));
     for r in &results {
         out.push_str(&format!(
@@ -142,7 +160,7 @@ mod tests {
     #[test]
     #[ignore = "trains three models; run with --ignored"]
     fn bench_scale_ordering_smoke() {
-        let (results, failures) = analyse(Scale::Bench);
+        let (results, failures, _retries) = analyse(Scale::Bench);
         assert_eq!(results.len(), 3);
         assert!(failures.is_empty());
         assert!(results.iter().all(|r| r.mean_hsic.is_finite()));

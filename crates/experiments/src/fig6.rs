@@ -12,7 +12,7 @@ use sbrl_data::{SyntheticConfig, SyntheticProcess};
 use crate::methods::{BackboneKind, MethodSpec};
 use crate::presets::{bench_variant, paper_syn_16_16_16_2, quick_variant};
 use crate::report::{fmt_num, render_table, results_dir, write_tsv};
-use crate::runner::fit_method;
+use crate::runner::{fit_method_retrying, DEFAULT_FIT_RETRIES};
 use crate::scale::Scale;
 
 /// The sweep values of Fig. 6.
@@ -49,8 +49,9 @@ pub fn sweep_grid(optimum: (f64, f64, f64)) -> Vec<(usize, f64, (f64, f64, f64))
 }
 
 /// Runs the sweep and returns the points; failed sweep points are skipped
-/// and described in the second element so the report can record them.
-pub fn analyse(scale: Scale) -> (Vec<SweepPoint>, Vec<String>) {
+/// and described in the second element, points recovered by reseeded
+/// retries in the third, so the report can record both.
+pub fn analyse(scale: Scale) -> (Vec<SweepPoint>, Vec<String>, Vec<String>) {
     let base_preset = match scale {
         Scale::Paper => paper_syn_16_16_16_2(),
         Scale::Quick => quick_variant(paper_syn_16_16_16_2()),
@@ -65,13 +66,28 @@ pub fn analyse(scale: Scale) -> (Vec<SweepPoint>, Vec<String>) {
     let spec = MethodSpec { backbone: BackboneKind::Cfr, framework: Framework::SbrlHap };
 
     let mut failures = Vec::new();
+    let mut retries = Vec::new();
     let points = sweep_grid(base_preset.gammas)
         .into_iter()
         .filter_map(|(idx, value, gammas)| {
             let preset = crate::methods::ExperimentPreset { gammas, ..base_preset };
             let train_cfg = scale.train_config(preset.lr, preset.l2, (idx * 17) as u64);
-            let fitted = match fit_method(spec, &preset, &train_data, &val_data, &train_cfg) {
-                Ok(fitted) => fitted,
+            let fitted = match fit_method_retrying(
+                spec,
+                &preset,
+                &train_data,
+                &val_data,
+                &train_cfg,
+                DEFAULT_FIT_RETRIES,
+            ) {
+                Ok((fitted, 0)) => fitted,
+                Ok((fitted, attempts)) => {
+                    let msg = format!(
+                        "sweep point gamma{idx} = {value} recovered after {attempts} reseeded retries"
+                    );
+                    crate::runner::record_retry("fig6", msg, &mut retries);
+                    fitted
+                }
                 Err(e) => {
                     let msg = format!("sweep point gamma{idx} = {value} FAILED: {e}");
                     crate::runner::record_failure("fig6", msg, &mut failures);
@@ -92,12 +108,12 @@ pub fn analyse(scale: Scale) -> (Vec<SweepPoint>, Vec<String>) {
             })
         })
         .collect();
-    (points, failures)
+    (points, failures, retries)
 }
 
 /// Runs Fig. 6 and renders the report.
 pub fn run(scale: Scale) -> String {
-    let (points, failures) = analyse(scale);
+    let (points, failures, retries) = analyse(scale);
     let header = vec![
         "Coefficient".to_string(),
         "Value".into(),
@@ -121,6 +137,7 @@ pub fn run(scale: Scale) -> String {
         &rows,
     );
     write_tsv(results_dir().join("fig6_gamma_sensitivity.tsv"), &header, &rows).ok();
+    out.push_str(&crate::runner::render_retries(&retries));
     out.push_str(&crate::runner::render_failures(&failures));
     out
 }

@@ -9,6 +9,71 @@ use sbrl_models::Backbone;
 use crate::methods::{ExperimentPreset, MethodSpec};
 use crate::scale::Scale;
 
+/// Default bounded retry budget of the sweep runners: a transiently failed
+/// fit (divergence, timeout, worker panic) is re-attempted up to this many
+/// times with a reseeded configuration before being skipped.
+pub const DEFAULT_FIT_RETRIES: usize = 2;
+
+/// Salt mixed into the base seed for retry attempts, so each attempt walks a
+/// fresh but deterministic initialisation/shuffle trajectory.
+const RETRY_SEED_SALT: u64 = 0x9e37_79b9_97f4_a7c5;
+
+/// The seed of retry `attempt`. Attempt 0 is the base seed itself, so a fit
+/// that succeeds first try is bit-identical to the non-retrying path.
+pub fn retry_seed(base_seed: u64, attempt: usize) -> u64 {
+    if attempt == 0 {
+        base_seed
+    } else {
+        base_seed ^ RETRY_SEED_SALT.wrapping_mul(attempt as u64)
+    }
+}
+
+/// Whether an error is worth retrying with a fresh seed. Config and data
+/// errors are deterministic — the retry would fail identically.
+fn is_transient(e: &SbrlError) -> bool {
+    matches!(
+        e,
+        SbrlError::NonFiniteLoss { .. }
+            | SbrlError::TimedOut { .. }
+            | SbrlError::WorkerPanic { .. }
+    )
+}
+
+/// Runs `fit` with bounded retry-with-reseed: attempt 0 gets `base_seed`
+/// verbatim, attempt `k > 0` gets [`retry_seed`]`(base_seed, k)`. Returns
+/// the fitted value plus the number of retries consumed (0 = first try).
+/// Non-transient errors and exhausted budgets surface the last error.
+pub fn retrying<T>(
+    base_seed: u64,
+    max_retries: usize,
+    mut fit: impl FnMut(u64) -> Result<T, SbrlError>,
+) -> Result<(T, usize), SbrlError> {
+    let mut attempt = 0;
+    loop {
+        match fit(retry_seed(base_seed, attempt)) {
+            Ok(v) => return Ok((v, attempt)),
+            Err(e) if attempt < max_retries && is_transient(&e) => attempt += 1,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// [`fit_method`] wrapped in [`retrying`]: the sweep runners' upgrade from
+/// skip-on-first-failure to bounded retry-with-reseed.
+pub fn fit_method_retrying(
+    spec: MethodSpec,
+    preset: &ExperimentPreset,
+    train_data: &CausalDataset,
+    val_data: &CausalDataset,
+    train_cfg: &TrainConfig,
+    max_retries: usize,
+) -> Result<(FittedModel<Box<dyn Backbone>>, usize), SbrlError> {
+    retrying(train_cfg.seed, max_retries, |seed| {
+        let cfg = TrainConfig { seed, ..*train_cfg };
+        fit_method(spec, preset, train_data, val_data, &cfg)
+    })
+}
+
 /// Fits one method specification on a train/val split through the fluent
 /// estimator pipeline. Training failures (divergence, invalid data) surface
 /// as typed errors so sweep runners can skip and report them.
@@ -66,6 +131,9 @@ pub struct MethodEnvResults {
     /// Human-readable descriptions of failed replications (the sweep skips
     /// them instead of aborting).
     pub failures: Vec<String>,
+    /// Human-readable descriptions of fits that only succeeded after one or
+    /// more reseeded retries.
+    pub retries: Vec<String>,
 }
 
 impl MethodEnvResults {
@@ -96,6 +164,7 @@ pub fn run_synthetic_sweep(
             method: m.name(),
             per_env: vec![Vec::with_capacity(reps); exp.test_rhos.len()],
             failures: Vec::new(),
+            retries: Vec::new(),
         })
         .collect();
 
@@ -113,8 +182,26 @@ pub fn run_synthetic_sweep(
         for (mi, spec) in methods.iter().enumerate() {
             let train_cfg =
                 exp.scale.train_config(exp.preset.lr, exp.preset.l2, (rep * 97 + mi) as u64);
-            let fitted = match fit_method(*spec, &exp.preset, &train_data, &val_data, &train_cfg) {
-                Ok(fitted) => fitted,
+            let fitted = match fit_method_retrying(
+                *spec,
+                &exp.preset,
+                &train_data,
+                &val_data,
+                &train_cfg,
+                DEFAULT_FIT_RETRIES,
+            ) {
+                Ok((fitted, 0)) => fitted,
+                Ok((fitted, attempts)) => {
+                    let msg = format!(
+                        "rep {}/{} method {} recovered after {attempts} reseeded retries",
+                        rep + 1,
+                        reps,
+                        spec.name()
+                    );
+                    progress(&msg);
+                    results[mi].retries.push(msg);
+                    fitted
+                }
                 Err(e) => {
                     let msg =
                         format!("rep {}/{} method {} FAILED: {e}", rep + 1, reps, spec.name());
@@ -160,6 +247,28 @@ pub fn render_failures<'a>(failures: impl IntoIterator<Item = &'a String>) -> St
     }
     if !out.is_empty() {
         out.insert_str(0, "\nFailed replications (skipped):\n");
+    }
+    out
+}
+
+/// Records one retried-then-recovered fit: logs it to stderr under the
+/// runner's tag and appends it to the runner's retry list (later rendered by
+/// [`render_retries`]).
+pub fn record_retry(tag: &str, message: String, retries: &mut Vec<String>) {
+    eprintln!("[{tag}] {message}");
+    retries.push(message);
+}
+
+/// Renders retried-fit messages as a report block (empty string when every
+/// fit succeeded first try). The single formatting point for every runner's
+/// retry provenance output.
+pub fn render_retries<'a>(retries: impl IntoIterator<Item = &'a String>) -> String {
+    let mut out = String::new();
+    for retry in retries {
+        out.push_str(&format!("RETRIED {retry}\n"));
+    }
+    if !out.is_empty() {
+        out.insert_str(0, "\nRetried fits (recovered after reseeding):\n");
     }
     out
 }
@@ -220,6 +329,73 @@ mod tests {
         assert_eq!(results[0].failures.len(), 1);
         assert!(results[0].per_env.iter().all(Vec::is_empty));
         assert!(messages.iter().any(|m| m.contains("FAILED")));
+    }
+
+    #[test]
+    fn retry_seed_leaves_the_first_attempt_untouched() {
+        assert_eq!(retry_seed(42, 0), 42);
+        assert_ne!(retry_seed(42, 1), 42);
+        assert_ne!(retry_seed(42, 1), retry_seed(42, 2));
+        // Deterministic: same attempt, same seed.
+        assert_eq!(retry_seed(42, 1), retry_seed(42, 1));
+    }
+
+    #[test]
+    fn retrying_recovers_from_transient_errors_with_fresh_seeds() {
+        let mut seeds = Vec::new();
+        let (value, attempts) = retrying(7, 2, |seed| {
+            seeds.push(seed);
+            if seeds.len() < 3 {
+                Err(SbrlError::NonFiniteLoss {
+                    iteration: 5,
+                    term: sbrl_core::NonFiniteTerm::FactualLoss,
+                })
+            } else {
+                Ok(seed)
+            }
+        })
+        .unwrap();
+        assert_eq!(attempts, 2);
+        assert_eq!(seeds[0], 7, "attempt 0 must use the base seed verbatim");
+        assert_eq!(seeds.len(), 3);
+        assert!(seeds.iter().skip(1).all(|&s| s != 7), "retries must reseed");
+        assert_eq!(value, seeds[2]);
+    }
+
+    #[test]
+    fn retrying_does_not_retry_deterministic_errors() {
+        let mut calls = 0;
+        let err = retrying(7, 5, |_| -> Result<(), SbrlError> {
+            calls += 1;
+            Err(SbrlError::InvalidConfig { what: "train.lr", message: "bad".into() })
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1, "config errors fail identically; retrying is pointless");
+        assert!(matches!(err, SbrlError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn retrying_surfaces_the_last_error_when_the_budget_runs_out() {
+        let mut calls = 0;
+        let err = retrying(7, 2, |_| -> Result<(), SbrlError> {
+            calls += 1;
+            Err(SbrlError::NonFiniteLoss {
+                iteration: calls,
+                term: sbrl_core::NonFiniteTerm::Gradient,
+            })
+        })
+        .unwrap_err();
+        assert_eq!(calls, 3, "1 try + 2 retries");
+        assert!(matches!(err, SbrlError::NonFiniteLoss { iteration: 3, .. }));
+    }
+
+    #[test]
+    fn render_retries_formats_a_block_only_when_nonempty() {
+        assert_eq!(render_retries(&[]), "");
+        let notes = vec!["rep 1 method CFR recovered after 1 reseeded retries".to_string()];
+        let block = render_retries(&notes);
+        assert!(block.starts_with("\nRetried fits"));
+        assert!(block.contains("RETRIED rep 1 method CFR"));
     }
 
     #[test]

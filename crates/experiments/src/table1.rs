@@ -10,7 +10,9 @@ use sbrl_metrics::Evaluation;
 use crate::methods::MethodSpec;
 use crate::presets::{bench_variant, paper_syn_8_8_8_2, quick_variant};
 use crate::report::{fmt_mean_std, render_table, results_dir, write_tsv};
-use crate::runner::{render_failures, run_synthetic_sweep, MethodEnvResults, SyntheticExperiment};
+use crate::runner::{
+    render_failures, render_retries, run_synthetic_sweep, MethodEnvResults, SyntheticExperiment,
+};
 use crate::scale::Scale;
 
 /// Builds the experiment description for a scale.
@@ -96,6 +98,7 @@ pub fn run(scale: Scale) -> String {
         &rows_a,
     ));
     write_tsv(results_dir().join("table1_ate.tsv"), &header_a, &rows_a).ok();
+    out.push_str(&render_retries(results.iter().flat_map(|r| &r.retries)));
     out.push_str(&render_failures(results.iter().flat_map(|r| &r.failures)));
     out
 }
@@ -111,16 +114,19 @@ mod tests {
                 method: "CFR".into(),
                 per_env: vec![vec![eval(0.5)], vec![eval(0.6)]],
                 failures: Vec::new(),
+                retries: Vec::new(),
             },
             MethodEnvResults {
                 method: "CFR+SBRL".into(),
                 per_env: vec![vec![eval(0.45)], vec![eval(0.5)]],
                 failures: Vec::new(),
+                retries: Vec::new(),
             },
             MethodEnvResults {
                 method: "CFR+SBRL-HAP".into(),
                 per_env: vec![vec![eval(0.4)], vec![eval(0.45)]],
                 failures: Vec::new(),
+                retries: Vec::new(),
             },
         ]
     }

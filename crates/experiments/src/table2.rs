@@ -70,6 +70,7 @@ pub fn run(scale: Scale) -> String {
     let mut per_row: Vec<(String, Vec<f64>, Vec<f64>)> =
         AblationRow::ALL.iter().map(|r| (r.label(), Vec::new(), Vec::new())).collect();
     let mut failures: Vec<String> = Vec::new();
+    let mut retries: Vec<String> = Vec::new();
 
     for rep in 0..reps {
         let process = SyntheticProcess::new(SyntheticConfig::syn_16_16_16_2(), 2000 + rep as u64);
@@ -81,13 +82,28 @@ pub fn run(scale: Scale) -> String {
         for (k, row) in AblationRow::ALL.iter().enumerate() {
             let cfg = row.config(&preset);
             let train_cfg = scale.train_config(preset.lr, preset.l2, (rep * 31 + k) as u64);
-            let fitted = Estimator::builder()
-                .backbone(preset.backbone_config(BackboneKind::Cfr, train_data.dim()))
-                .sbrl(cfg)
-                .train(train_cfg)
-                .fit(&train_data, &val_data);
+            let fitted = crate::runner::retrying(
+                train_cfg.seed,
+                crate::runner::DEFAULT_FIT_RETRIES,
+                |seed| {
+                    Estimator::builder()
+                        .backbone(preset.backbone_config(BackboneKind::Cfr, train_data.dim()))
+                        .sbrl(cfg)
+                        .train(sbrl_core::TrainConfig { seed, ..train_cfg })
+                        .fit(&train_data, &val_data)
+                },
+            );
             let fitted = match fitted {
-                Ok(fitted) => fitted,
+                Ok((fitted, 0)) => fitted,
+                Ok((fitted, attempts)) => {
+                    let msg = format!(
+                        "rep {} row {} recovered after {attempts} reseeded retries",
+                        rep + 1,
+                        per_row[k].0
+                    );
+                    crate::runner::record_retry("table2", msg, &mut retries);
+                    fitted
+                }
                 Err(e) => {
                     let msg = format!("rep {} row {} FAILED: {e}", rep + 1, per_row[k].0);
                     crate::runner::record_failure("table2", msg, &mut failures);
@@ -111,6 +127,7 @@ pub fn run(scale: Scale) -> String {
         &rows,
     );
     write_tsv(results_dir().join("table2_ablation.tsv"), &header, &rows).ok();
+    out.push_str(&crate::runner::render_retries(&retries));
     out.push_str(&crate::runner::render_failures(&failures));
     out
 }

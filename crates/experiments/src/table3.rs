@@ -9,7 +9,7 @@ use sbrl_metrics::Evaluation;
 use crate::methods::MethodSpec;
 use crate::presets::{bench_variant, paper_ihdp, paper_twins, quick_variant};
 use crate::report::{fmt_mean_std, render_table, results_dir, write_tsv};
-use crate::runner::{fit_method, render_failures};
+use crate::runner::{fit_method_retrying, render_failures, render_retries, DEFAULT_FIT_RETRIES};
 use crate::scale::Scale;
 
 /// Per-method, per-fold evaluations across replications.
@@ -24,6 +24,8 @@ pub struct RealWorldResults {
     pub test: Vec<Evaluation>,
     /// Failed replications, skipped rather than fatal.
     pub failures: Vec<String>,
+    /// Replications that only succeeded after one or more reseeded retries.
+    pub retries: Vec<String>,
 }
 
 fn run_splits(
@@ -41,13 +43,35 @@ fn run_splits(
             val: Vec::new(),
             test: Vec::new(),
             failures: Vec::new(),
+            retries: Vec::new(),
         })
         .collect();
     for (rep, split) in splits.iter().enumerate() {
         for (mi, spec) in methods.iter().enumerate() {
             let train_cfg = scale.train_config(preset.lr, preset.l2, (rep * 131 + mi) as u64);
-            let fitted = match fit_method(*spec, preset, &split.train, &split.val, &train_cfg) {
-                Ok(fitted) => fitted,
+            let fitted = match fit_method_retrying(
+                *spec,
+                preset,
+                &split.train,
+                &split.val,
+                &train_cfg,
+                DEFAULT_FIT_RETRIES,
+            ) {
+                Ok((fitted, 0)) => fitted,
+                Ok((fitted, attempts)) => {
+                    let msg = format!(
+                        "rep {}/{} method {} recovered after {attempts} reseeded retries",
+                        rep + 1,
+                        splits.len(),
+                        spec.name()
+                    );
+                    crate::runner::record_retry(
+                        &format!("table3:{name}"),
+                        msg,
+                        &mut results[mi].retries,
+                    );
+                    fitted
+                }
                 Err(e) => {
                     let msg = format!(
                         "rep {}/{} method {} FAILED: {e}",
@@ -123,6 +147,7 @@ pub fn run_twins(scale: Scale, methods: &[MethodSpec]) -> String {
     let mut out =
         render_table(&format!("Table III (Twins) — scale {}", scale.name()), &header, &rows);
     write_tsv(results_dir().join("table3_twins.tsv"), &header, &rows).ok();
+    out.push_str(&render_retries(results.iter().flat_map(|r| &r.retries)));
     out.push_str(&render_failures(results.iter().flat_map(|r| &r.failures)));
     out
 }
@@ -142,6 +167,7 @@ pub fn run_ihdp(scale: Scale, methods: &[MethodSpec]) -> String {
     let mut out =
         render_table(&format!("Table III (IHDP) — scale {}", scale.name()), &header, &rows);
     write_tsv(results_dir().join("table3_ihdp.tsv"), &header, &rows).ok();
+    out.push_str(&render_retries(results.iter().flat_map(|r| &r.retries)));
     out.push_str(&render_failures(results.iter().flat_map(|r| &r.failures)));
     out
 }
@@ -167,6 +193,7 @@ mod tests {
             val: vec![eval],
             test: vec![eval],
             failures: Vec::new(),
+            retries: Vec::new(),
         }];
         let (header, rows) = blocks(&results);
         assert_eq!(header.len(), 7);

@@ -9,7 +9,7 @@ use sbrl_data::{IhdpConfig, IhdpSimulator};
 use crate::methods::MethodSpec;
 use crate::presets::{bench_variant, paper_ihdp, quick_variant};
 use crate::report::{render_table, results_dir, write_tsv};
-use crate::runner::fit_method;
+use crate::runner::{fit_method_retrying, DEFAULT_FIT_RETRIES};
 use crate::scale::Scale;
 
 /// One timing measurement.
@@ -22,9 +22,10 @@ pub struct Timing {
 }
 
 /// Measures a single training execution per method on one IHDP replication;
-/// failed fits are skipped and described in the second element so the
-/// report can record them.
-pub fn analyse(scale: Scale) -> (Vec<Timing>, Vec<String>) {
+/// failed fits are skipped and described in the second element, fits
+/// recovered by reseeded retries in the third, so the report can record
+/// both.
+pub fn analyse(scale: Scale) -> (Vec<Timing>, Vec<String>, Vec<String>) {
     let preset = match scale {
         Scale::Paper => paper_ihdp(),
         Scale::Quick => quick_variant(paper_ihdp()),
@@ -33,12 +34,28 @@ pub fn analyse(scale: Scale) -> (Vec<Timing>, Vec<String>) {
     let sim = IhdpSimulator::new(IhdpConfig::default(), 3);
     let split = sim.replicate(0);
     let mut failures = Vec::new();
+    let mut retries = Vec::new();
     let timings = MethodSpec::grid()
         .into_iter()
         .filter_map(|spec| {
             let train_cfg = scale.train_config(preset.lr, preset.l2, 1);
-            let fitted = match fit_method(spec, &preset, &split.train, &split.val, &train_cfg) {
-                Ok(fitted) => fitted,
+            let fitted = match fit_method_retrying(
+                spec,
+                &preset,
+                &split.train,
+                &split.val,
+                &train_cfg,
+                DEFAULT_FIT_RETRIES,
+            ) {
+                Ok((fitted, 0)) => fitted,
+                Ok((fitted, attempts)) => {
+                    let msg = format!(
+                        "method {} recovered after {attempts} reseeded retries",
+                        spec.name()
+                    );
+                    crate::runner::record_retry("table6", msg, &mut retries);
+                    fitted
+                }
                 Err(e) => {
                     let msg = format!("method {} FAILED: {e}", spec.name());
                     crate::runner::record_failure("table6", msg, &mut failures);
@@ -50,12 +67,12 @@ pub fn analyse(scale: Scale) -> (Vec<Timing>, Vec<String>) {
             Some(Timing { method: spec.name(), seconds })
         })
         .collect();
-    (timings, failures)
+    (timings, failures, retries)
 }
 
 /// Runs Table VI and renders the report, including per-backbone ratios.
 pub fn run(scale: Scale) -> String {
-    let (timings, failures) = analyse(scale);
+    let (timings, failures, retries) = analyse(scale);
     let base_of = |name: &str| {
         timings.iter().find(|t| t.method == name).map(|t| t.seconds).unwrap_or(f64::NAN)
     };
@@ -75,6 +92,7 @@ pub fn run(scale: Scale) -> String {
         &rows,
     );
     write_tsv(results_dir().join("table6_time.tsv"), &header, &rows).ok();
+    out.push_str(&crate::runner::render_retries(&retries));
     out.push_str(&crate::runner::render_failures(&failures));
     out
 }
@@ -86,7 +104,7 @@ mod tests {
     #[test]
     #[ignore = "trains nine models; run with --ignored"]
     fn bench_scale_cost_ordering() {
-        let (t, failures) = analyse(Scale::Bench);
+        let (t, failures, _retries) = analyse(Scale::Bench);
         assert_eq!(t.len(), 9);
         assert!(failures.is_empty());
         let sec = |name: &str| t.iter().find(|x| x.method == name).unwrap().seconds;

@@ -57,6 +57,12 @@ pub struct Adam {
 }
 
 impl Adam {
+    /// Default global gradient-norm clip installed by [`Adam::new`].
+    /// Recovery policies escalate clipping *down* from this value
+    /// (`sbrl-core`'s rollback path), so it is public: the starting point
+    /// of the escalation has a single source of truth.
+    pub const DEFAULT_CLIP_NORM: f64 = 10.0;
+
     /// Creates an Adam optimiser for every parameter in `store`.
     pub fn new(store: &ParamStore, lr: f64) -> Self {
         Self {
@@ -65,7 +71,7 @@ impl Adam {
             beta2: 0.999,
             eps: 1e-8,
             schedule: LrSchedule::Constant,
-            clip_norm: Some(10.0),
+            clip_norm: Some(Self::DEFAULT_CLIP_NORM),
             t: 0,
             m: vec![None; store.len()],
             v: vec![None; store.len()],

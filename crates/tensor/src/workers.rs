@@ -24,21 +24,50 @@
 //!   (including the nested-parallelism case of a kernel invoked from inside
 //!   a pool worker), the submitter simply runs all of its own chunks inline.
 //!   Deadlock is impossible by construction.
+//!
+//! Panics inside task bodies are contained per chunk either way: the
+//! kernel-facing [`run_tasks`] re-raises them on the submitting thread,
+//! while the serving-facing [`run_tasks_catching`] converts them into the
+//! typed [`TaskPanicked`] error so a poisoned request cannot take down a
+//! server loop. With the `fault-inject` cargo feature the `fault` module
+//! adds deterministic panic/stall hooks to the catching path (and only
+//! there); without the feature no hook code is compiled at all.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Hard cap on pool threads; requests beyond it share chunks among the
 /// existing workers (results are unaffected — only scheduling changes).
 const MAX_POOL_THREADS: usize = 64;
 
+/// Sentinel for "no task panicked" in [`Job::first_panic`].
+const NO_PANIC: usize = usize::MAX;
+
+/// Typed error from [`run_tasks_catching`]: at least one task body
+/// panicked. The panic was contained to its chunk — every other chunk
+/// still ran exactly once and the pool remains fully usable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskPanicked {
+    /// Lowest chunk index whose task body panicked.
+    pub task: usize,
+}
+
+impl fmt::Display for TaskPanicked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker-pool task {} panicked", self.task)
+    }
+}
+
+impl std::error::Error for TaskPanicked {}
+
 /// One published parallel call: a lifetime-erased task body plus the chunk
 /// cursor and completion state.
 struct Job {
     /// Erased `&'call (dyn Fn(usize) + Sync)`. Valid for the whole job
-    /// lifetime because the submitter blocks in [`run_tasks`] until
+    /// lifetime because the submitter blocks in [`run_parallel`] until
     /// `done == total`, and no thread touches `f` after its final chunk.
     f: *const (dyn Fn(usize) + Sync),
     /// Next unclaimed chunk index.
@@ -47,8 +76,9 @@ struct Job {
     total: usize,
     /// Chunks fully executed.
     done: AtomicUsize,
-    /// Set when any chunk panicked; the submitter re-raises.
-    panicked: AtomicBool,
+    /// Lowest chunk index that panicked ([`NO_PANIC`] when none did);
+    /// `fetch_min` keeps the report deterministic under any scheduling.
+    first_panic: AtomicUsize,
     /// Completion latch the submitter parks on.
     finished: Mutex<bool>,
     finished_cv: Condvar,
@@ -122,7 +152,7 @@ fn execute_claims(job: &Job) {
         // and this chunk has not yet been counted as done.
         let f = unsafe { &*job.f };
         if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
-            job.panicked.store(true, Ordering::Relaxed);
+            job.first_panic.fetch_min(i, Ordering::Relaxed);
         }
         if job.done.fetch_add(1, Ordering::AcqRel) + 1 == job.total {
             let mut fin = job.finished.lock().expect("job latch lock");
@@ -157,29 +187,14 @@ fn worker_loop() {
     }
 }
 
-/// Runs `f(0)`, `f(1)`, …, `f(total - 1)` exactly once each across the
-/// persistent pool plus the calling thread, blocking until every call
-/// completes. `workers <= 1` (or `total <= 1`) runs everything inline on
-/// the calling thread and never touches the pool — the
-/// [`Parallelism::Serial`](crate::kernels::Parallelism) guarantee.
-///
-/// Chunks are claimed dynamically, so thread assignment is
-/// scheduling-dependent; callers must make each `f(i)` independent (write
-/// disjoint output), which is exactly the contract of the sharding helpers
-/// in [`crate::kernels`].
-///
-/// # Panics
-/// Re-raises (as a panic on the calling thread) if any `f(i)` panicked.
-pub fn run_tasks(total: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
-    if total == 0 {
-        return;
-    }
-    if workers <= 1 || total == 1 {
-        for i in 0..total {
-            f(i);
-        }
-        return;
-    }
+/// Shared parallel engine behind [`run_tasks`] and [`run_tasks_catching`]:
+/// publishes one job, participates in the claim loop, parks on the latch,
+/// and reports the lowest panicking chunk as a typed error.
+fn run_parallel(
+    total: usize,
+    workers: usize,
+    f: &(dyn Fn(usize) + Sync),
+) -> Result<(), TaskPanicked> {
     ensure_threads(workers.saturating_sub(1));
 
     // Erase the borrow lifetime: sound because this function does not return
@@ -193,7 +208,7 @@ pub fn run_tasks(total: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
         next: AtomicUsize::new(0),
         total,
         done: AtomicUsize::new(0),
-        panicked: AtomicBool::new(false),
+        first_panic: AtomicUsize::new(NO_PANIC),
         finished: Mutex::new(false),
         finished_cv: Condvar::new(),
     });
@@ -216,8 +231,130 @@ pub fn run_tasks(total: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
             fin = job.finished_cv.wait(fin).expect("job latch lock");
         }
     }
-    if job.panicked.load(Ordering::Relaxed) {
-        panic!("a worker-pool task panicked");
+    match job.first_panic.load(Ordering::Relaxed) {
+        NO_PANIC => Ok(()),
+        task => Err(TaskPanicked { task }),
+    }
+}
+
+/// Runs `f(0)`, `f(1)`, …, `f(total - 1)` exactly once each across the
+/// persistent pool plus the calling thread, blocking until every call
+/// completes. `workers <= 1` (or `total <= 1`) runs everything inline on
+/// the calling thread and never touches the pool — the
+/// [`Parallelism::Serial`](crate::kernels::Parallelism) guarantee.
+///
+/// Chunks are claimed dynamically, so thread assignment is
+/// scheduling-dependent; callers must make each `f(i)` independent (write
+/// disjoint output), which is exactly the contract of the sharding helpers
+/// in [`crate::kernels`].
+///
+/// # Panics
+/// Re-raises (as a panic on the calling thread) if any `f(i)` panicked.
+/// Callers that need a recoverable result use [`run_tasks_catching`].
+pub fn run_tasks(total: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
+    if total == 0 {
+        return;
+    }
+    if workers <= 1 || total == 1 {
+        // Hot kernel path: no unwind machinery between the caller and `f`.
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    }
+    if let Err(e) = run_parallel(total, workers, f) {
+        panic!("a worker-pool task panicked (task {})", e.task);
+    }
+}
+
+/// Like [`run_tasks`], but converts task panics into the typed
+/// [`TaskPanicked`] error instead of re-raising them: every chunk still
+/// runs exactly once (a panic never cancels the remaining chunks), the
+/// pool remains usable, and the lowest panicking chunk index is reported
+/// deterministically. This is the serving-path entry point —
+/// `FittedModel::try_predict_batched` routes through it so one poisoned
+/// shard degrades to an error instead of unwinding through a server loop.
+///
+/// With the `fault-inject` cargo feature, each task body additionally
+/// runs the `fault` hooks (armed panics / stalls) before executing;
+/// without the feature this function compiles to the plain catching loop.
+pub fn run_tasks_catching(
+    total: usize,
+    workers: usize,
+    f: &(dyn Fn(usize) + Sync),
+) -> Result<(), TaskPanicked> {
+    if total == 0 {
+        return Ok(());
+    }
+    #[cfg(feature = "fault-inject")]
+    let hooked = move |i: usize| {
+        fault::on_task(i);
+        f(i);
+    };
+    #[cfg(feature = "fault-inject")]
+    let f: &(dyn Fn(usize) + Sync) = &hooked;
+    if workers <= 1 || total == 1 {
+        let mut first_panic = None;
+        for i in 0..total {
+            if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() && first_panic.is_none() {
+                first_panic = Some(i);
+            }
+        }
+        return match first_panic {
+            None => Ok(()),
+            Some(task) => Err(TaskPanicked { task }),
+        };
+    }
+    run_parallel(total, workers, f)
+}
+
+/// Deterministic fault hooks for the catching path (compiled only with the
+/// `fault-inject` cargo feature; production builds carry none of this).
+///
+/// Faults are armed by *chunk index*, fire **one-shot** (the first matching
+/// task disarms the fault as it fires), and are observed only by
+/// [`run_tasks_catching`] — the kernel hot path through [`run_tasks`] is
+/// never instrumented. Arming by chunk index (rather than arrival order)
+/// is what makes injection deterministic: each chunk index runs exactly
+/// once regardless of which pool thread claims it.
+#[cfg(feature = "fault-inject")]
+pub mod fault {
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    const UNARMED: usize = usize::MAX;
+    static PANIC_AT: AtomicUsize = AtomicUsize::new(UNARMED);
+    static STALL_AT: AtomicUsize = AtomicUsize::new(UNARMED);
+    static STALL_MS: AtomicU64 = AtomicU64::new(0);
+
+    /// Arms a one-shot panic in the next catching-path task with chunk
+    /// index `index`.
+    pub fn arm_panic_task(index: usize) {
+        PANIC_AT.store(index, Ordering::SeqCst);
+    }
+
+    /// Arms a one-shot stall of `millis` milliseconds in the next
+    /// catching-path task with chunk index `index`.
+    pub fn arm_stall_task(index: usize, millis: u64) {
+        STALL_MS.store(millis, Ordering::SeqCst);
+        STALL_AT.store(index, Ordering::SeqCst);
+    }
+
+    /// Disarms every armed pool fault.
+    pub fn disarm() {
+        PANIC_AT.store(UNARMED, Ordering::SeqCst);
+        STALL_AT.store(UNARMED, Ordering::SeqCst);
+    }
+
+    /// Fires any fault armed for chunk `index` (called at the top of every
+    /// catching-path task body). The compare-exchange makes each armed
+    /// fault fire exactly once even when chunks run concurrently.
+    pub(super) fn on_task(index: usize) {
+        if STALL_AT.compare_exchange(index, UNARMED, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            std::thread::sleep(std::time::Duration::from_millis(STALL_MS.load(Ordering::SeqCst)));
+        }
+        if PANIC_AT.compare_exchange(index, UNARMED, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            panic!("injected fault: pool task {index} panicked");
+        }
     }
 }
 
@@ -293,5 +430,72 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn catching_reports_the_lowest_panicking_task() {
+        for workers in [1usize, 4] {
+            let hits: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(0)).collect();
+            let err = run_tasks_catching(8, workers, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                if i == 2 || i == 5 {
+                    panic!("boom {i}");
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, TaskPanicked { task: 2 }, "workers = {workers}");
+            // A panic never cancels the remaining chunks.
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} (workers {workers})");
+            }
+        }
+    }
+
+    #[test]
+    fn catching_succeeds_and_display_names_the_task() {
+        let counter = AtomicU32::new(0);
+        run_tasks_catching(6, 3, &|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("no task panicked");
+        assert_eq!(counter.load(Ordering::Relaxed), 6);
+        assert!(TaskPanicked { task: 4 }.to_string().contains("task 4"));
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod fault_injection {
+        use super::*;
+        use std::sync::Mutex;
+
+        /// Serializes the gated tests: the fault hooks are process globals.
+        static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+        #[test]
+        fn armed_panic_fires_once_and_is_typed() {
+            let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            fault::arm_panic_task(1);
+            let err = run_tasks_catching(4, 2, &|_| {}).unwrap_err();
+            assert_eq!(err, TaskPanicked { task: 1 });
+            // One-shot: the very next call is clean without disarming.
+            run_tasks_catching(4, 2, &|_| {}).expect("fault already fired");
+        }
+
+        #[test]
+        fn armed_stall_delays_but_completes() {
+            let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            fault::arm_stall_task(0, 30);
+            let started = std::time::Instant::now();
+            run_tasks_catching(2, 1, &|_| {}).expect("a stall is not a failure");
+            assert!(started.elapsed() >= std::time::Duration::from_millis(30));
+            fault::disarm();
+        }
+
+        #[test]
+        fn disarm_clears_armed_faults() {
+            let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            fault::arm_panic_task(0);
+            fault::disarm();
+            run_tasks_catching(3, 2, &|_| {}).expect("disarmed faults must not fire");
+        }
     }
 }
