@@ -40,22 +40,37 @@ pub mod alloc_probe {
     // SAFETY: delegates every operation verbatim to `System`; the counter
     // update has no effect on allocation behaviour.
     unsafe impl GlobalAlloc for CountingAllocator {
+        /// # Safety
+        /// Same contract as [`System::alloc`], to which this delegates.
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: `layout` is forwarded unchanged; `System` upholds the
+            // `GlobalAlloc` contract.
             unsafe { System.alloc(layout) }
         }
 
+        /// # Safety
+        /// Same contract as [`System::dealloc`], to which this delegates.
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: `ptr`/`layout` come from this allocator, which only
+            // ever hands out `System` pointers.
             unsafe { System.dealloc(ptr, layout) }
         }
 
+        /// # Safety
+        /// Same contract as [`System::alloc_zeroed`], to which this delegates.
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: `layout` is forwarded unchanged to `System`.
             unsafe { System.alloc_zeroed(layout) }
         }
 
+        /// # Safety
+        /// Same contract as [`System::realloc`], to which this delegates.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: `ptr`/`layout`/`new_size` are forwarded unchanged;
+            // `ptr` originates from this allocator.
             unsafe { System.realloc(ptr, layout, new_size) }
         }
     }

@@ -120,6 +120,8 @@ mod enabled {
             if raw.trim().is_empty() {
                 return None;
             }
+            // lint: allow(panic) — documented (`# Panics`): a typo'd test
+            // fault plan must fail loudly, not silently inject nothing.
             Some(Self::parse(&raw).unwrap_or_else(|e| panic!("invalid SBRL_FAULTS: {e}")))
         }
     }

@@ -254,6 +254,8 @@ impl<B: Backbone> FittedModel<B> {
     /// contains the panic and returns it as a typed error instead.
     pub fn predict_batched(&self, x: &Matrix, workers: usize) -> EffectEstimate {
         self.try_predict_batched(x, workers)
+            // lint: allow(panic) — documented re-raise (`# Panics`); serving
+            // paths use the typed `try_predict_batched` instead.
             .unwrap_or_else(|e| panic!("predict_batched failed: {e}"))
     }
 
@@ -291,6 +293,8 @@ impl<B: Backbone> FittedModel<B> {
         let mut y0_hat = Vec::with_capacity(n);
         let mut y1_hat = Vec::with_capacity(n);
         for shard in shards {
+            // lint: allow(panic) — infallible: `run_tasks_catching` returned
+            // Ok, so every shard task ran to completion and set its slot.
             let est = shard.into_inner().expect("a completed task set its shard");
             y0_hat.extend(est.y0_hat);
             y1_hat.extend(est.y1_hat);

@@ -97,6 +97,8 @@ impl IhdpSimulator {
     /// Panics on a malformed configuration; use [`Self::try_new`] to get the
     /// typed [`DataError`] instead.
     pub fn new(config: IhdpConfig, seed: u64) -> Self {
+        // lint: allow(panic) — documented (`# Panics`); `try_new` is the
+        // typed route.
         Self::try_new(config, seed).unwrap_or_else(|e| panic!("invalid IhdpConfig: {e}"))
     }
 
@@ -237,6 +239,8 @@ impl IhdpSimulator {
     /// Panics if the replication lacks oracle outcomes (cannot happen for
     /// simulated data); use [`Self::try_replicate`] for the typed error.
     pub fn replicate(&self, rep_seed: u64) -> DataSplit {
+        // lint: allow(panic) — documented (`# Panics`); simulated data always
+        // carries the oracle, and `try_replicate` is the typed route.
         self.try_replicate(rep_seed).expect("simulator carries oracle outcomes")
     }
 
@@ -331,6 +335,8 @@ impl IhdpSimulator {
     /// Panics if `full` lacks oracle outcomes; use [`Self::try_partition`]
     /// for the typed error.
     pub fn partition(&self, full: &CausalDataset, rep_seed: u64) -> DataSplit {
+        // lint: allow(panic) — documented (`# Panics`); `try_partition` is the
+        // typed route.
         self.try_partition(full, rep_seed).expect("simulator carries oracle outcomes")
     }
 

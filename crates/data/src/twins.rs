@@ -74,6 +74,8 @@ impl TwinsSimulator {
     /// On a structurally invalid [`TwinsConfig`]; sweeps that must degrade
     /// gracefully use [`TwinsSimulator::try_new`].
     pub fn new(config: TwinsConfig, seed: u64) -> Self {
+        // lint: allow(panic) — documented (`# Panics`); `try_new` is the
+        // typed route.
         Self::try_new(config, seed).unwrap_or_else(|e| panic!("invalid TwinsConfig: {e}"))
     }
 
@@ -244,6 +246,8 @@ impl TwinsSimulator {
     /// kept infallible for the many test/bench call sites. Fallible callers
     /// use [`TwinsSimulator::try_partition`].
     pub fn partition(&self, round: u64) -> DataSplit {
+        // lint: allow(panic) — documented (`# Panics`): infallible for any
+        // simulator-built table; `try_partition` is the typed route.
         self.try_partition(round).expect("simulator carries oracle outcomes")
     }
 

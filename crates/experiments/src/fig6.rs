@@ -94,7 +94,10 @@ pub fn analyse(scale: Scale) -> (Vec<SweepPoint>, Vec<String>, Vec<String>) {
                     return None;
                 }
             };
+            // lint: allow(panic) — simulator splits always carry the oracle;
+            // a miss is a generator bug that must stop the sweep loudly.
             let id = fitted.evaluate(&test_id).expect("oracle");
+            // lint: allow(panic) — as above.
             let ood = fitted.evaluate(&test_ood).expect("oracle");
             eprintln!(
                 "[fig6] gamma{idx} = {value}: PEHE_id {:.3}, F1_ood {:.3}",

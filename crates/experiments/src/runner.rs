@@ -211,6 +211,8 @@ pub fn run_synthetic_sweep(
                 }
             };
             for (env_idx, test) in test_envs.iter().enumerate() {
+                // lint: allow(panic) — synthetic environments always carry the
+                // oracle; a miss is a generator bug, not a recoverable state.
                 let eval = fitted.evaluate(test).expect("synthetic data carries the oracle");
                 results[mi].per_env[env_idx].push(eval);
             }

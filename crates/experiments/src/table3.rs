@@ -87,8 +87,11 @@ fn run_splits(
                     continue;
                 }
             };
+            // lint: allow(panic) — simulator splits always carry the oracle.
             results[mi].train.push(fitted.evaluate(&split.train).expect("oracle"));
+            // lint: allow(panic) — as above.
             results[mi].val.push(fitted.evaluate(&split.val).expect("oracle"));
+            // lint: allow(panic) — as above.
             results[mi].test.push(fitted.evaluate(&split.test).expect("oracle"));
             eprintln!(
                 "[table3:{name}] rep {}/{} method {} done",

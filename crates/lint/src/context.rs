@@ -1,0 +1,215 @@
+//! Per-file context the rules need: which crate a file belongs to, whether
+//! it is library or binary code, and which line ranges are test-only.
+//!
+//! Region detection is lexical but brace-accurate: `#[cfg(test)] mod … { … }`
+//! blocks and `#[test]` functions are found on the *code* stream (comments
+//! and string contents already stripped by the lexer), then delimited by
+//! brace matching, so a stray `}` inside a string can never truncate a test
+//! region.
+
+use crate::lexer::{has_token, LexedFile};
+
+/// How a file participates in the build, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Ordinary library source under `src/`.
+    Library,
+    /// An executable entry point (`src/bin/*` or `src/main.rs`): panics are
+    /// an acceptable top-level error strategy there.
+    Binary,
+}
+
+/// Context for one lexed file.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path, `/`-separated (used in diagnostics).
+    pub path: String,
+    /// Crate the file belongs to (`tensor`, `core`, …; the root meta-crate
+    /// is `sbrl-hap`).
+    pub crate_name: String,
+    /// Library vs binary classification.
+    pub kind: FileKind,
+    /// 1-based `(start, end)` line ranges that are test-only code.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+/// Crates whose numeric results feed the paper's reproduction claims; the
+/// determinism rules apply to these.
+pub const NUMERIC_CRATES: &[&str] = &["tensor", "stats", "nn", "models", "core"];
+
+impl FileContext {
+    /// Builds a context from a workspace-relative path and its lexed source.
+    pub fn new(rel_path: &str, lexed: &LexedFile) -> FileContext {
+        let path = rel_path.replace('\\', "/");
+        let crate_name = match path.strip_prefix("crates/") {
+            Some(rest) => rest.split('/').next().unwrap_or("").to_string(),
+            None => "sbrl-hap".to_string(),
+        };
+        let kind = if path.contains("/bin/") || path.ends_with("/main.rs") {
+            FileKind::Binary
+        } else {
+            FileKind::Library
+        };
+        let test_regions = find_test_regions(lexed);
+        FileContext { path, crate_name, kind, test_regions }
+    }
+
+    /// True when the determinism rules apply to this file's crate.
+    pub fn is_numeric_crate(&self) -> bool {
+        NUMERIC_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    /// File basename (`workers.rs`), for rules scoped to specific files.
+    pub fn file_name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+
+    /// True when 1-based `line` falls inside a test-only region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_regions.iter().any(|&(start, end)| line >= start && line <= end)
+    }
+}
+
+/// Finds `#[cfg(test)]`-gated items and `#[test]` functions, returning their
+/// 1-based inclusive line ranges.
+fn find_test_regions(lexed: &LexedFile) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 1usize;
+    while i <= lexed.len() {
+        let code = lexed.line(i).code;
+        let is_test_attr = code.contains("#[cfg(test)]")
+            || code.contains("#[cfg(all(test")
+            || has_token(&code, "#[test]");
+        if is_test_attr {
+            if let Some(end) = item_end(lexed, i) {
+                regions.push((i, end));
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Given the line of an attribute, finds the last line of the item it
+/// decorates by matching braces from the item's opening `{`. Items that end
+/// without a body (`#[cfg(test)] use …;`) span to their terminating `;`.
+fn item_end(lexed: &LexedFile, attr_line: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    let mut seen_open = false;
+    for line_no in attr_line..=lexed.len() {
+        let code = lexed.line(line_no).code;
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    seen_open = true;
+                }
+                '}' => depth -= 1,
+                ';' if !seen_open && line_no > attr_line => return Some(line_no),
+                ';' if !seen_open && !code.contains('{') && code.contains(';') => {
+                    return Some(line_no)
+                }
+                _ => {}
+            }
+        }
+        if seen_open && depth == 0 {
+            return Some(line_no);
+        }
+    }
+    None
+}
+
+/// Finds the end line of the `fn` whose signature begins at or after
+/// `from_line` (skipping attribute/doc lines), returning the 1-based range
+/// `(signature_line, body_end_line)`. Returns `None` when no `fn` follows
+/// within `max_skip` non-fn lines — callers treat that as a malformed
+/// annotation.
+pub fn fn_span(lexed: &LexedFile, from_line: usize, max_skip: usize) -> Option<(usize, usize)> {
+    let mut sig = None;
+    for line_no in from_line..=lexed.len().min(from_line + max_skip) {
+        let code = lexed.line(line_no).code;
+        if has_token(&code, "fn") {
+            sig = Some(line_no);
+            break;
+        }
+        // Attributes, doc comments, and blank lines may sit between the
+        // annotation and the signature; real code may not.
+        let trimmed = code.trim().to_string();
+        if !trimmed.is_empty() && !trimmed.starts_with("#[") && !trimmed.starts_with(']') {
+            return None;
+        }
+    }
+    let sig = sig?;
+    let end = item_end(lexed, sig)?;
+    Some((sig, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_module_becomes_a_region() {
+        let src = "fn lib_code() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(true); }\n}\n";
+        let lexed = lex(src);
+        let ctx = FileContext::new("crates/core/src/x.rs", &lexed);
+        assert!(!ctx.is_test_line(1));
+        assert!(ctx.is_test_line(3));
+        assert!(ctx.is_test_line(6));
+        assert!(ctx.is_test_line(7));
+    }
+
+    #[test]
+    fn test_fn_outside_module_becomes_a_region() {
+        let src = "fn lib() {}\n#[test]\nfn standalone() {\n    lib();\n}\nfn more_lib() {}\n";
+        let lexed = lex(src);
+        let ctx = FileContext::new("crates/core/src/x.rs", &lexed);
+        assert!(ctx.is_test_line(2));
+        assert!(ctx.is_test_line(4));
+        assert!(!ctx.is_test_line(6));
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_truncate_regions() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let s = \"}\"; check(s); }\n    fn u() {}\n}\nfn lib() {}\n";
+        let lexed = lex(src);
+        let ctx = FileContext::new("crates/core/src/x.rs", &lexed);
+        assert!(ctx.is_test_line(4));
+        assert!(!ctx.is_test_line(6));
+    }
+
+    #[test]
+    fn crate_and_kind_classification() {
+        let lexed = lex("fn main() {}\n");
+        let ctx = FileContext::new("crates/experiments/src/bin/table1.rs", &lexed);
+        assert_eq!(ctx.crate_name, "experiments");
+        assert_eq!(ctx.kind, FileKind::Binary);
+        assert!(!ctx.is_numeric_crate());
+
+        let ctx = FileContext::new("crates/tensor/src/kernels.rs", &lexed);
+        assert_eq!(ctx.kind, FileKind::Library);
+        assert!(ctx.is_numeric_crate());
+        assert_eq!(ctx.file_name(), "kernels.rs");
+
+        let ctx = FileContext::new("src/lib.rs", &lexed);
+        assert_eq!(ctx.crate_name, "sbrl-hap");
+        assert!(!ctx.is_numeric_crate());
+    }
+
+    #[test]
+    fn fn_span_skips_attributes_and_matches_body() {
+        let src = "#[inline]\n#[target_feature(enable = \"avx2\")]\nunsafe fn f(x: &mut [f64]) {\n    body();\n}\nfn g() {}\n";
+        let lexed = lex(src);
+        assert_eq!(fn_span(&lexed, 1, 8), Some((3, 5)));
+    }
+
+    #[test]
+    fn fn_span_rejects_intervening_code() {
+        let src = "let x = 1;\nfn f() {}\n";
+        let lexed = lex(src);
+        assert_eq!(fn_span(&lexed, 1, 8), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Workspace walking: discovers every Rust source the rules apply to and
+//! runs [`crate::rules::check_file`] over each.
+//!
+//! The walk covers `src/` (the root meta-crate) and every `crates/*/src`
+//! tree — exactly the code whose contracts the rules enforce. `vendor/`
+//! (offline API shims for upstream crates), `target/`, crate `tests/`,
+//! `benches/`, and `examples/` directories are *not* walked: integration
+//! tests and benches may unwrap freely, and the vendor shims mirror
+//! upstream APIs we do not own. (Test modules *inside* `src` files are
+//! excluded per-rule via [`crate::context::FileContext::is_test_line`].)
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::context::FileContext;
+use crate::lexer;
+use crate::rules::{self, Diagnostic};
+
+/// Lints one source string as if it lived at `rel_path` inside the
+/// workspace. This is the engine's core and the fixture tests' entry point.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(source);
+    let ctx = FileContext::new(rel_path, &lexed);
+    rules::check_file(&ctx, &lexed)
+}
+
+/// Result of a workspace lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned, workspace-relative, in walk order.
+    pub files: Vec<String>,
+    /// All findings, ordered by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when the run found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Walks the workspace rooted at `root` and lints every in-scope file.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_rs_files(&dir.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let source = fs::read_to_string(&path)?;
+        report.diagnostics.extend(lint_source(&rel, &source));
+        report.files.push(rel);
+    }
+    report.diagnostics.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted for deterministic
+/// diagnostics ordering). A missing directory is not an error: crate layouts
+/// without a `src/` subdir simply contribute nothing.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.collect::<Result<Vec<_>, _>>()?.into_iter().map(|e| e.path()).collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_rs_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root by walking up from `start` until a `Cargo.toml`
+/// declaring `[workspace]` appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,471 @@
+//! A minimal Rust lexer that separates *code* from *comments* and blanks out
+//! string/char literal contents.
+//!
+//! The rule engine ([`crate::rules`]) is purely lexical: it looks for tokens
+//! like `unsafe`, `HashMap`, or `.unwrap()` in source text. Doing that on raw
+//! source would misfire on the word `unsafe` inside a doc comment or a raw
+//! string, so every file is first lexed into per-line `(code, comment)` pairs
+//! where
+//!
+//! - line (`//`) and block (`/* … */`) comments — including **nested** block
+//!   comments — are routed to the line's `comment` field,
+//! - string literals (`"…"`), raw strings (`r"…"`, `r#"…"#`, any hash
+//!   depth), byte strings (`b"…"`, `br#"…"#`), and char literals (`'x'`,
+//!   `'\n'`) keep their delimiters in `code` but have their **contents
+//!   blanked**, so a string containing `unsafe` or `*/` cannot confuse a
+//!   rule (or the lexer itself),
+//! - lifetimes (`'a`, `'static`) are left in `code` untouched (they are not
+//!   char literals), and raw identifiers (`r#fn`) are left in `code` (they
+//!   are not raw strings).
+//!
+//! The lexer is infallible by design: any input produces *some* lexing, and
+//! unterminated constructs simply run to end-of-file. Rules only ever see
+//! well-formed repository sources, which the self-check test keeps honest.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Line {
+    /// Code text with comments removed and literal contents blanked.
+    /// Column positions are **not** preserved (blanking shortens the text);
+    /// rules report line numbers only.
+    pub code: String,
+    /// Concatenated comment text of the line (without `//`, `/*`, `*/`
+    /// markers), or empty when the line has no comment.
+    pub comment: String,
+}
+
+impl Line {
+    /// True when the line carries code tokens (not just whitespace).
+    pub fn has_code(&self) -> bool {
+        !self.code.trim().is_empty()
+    }
+
+    /// True when the line carries a comment.
+    pub fn has_comment(&self) -> bool {
+        !self.comment.trim().is_empty()
+    }
+}
+
+/// A lexed source file: one [`Line`] per physical source line.
+#[derive(Debug, Clone, Default)]
+pub struct LexedFile {
+    /// Per-line code/comment split, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+impl LexedFile {
+    /// 1-based accessor used by the rules; out-of-range lines read as empty.
+    pub fn line(&self, number: usize) -> Line {
+        if number == 0 {
+            return Line::default();
+        }
+        self.lines.get(number - 1).cloned().unwrap_or_default()
+    }
+
+    /// Number of physical lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True for an empty file.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+/// Lexes `source` into per-line code/comment pairs. Infallible; see the
+/// module docs for the exact blanking semantics.
+pub fn lex(source: &str) -> LexedFile {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    source: &'a str,
+    lines: Vec<Line>,
+    line: Line,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            source,
+            lines: Vec::new(),
+            line: Line::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            let finished = std::mem::take(&mut self.line);
+            self.lines.push(finished);
+        }
+        Some(c)
+    }
+
+    fn push_code(&mut self, c: char) {
+        if c != '\n' {
+            self.line.code.push(c);
+        }
+    }
+
+    fn push_comment(&mut self, c: char) {
+        if c != '\n' {
+            self.line.comment.push(c);
+        }
+    }
+
+    /// True when the character *before* `self.pos` continues an identifier,
+    /// i.e. a following `r`/`b` cannot start a raw/byte string literal and a
+    /// following `'` is more likely a lifetime position. Looks at the code
+    /// emitted so far on this line, which excludes comment text.
+    fn prev_is_ident(&self) -> bool {
+        self.line.code.chars().last().is_some_and(|c| c.is_alphanumeric() || c == '_')
+    }
+
+    fn run(mut self) -> LexedFile {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                'r' | 'b' if !self.prev_is_ident() => {
+                    if !self.raw_or_byte_literal() {
+                        self.push_code(c);
+                        self.bump();
+                    }
+                }
+                _ => {
+                    self.push_code(c);
+                    self.bump();
+                }
+            }
+        }
+        if self.line.has_code() || self.line.has_comment() || !self.source.ends_with('\n') {
+            let last = std::mem::take(&mut self.line);
+            if !self.source.is_empty() {
+                self.lines.push(last);
+            }
+        }
+        LexedFile { lines: self.lines }
+    }
+
+    /// `// …` to end of line. The `//` marker is dropped; the text after it
+    /// (doc-comment `/`/`!` sigils included) goes to `comment`.
+    fn line_comment(&mut self) {
+        self.bump();
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.push_comment(c);
+            self.bump();
+        }
+    }
+
+    /// `/* … */` with nesting; spans lines, each line receiving its share of
+    /// the comment text.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.push_comment('/');
+                    self.push_comment('*');
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    self.push_comment(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// `"…"` with escape handling; contents blanked, delimiters kept.
+    fn string_literal(&mut self) {
+        self.push_code('"');
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '"' => {
+                    self.push_code('"');
+                    self.bump();
+                    return;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Distinguishes `'x'` / `'\n'` char literals (blanked) from lifetimes
+    /// (`'a`, `'static`), which stay in the code stream.
+    fn char_or_lifetime(&mut self) {
+        let is_char_literal = match self.peek(1) {
+            Some('\\') => true,
+            Some(_) => self.peek(2) == Some('\''),
+            None => false,
+        };
+        if !is_char_literal {
+            self.push_code('\'');
+            self.bump();
+            return;
+        }
+        self.push_code('\'');
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                '\'' => {
+                    self.push_code('\'');
+                    self.bump();
+                    return;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#` (any hash depth), `b"…"`, `br#"…"#`, and
+    /// `b'…'`. Returns false when the lookahead is **not** a literal (e.g.
+    /// the raw identifier `r#fn`, or a plain identifier starting with `r`),
+    /// in which case the caller emits the character as ordinary code.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let mut ahead = 1usize;
+        let first = self.peek(0).unwrap_or('r');
+        let mut raw = first == 'r';
+        if first == 'b' {
+            match self.peek(1) {
+                Some('r') => {
+                    raw = true;
+                    ahead = 2;
+                }
+                Some('"') => {
+                    // b"…": plain byte string.
+                    self.push_code('b');
+                    self.bump();
+                    self.string_literal();
+                    return true;
+                }
+                Some('\'') => {
+                    // b'…': byte char literal.
+                    self.push_code('b');
+                    self.bump();
+                    self.char_or_lifetime();
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        if !raw {
+            return false;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead) == Some('#') {
+            hashes += 1;
+            ahead += 1;
+        }
+        if self.peek(ahead) != Some('"') {
+            // `r#fn`-style raw identifier or a plain ident: not a literal.
+            return false;
+        }
+        // Consume prefix + opening quote, keeping delimiters in the code.
+        for _ in 0..ahead + 1 {
+            let c = self.peek(0).unwrap_or('"');
+            self.push_code(c);
+            self.bump();
+        }
+        // Raw string body: no escapes; ends at `"` followed by `hashes` #s.
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                let mut matched = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some('#') {
+                        matched = false;
+                        break;
+                    }
+                }
+                if matched {
+                    for _ in 0..hashes + 1 {
+                        let d = self.peek(0).unwrap_or('#');
+                        self.push_code(d);
+                        self.bump();
+                    }
+                    return true;
+                }
+            }
+            self.bump();
+        }
+        true
+    }
+}
+
+/// True when `haystack` contains `needle` as a whole token: the characters
+/// on either side of the match must not be identifier characters. Non-ident
+/// needles (e.g. `.unwrap()`) reduce to a plain substring search on their
+/// ident-boundary ends.
+pub fn has_token(haystack: &str, needle: &str) -> bool {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let needle_starts_ident = needle.chars().next().is_some_and(ident);
+    let needle_ends_ident = needle.chars().last().is_some_and(ident);
+    let mut start = 0;
+    while let Some(found) = haystack[start..].find(needle) {
+        let at = start + found;
+        let before_ok =
+            !needle_starts_ident || at == 0 || !haystack[..at].chars().last().is_some_and(ident);
+        let end = at + needle.len();
+        let after_ok = !needle_ends_ident || !haystack[end..].chars().next().is_some_and(ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_code_and_line_comment() {
+        let lexed = lex("let x = 1; // trailing note\n");
+        assert_eq!(lexed.lines[0].code, "let x = 1; ");
+        assert_eq!(lexed.lines[0].comment, " trailing note");
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let lexed = lex("/// calls unsafe code\nfn f() {}\n");
+        assert!(!lexed.lines[0].has_code());
+        assert!(lexed.lines[0].comment.contains("unsafe"));
+        assert!(lexed.lines[1].code.contains("fn f"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let lexed = lex("a /* outer /* inner */ still comment */ b\n");
+        assert_eq!(lexed.lines[0].code, "a  b");
+        assert!(lexed.lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let lexed = lex("x /* one\ntwo\nthree */ y\n");
+        assert_eq!(lexed.lines[0].code, "x ");
+        assert!(!lexed.lines[1].has_code());
+        assert_eq!(lexed.lines[1].comment, "two");
+        assert_eq!(lexed.lines[2].code, " y");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lexed = lex("let s = \"unsafe // not a comment\";\n");
+        assert_eq!(lexed.lines[0].code, "let s = \"\";");
+        assert!(!lexed.lines[0].has_comment());
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let lexed = lex("let s = \"a\\\"unsafe\"; let t = 1;\n");
+        assert_eq!(lexed.lines[0].code, "let s = \"\"; let t = 1;");
+    }
+
+    #[test]
+    fn raw_string_with_hashes_hides_unsafe_and_quotes() {
+        let lexed = lex("let s = r#\"unsafe { \"nested\" } */\"#; call();\n");
+        assert_eq!(lexed.lines[0].code, "let s = r#\"\"#; call();");
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_string() {
+        let lexed = lex("let r#fn = 3; use_it(r#fn);\n");
+        assert_eq!(lexed.lines[0].code, "let r#fn = 3; use_it(r#fn);");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_blanked() {
+        let lexed = lex("let a = b\"unsafe\"; let b2 = br#\"panic!\"#;\n");
+        assert_eq!(lexed.lines[0].code, "let a = b\"\"; let b2 = br#\"\"#;");
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { '\\'' }\n");
+        assert_eq!(lexed.lines[0].code, "fn f<'a>(x: &'a str) -> char { '' }");
+        let lexed = lex("let c = 'u'; let l: &'static str = \"\";\n");
+        assert_eq!(lexed.lines[0].code, "let c = ''; let l: &'static str = \"\";");
+    }
+
+    #[test]
+    fn identifier_ending_in_r_does_not_start_raw_string() {
+        let lexed = lex("let var = 1; for r in 0..var {}\n");
+        assert_eq!(lexed.lines[0].code, "let var = 1; for r in 0..var {}");
+    }
+
+    #[test]
+    fn multiline_string_blanks_every_line() {
+        let lexed = lex("let s = \"line one\nunsafe line two\";\nlet t = 1;\n");
+        assert_eq!(lexed.lines[0].code, "let s = \"");
+        assert_eq!(lexed.lines[1].code, "\";");
+        assert_eq!(lexed.lines[2].code, "let t = 1;");
+    }
+
+    #[test]
+    fn unterminated_block_comment_runs_to_eof() {
+        let lexed = lex("code(); /* never closed\nstill comment\n");
+        assert_eq!(lexed.lines[0].code, "code(); ");
+        assert_eq!(lexed.lines[1].comment, "still comment");
+    }
+
+    #[test]
+    fn file_without_trailing_newline_keeps_last_line() {
+        let lexed = lex("let x = 1;");
+        assert_eq!(lexed.len(), 1);
+        assert_eq!(lexed.lines[0].code, "let x = 1;");
+    }
+
+    #[test]
+    fn token_matching_respects_identifier_boundaries() {
+        assert!(has_token("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_token("type MyHashMapLike = ();", "HashMap"));
+        assert!(has_token("x.unwrap()", ".unwrap()"));
+        assert!(!has_token("x.unwrap_or(0)", ".unwrap()"));
+        assert!(has_token("res.expect(\"msg\")", ".expect("));
+        assert!(!has_token("res.expect_err(\"msg\")", ".expect("));
+        assert!(has_token("panic!(\"boom\")", "panic!"));
+        assert!(!has_token("std::panic::catch_unwind", "panic!"));
+    }
+}

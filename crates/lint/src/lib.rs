@@ -1,0 +1,41 @@
+//! `sbrl-lint` — workspace-local static analysis for the SBRL-HAP
+//! reproduction.
+//!
+//! The paper's claims only reproduce under contracts the compiler cannot
+//! see: bit-exact `(code, seed, mode)` reproducibility, zero-allocation /
+//! zero-spawn steady-state training steps, and panic-free library code that
+//! a serving stack can trust. The runtime probes (counting allocator,
+//! spawn probe, golden regressions) catch violations *after* they ship;
+//! this crate catches them at review time, statically, with zero
+//! dependencies and a sub-second run.
+//!
+//! Four rule families (see [`rules`] for the catalog):
+//!
+//! 1. **determinism** — no hash-ordered collections in numeric crates, no
+//!    thread spawns outside the worker pool, no FMA contraction outside the
+//!    gated kernel clones, no wall-clock reads in kernel code;
+//! 2. **unsafe hygiene** — every `unsafe` token carries an adjacent
+//!    `// SAFETY:` comment (independently enforced by
+//!    `clippy::undocumented_unsafe_blocks` via `[workspace.lints]`);
+//! 3. **panic-freedom** — no `unwrap`/`expect`/`panic!`-family calls in
+//!    library code without a reasoned `// lint: allow(panic)` annotation;
+//! 4. **static no-alloc** — `// lint: no_alloc`-annotated functions (the
+//!    ones the pooled training step reaches) must not contain allocating
+//!    constructs, complementing the runtime alloc probe.
+//!
+//! The analysis is lexical, not semantic: a hand-rolled lexer ([`lexer`])
+//! strips comments and blanks string/char literals so rules match real code
+//! tokens only, and [`context`] scopes rules by crate, binary-vs-library
+//! role, and `#[cfg(test)]` regions. See `docs/STATIC_ANALYSIS.md` for the
+//! rule catalog and the allow-annotation grammar.
+
+#![warn(missing_docs)]
+
+pub mod annotations;
+pub mod context;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{find_workspace_root, lint_source, lint_workspace, Report};
+pub use rules::Diagnostic;

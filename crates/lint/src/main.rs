@@ -1,0 +1,94 @@
+//! CLI for `sbrl-lint`: walks the workspace, prints `file:line: [rule]`
+//! diagnostics, and exits non-zero on any finding.
+//!
+//! ```text
+//! cargo run --release -p sbrl-lint            # lint the enclosing workspace
+//! cargo run --release -p sbrl-lint -- --root /path/to/ws
+//! cargo run --release -p sbrl-lint -- --quiet # suppress the clean summary
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sbrl_lint::{find_workspace_root, lint_workspace};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("sbrl-lint: --root needs a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "sbrl-lint: determinism/safety static analysis for this workspace\n\
+                     \n\
+                     USAGE: sbrl-lint [--root <workspace>] [--quiet]\n\
+                     \n\
+                     Exits 0 when clean, 1 on any diagnostic, 2 on usage/IO errors.\n\
+                     Rule catalog and annotation grammar: docs/STATIC_ANALYSIS.md"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sbrl-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("sbrl-lint: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "sbrl-lint: no workspace Cargo.toml found above {} (use --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sbrl-lint: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.is_clean() {
+        if !quiet {
+            println!("sbrl-lint: {} files clean", report.files.len());
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "sbrl-lint: {} violation(s) across {} files",
+            report.diagnostics.len(),
+            report.files.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,66 @@
+//! The linter must run clean on the workspace that ships it: every `unsafe`
+//! site documented, every library panic converted or justified, every
+//! determinism contract honoured. This is the same walk `cargo run -p
+//! sbrl-lint` (and the CI `lint-static` job) performs.
+
+use std::path::Path;
+
+use sbrl_lint::{find_workspace_root, lint_workspace};
+
+fn workspace_root() -> std::path::PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    find_workspace_root(manifest).expect("the lint crate lives inside the workspace")
+}
+
+#[test]
+fn workspace_has_zero_violations() {
+    let report = lint_workspace(&workspace_root()).expect("workspace sources are readable");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        report.is_clean(),
+        "sbrl-lint found {} violation(s):\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn walk_covers_every_crate_and_the_root_src() {
+    let report = lint_workspace(&workspace_root()).expect("workspace sources are readable");
+    // The root meta-crate plus each member crate must contribute files: a
+    // walk that silently drops a crate would let its contracts rot.
+    for prefix in [
+        "src/",
+        "crates/bench/src/",
+        "crates/core/src/",
+        "crates/data/src/",
+        "crates/experiments/src/",
+        "crates/lint/src/",
+        "crates/metrics/src/",
+        "crates/models/src/",
+        "crates/nn/src/",
+        "crates/stats/src/",
+        "crates/tensor/src/",
+    ] {
+        assert!(
+            report.files.iter().any(|f| f.starts_with(prefix)),
+            "no files walked under {prefix}"
+        );
+    }
+    // vendor/ shims and target/ are out of scope by design.
+    assert!(!report.files.iter().any(|f| f.starts_with("vendor/") || f.starts_with("target/")));
+}
+
+#[test]
+fn workspace_carries_real_no_alloc_coverage() {
+    // The static no-alloc rule only has teeth while hot-path functions stay
+    // annotated; this keeps the annotation set from being deleted wholesale
+    // without anyone noticing.
+    let root = workspace_root();
+    let mut annotated = 0usize;
+    for file in ["crates/tensor/src/kernels.rs", "crates/tensor/src/matrix.rs"] {
+        let src = std::fs::read_to_string(root.join(file)).expect("kernel sources exist");
+        annotated += src.matches("lint: no_alloc").count();
+    }
+    assert!(annotated >= 8, "expected >= 8 no_alloc annotations in the kernel layer");
+}

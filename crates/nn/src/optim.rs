@@ -97,6 +97,7 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
+    // lint: no_alloc
     fn step(&mut self, store: &mut ParamStore, g: &Graph, binding: &Binding) {
         self.t += 1;
         let lr_t = self.lr * self.schedule.factor(self.t);
@@ -120,7 +121,10 @@ impl Optimizer for Adam {
 
         for (h, id) in binding.bound() {
             let Some(grad) = g.grad(id) else { continue };
+            // lint: allow(alloc) — warm-up only: moment buffers are created on
+            // the first step per parameter and reused for the fit's lifetime.
             let m = self.m[h.0].get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+            // lint: allow(alloc) — warm-up only, as above.
             let v = self.v[h.0].get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
             let param = store.get_mut(h);
             // The gradient is read in place (no clone); clip scaling is

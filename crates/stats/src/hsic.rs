@@ -348,6 +348,7 @@ pub fn hsic_biased_with(
 /// Fast-mode row contribution `Σ_j (ka[j] - r_i - r[j] + m) · kb[j]` of the
 /// implicitly-centred HSIC trace, with four independent accumulators.
 #[inline]
+// lint: no_alloc
 fn centred_row_trace_fast(
     ka: &[f64],
     kb: &[f64],

@@ -108,7 +108,7 @@ pub fn median_bandwidth(x: &Matrix) -> f64 {
             offdiag.push(d[(i, j)]);
         }
     }
-    offdiag.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+    offdiag.sort_by(f64::total_cmp);
     let median = offdiag[offdiag.len() / 2];
     if median <= 0.0 {
         1.0

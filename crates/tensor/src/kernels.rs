@@ -265,6 +265,8 @@ struct SendPtr<T>(*mut T);
 // write non-overlapping regions while the submitter keeps the underlying
 // buffer mutably borrowed until every task completes.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: as for `Send` — tasks only dereference into disjoint regions, so
+// shared references to the wrapper are harmless across threads.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -390,6 +392,7 @@ fn madd<const FMA: bool>(acc: f64, a: f64, b: f64) -> f64 {
 /// One `out_row[j] += aik * b_row[j]` pass (skipped entirely by the callers
 /// when `aik == 0.0`, preserving the historical exact-zero semantics).
 #[inline(always)]
+// lint: no_alloc
 fn axpy<const FMA: bool>(out_row: &mut [f64], aik: f64, b_row: &[f64]) {
     for (o, &bv) in out_row.iter_mut().zip(b_row) {
         *o = madd::<FMA>(*o, aik, bv);
@@ -464,6 +467,7 @@ fn axpy4x2<const FMA: bool>(
 /// `jb..j_hi` (ascending `k`, unrolled by four, exact-zero skip preserved).
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
+// lint: no_alloc
 fn accum_row<const FMA: bool>(
     out_row: &mut [f64],
     a_at: impl Fn(usize) -> f64,
@@ -508,6 +512,7 @@ fn accum_row<const FMA: bool>(
 /// the fused pass inapplicable.
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
+// lint: no_alloc
 fn accum_row_pair<const FMA: bool>(
     row0: &mut [f64],
     row1: &mut [f64],
@@ -576,6 +581,7 @@ fn accum_row_pair<const FMA: bool>(
 /// four when the participating `a` entries are all non-zero, which changes
 /// memory traffic but not a single floating-point operation.
 #[inline(always)]
+// lint: no_alloc
 fn gemm_nn_rows_impl<const FMA: bool>(
     a: &[f64],
     b: &[f64],
@@ -718,6 +724,10 @@ fn gemm_tn_rows_impl<const FMA: bool>(
 
 /// AVX2-compiled clone of [`gemm_nn_rows_impl`] (same scalar ops, wider
 /// auto-vectorisation; see [`avx2_available`]).
+///
+/// # Safety
+/// Caller must verify AVX2 support first (see [`avx2_available`]); the body
+/// itself is ordinary safe Rust recompiled with wider vector types.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn gemm_nn_rows_avx2(
@@ -734,6 +744,10 @@ unsafe fn gemm_nn_rows_avx2(
 
 /// AVX2+FMA-compiled clone of [`gemm_nn_rows_impl`] with contracted
 /// multiply-adds — the [`NumericsMode::Fast`] kernel (see [`fma_available`]).
+///
+/// # Safety
+/// Caller must verify AVX2 **and** FMA3 support first (see
+/// [`fma_available`]); the body itself is ordinary safe Rust.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn gemm_nn_rows_fma(
@@ -761,12 +775,12 @@ fn gemm_nn_rows(
 ) {
     #[cfg(target_arch = "x86_64")]
     {
-        // SAFETY: the required CPU features are verified at runtime; the
-        // function bodies are ordinary safe Rust.
         if fast && fma_available() {
+            // SAFETY: AVX2+FMA presence just verified by `fma_available`.
             return unsafe { gemm_nn_rows_fma(a, b, out, r0, r1, k_dim, n) };
         }
         if avx2_available() {
+            // SAFETY: AVX2 presence just verified by `avx2_available`.
             return unsafe { gemm_nn_rows_avx2(a, b, out, r0, r1, k_dim, n) };
         }
     }
@@ -777,6 +791,10 @@ fn gemm_nn_rows(
 }
 
 /// AVX2-compiled clone of [`gemm_nt_rows_impl`].
+///
+/// # Safety
+/// Caller must verify AVX2 support first (see [`avx2_available`]); the body
+/// itself is ordinary safe Rust recompiled with wider vector types.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn gemm_nt_rows_avx2(
@@ -792,6 +810,10 @@ unsafe fn gemm_nt_rows_avx2(
 }
 
 /// AVX2+FMA-compiled clone of [`gemm_nt_rows_impl`].
+///
+/// # Safety
+/// Caller must verify AVX2 **and** FMA3 support first (see
+/// [`fma_available`]); the body itself is ordinary safe Rust.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn gemm_nt_rows_fma(
@@ -819,11 +841,12 @@ fn gemm_nt_rows(
 ) {
     #[cfg(target_arch = "x86_64")]
     {
-        // SAFETY: CPU features verified at runtime; bodies are safe Rust.
         if fast && fma_available() {
+            // SAFETY: AVX2+FMA presence just verified by `fma_available`.
             return unsafe { gemm_nt_rows_fma(a, b, out, r0, r1, k_dim, n) };
         }
         if avx2_available() {
+            // SAFETY: AVX2 presence just verified by `avx2_available`.
             return unsafe { gemm_nt_rows_avx2(a, b, out, r0, r1, k_dim, n) };
         }
     }
@@ -832,6 +855,10 @@ fn gemm_nt_rows(
 }
 
 /// AVX2-compiled clone of [`gemm_tn_rows_impl`].
+///
+/// # Safety
+/// Caller must verify AVX2 support first (see [`avx2_available`]); the body
+/// itself is ordinary safe Rust recompiled with wider vector types.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn gemm_tn_rows_avx2(
@@ -846,6 +873,10 @@ unsafe fn gemm_tn_rows_avx2(
 }
 
 /// AVX2+FMA-compiled clone of [`gemm_tn_rows_impl`].
+///
+/// # Safety
+/// Caller must verify AVX2 **and** FMA3 support first (see
+/// [`fma_available`]); the body itself is ordinary safe Rust.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn gemm_tn_rows_fma(
@@ -870,11 +901,12 @@ fn gemm_tn_rows(
 ) {
     #[cfg(target_arch = "x86_64")]
     {
-        // SAFETY: CPU features verified at runtime; bodies are safe Rust.
         if fast && fma_available() {
+            // SAFETY: AVX2+FMA presence just verified by `fma_available`.
             return unsafe { gemm_tn_rows_fma(a, b, out, r0, a_cols, n) };
         }
         if avx2_available() {
+            // SAFETY: AVX2 presence just verified by `avx2_available`.
             return unsafe { gemm_tn_rows_avx2(a, b, out, r0, a_cols, n) };
         }
     }
@@ -1084,6 +1116,7 @@ const REDUCE_BLOCK: usize = 64;
 /// Folds up to [`REDUCE_BLOCK`] values with four independent accumulator
 /// chains (deterministic for a fixed length).
 #[inline(always)]
+// lint: no_alloc
 fn sum_block(xs: &[f64]) -> f64 {
     let mut acc = [0.0f64; 4];
     let mut chunks = xs.chunks_exact(4);
@@ -1105,6 +1138,7 @@ fn sum_block(xs: &[f64]) -> f64 {
 /// or scheduling — which is what makes [`NumericsMode::Fast`] deterministic.
 /// Rounding error grows O(log n) instead of the serial fold's O(n).
 #[inline(always)]
+// lint: no_alloc
 fn pairwise_sum_impl(xs: &[f64]) -> f64 {
     // 64 levels cover any in-memory length (2^64 base blocks).
     let mut partial = [0.0f64; 64];
@@ -1134,6 +1168,10 @@ fn pairwise_sum_impl(xs: &[f64]) -> f64 {
 }
 
 /// AVX2-compiled clone of [`pairwise_sum_impl`].
+///
+/// # Safety
+/// Caller must verify AVX2 support first (see [`avx2_available`]); the body
+/// itself is ordinary safe Rust recompiled with wider vector types.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn pairwise_sum_avx2(xs: &[f64]) -> f64 {
@@ -1142,6 +1180,7 @@ unsafe fn pairwise_sum_avx2(xs: &[f64]) -> f64 {
 
 /// [`sum_block`] for a dot product, with optional FMA contraction.
 #[inline(always)]
+// lint: no_alloc
 fn dot_block<const FMA: bool>(a: &[f64], b: &[f64]) -> f64 {
     let n = a.len().min(b.len());
     let (a, b) = (&a[..n], &b[..n]);
@@ -1163,6 +1202,7 @@ fn dot_block<const FMA: bool>(a: &[f64], b: &[f64]) -> f64 {
 
 /// [`pairwise_sum_impl`] for a dot product (same binary-counter tree).
 #[inline(always)]
+// lint: no_alloc
 fn pairwise_dot_impl<const FMA: bool>(a: &[f64], b: &[f64]) -> f64 {
     let n = a.len().min(b.len());
     let mut partial = [0.0f64; 64];
@@ -1195,6 +1235,10 @@ fn pairwise_dot_impl<const FMA: bool>(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// AVX2+FMA-compiled clone of [`pairwise_dot_impl`].
+///
+/// # Safety
+/// Caller must verify AVX2 **and** FMA3 support first (see
+/// [`fma_available`]); the body itself is ordinary safe Rust.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn pairwise_dot_fma(a: &[f64], b: &[f64]) -> f64 {
@@ -1203,6 +1247,10 @@ unsafe fn pairwise_dot_fma(a: &[f64], b: &[f64]) -> f64 {
 
 /// AVX2-compiled clone of [`pairwise_dot_impl`] without contraction (Fast
 /// tier on AVX2 CPUs that lack FMA).
+///
+/// # Safety
+/// Caller must verify AVX2 support first (see [`avx2_available`]); the body
+/// itself is ordinary safe Rust recompiled with wider vector types.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn pairwise_dot_avx2(a: &[f64], b: &[f64]) -> f64 {
@@ -1216,6 +1264,7 @@ unsafe fn pairwise_dot_avx2(a: &[f64], b: &[f64]) -> f64 {
 /// [`NumericsMode::Fast`] uses the deterministic blocked pairwise tree —
 /// different rounding (usually *more* accurate), identical bits for
 /// identical input on every thread count.
+// lint: no_alloc
 pub fn reduce_sum(xs: &[f64], mode: NumericsMode) -> f64 {
     match mode {
         NumericsMode::BitExact => xs.iter().sum(),
@@ -1235,17 +1284,19 @@ pub fn reduce_sum(xs: &[f64], mode: NumericsMode) -> f64 {
 /// [`NumericsMode::BitExact`] is the exact serial fold of the historical
 /// `zip-map-sum`; [`NumericsMode::Fast`] uses the deterministic pairwise
 /// tree with FMA contraction where the CPU supports it.
+// lint: no_alloc
 pub fn reduce_dot(a: &[f64], b: &[f64], mode: NumericsMode) -> f64 {
     match mode {
         NumericsMode::BitExact => a.iter().zip(b).map(|(&x, &y)| x * y).sum(),
         NumericsMode::Fast => {
             #[cfg(target_arch = "x86_64")]
             {
-                // SAFETY: features verified at runtime; bodies are safe Rust.
                 if fma_available() {
+                    // SAFETY: AVX2+FMA presence just verified.
                     return unsafe { pairwise_dot_fma(a, b) };
                 }
                 if avx2_available() {
+                    // SAFETY: AVX2 presence just verified.
                     return unsafe { pairwise_dot_avx2(a, b) };
                 }
             }

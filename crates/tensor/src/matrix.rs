@@ -602,6 +602,11 @@ impl Matrix {
 }
 
 /// AVX2-compiled clone of the scalar [`Matrix::fill_map`] loop.
+///
+/// # Safety
+/// Caller must verify AVX2 support first (see
+/// [`avx2_available`](crate::kernels::avx2_available)); the body itself is
+/// ordinary safe Rust recompiled with wider vector types.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn fill_map_avx2(out: &mut [f64], src: &[f64], f: impl Fn(f64) -> f64) {
@@ -629,6 +634,7 @@ fn par_fill_workers(len: usize) -> usize {
 }
 
 /// Scalar/AVX2-dispatched body of [`Matrix::fill_map`] over raw slices.
+// lint: no_alloc
 fn fill_map_slice(out: &mut [f64], src: &[f64], f: &impl Fn(f64) -> f64) {
     #[cfg(target_arch = "x86_64")]
     {
@@ -644,6 +650,7 @@ fn fill_map_slice(out: &mut [f64], src: &[f64], f: &impl Fn(f64) -> f64) {
 }
 
 /// Scalar/AVX2-dispatched body of [`Matrix::fill_zip`] over raw slices.
+// lint: no_alloc
 fn fill_zip_slice(out: &mut [f64], a: &[f64], b: &[f64], f: &impl Fn(f64, f64) -> f64) {
     #[cfg(target_arch = "x86_64")]
     {
@@ -658,6 +665,7 @@ fn fill_zip_slice(out: &mut [f64], a: &[f64], b: &[f64], f: &impl Fn(f64, f64) -
 }
 
 /// Scalar/AVX2-dispatched body of [`Matrix::add_assign`] over raw slices.
+// lint: no_alloc
 fn add_assign_slice(out: &mut [f64], src: &[f64]) {
     #[cfg(target_arch = "x86_64")]
     {
@@ -672,6 +680,11 @@ fn add_assign_slice(out: &mut [f64], src: &[f64]) {
 }
 
 /// AVX2-compiled clone of the scalar [`Matrix::fill_zip`] loop.
+///
+/// # Safety
+/// Caller must verify AVX2 support first (see
+/// [`avx2_available`](crate::kernels::avx2_available)); the body itself is
+/// ordinary safe Rust recompiled with wider vector types.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn fill_zip_avx2(out: &mut [f64], a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) {
@@ -681,6 +694,11 @@ unsafe fn fill_zip_avx2(out: &mut [f64], a: &[f64], b: &[f64], f: impl Fn(f64, f
 }
 
 /// AVX2-compiled clone of the scalar [`Matrix::add_assign`] loop.
+///
+/// # Safety
+/// Caller must verify AVX2 support first (see
+/// [`avx2_available`](crate::kernels::avx2_available)); the body itself is
+/// ordinary safe Rust recompiled with wider vector types.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn add_assign_avx2(out: &mut [f64], src: &[f64]) {

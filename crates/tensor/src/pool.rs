@@ -8,6 +8,8 @@
 //! across [`Graph::reset`](crate::Graph::reset) calls, keyed by element
 //! count, so a warmed-up step loop performs no heap allocation at all.
 
+// lint: allow(hash_collection) — keyed take/park only; the sole iteration
+// (`parked`) is an order-independent length sum.
 use std::collections::HashMap;
 
 use crate::matrix::Matrix;
@@ -25,6 +27,8 @@ const MAX_PARKED_PER_LEN: usize = 256;
 /// overwrite every element, or use [`BufferPool::take_zeroed`].
 #[derive(Default)]
 pub struct BufferPool {
+    // lint: allow(hash_collection) — looked up by exact element count only;
+    // numeric results never depend on this map's iteration order.
     free: HashMap<usize, Vec<Vec<f64>>>,
 }
 

@@ -88,6 +88,8 @@ struct Job {
 // submitter blocks until all chunks complete), so sharing the raw pointer
 // across threads is sound.
 unsafe impl Send for Job {}
+// SAFETY: as for `Send` — the erased closure is `Sync` and outlives the job,
+// so shared references to it may cross threads.
 unsafe impl Sync for Job {}
 
 /// Pool shared state: pending jobs plus the spawned-thread count.
@@ -120,7 +122,7 @@ pub fn threads_spawned() -> u64 {
 
 /// Number of persistent worker threads currently alive in the pool.
 pub fn pool_size() -> usize {
-    pool().state.lock().expect("pool lock").spawned
+    pool().state.lock().unwrap_or_else(|e| e.into_inner()).spawned
 }
 
 /// Grows the pool to at least `want` persistent threads (capped at
@@ -130,11 +132,13 @@ fn ensure_threads(want: usize) {
     let want = want.min(MAX_POOL_THREADS);
     // Cheap steady-state exit without contending the lock for long: the
     // count only grows, so a stale low read just re-checks under the lock.
-    let mut state = pool().state.lock().expect("pool lock");
+    let mut state = pool().state.lock().unwrap_or_else(|e| e.into_inner());
     while state.spawned < want {
         std::thread::Builder::new()
             .name(format!("sbrl-worker-{}", state.spawned))
             .spawn(worker_loop)
+            // lint: allow(panic) — OS refusing a thread at pool warm-up is
+            // unrecoverable resource exhaustion; no caller can do better.
             .expect("spawning a pool worker thread");
         THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
         state.spawned += 1;
@@ -155,7 +159,7 @@ fn execute_claims(job: &Job) {
             job.first_panic.fetch_min(i, Ordering::Relaxed);
         }
         if job.done.fetch_add(1, Ordering::AcqRel) + 1 == job.total {
-            let mut fin = job.finished.lock().expect("job latch lock");
+            let mut fin = job.finished.lock().unwrap_or_else(|e| e.into_inner());
             *fin = true;
             job.finished_cv.notify_all();
         }
@@ -166,7 +170,7 @@ fn worker_loop() {
     let pool = pool();
     loop {
         let job: Arc<Job> = {
-            let mut state = pool.state.lock().expect("pool lock");
+            let mut state = pool.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 // Retire jobs whose cursor is exhausted (their remaining
                 // chunks are in flight elsewhere; nothing left to claim).
@@ -180,7 +184,7 @@ fn worker_loop() {
                 if let Some(front) = state.queue.front() {
                     break front.clone();
                 }
-                state = pool.work_cv.wait(state).expect("pool lock");
+                state = pool.work_cv.wait(state).unwrap_or_else(|e| e.into_inner());
             }
         };
         execute_claims(&job);
@@ -214,7 +218,7 @@ fn run_parallel(
     });
 
     {
-        let mut state = pool().state.lock().expect("pool lock");
+        let mut state = pool().state.lock().unwrap_or_else(|e| e.into_inner());
         state.queue.push_back(job.clone());
     }
     pool().work_cv.notify_all();
@@ -226,9 +230,9 @@ fn run_parallel(
 
     // Park until the in-flight chunks of other workers complete.
     {
-        let mut fin = job.finished.lock().expect("job latch lock");
+        let mut fin = job.finished.lock().unwrap_or_else(|e| e.into_inner());
         while !*fin {
-            fin = job.finished_cv.wait(fin).expect("job latch lock");
+            fin = job.finished_cv.wait(fin).unwrap_or_else(|e| e.into_inner());
         }
     }
     match job.first_panic.load(Ordering::Relaxed) {
@@ -263,6 +267,8 @@ pub fn run_tasks(total: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
         return;
     }
     if let Err(e) = run_parallel(total, workers, f) {
+        // lint: allow(panic) — documented re-raise (see `# Panics`); callers
+        // needing a recoverable result use `run_tasks_catching`.
         panic!("a worker-pool task panicked (task {})", e.task);
     }
 }
@@ -353,6 +359,8 @@ pub mod fault {
             std::thread::sleep(std::time::Duration::from_millis(STALL_MS.load(Ordering::SeqCst)));
         }
         if PANIC_AT.compare_exchange(index, UNARMED, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            // lint: allow(panic) — the injected fault IS a deliberate panic;
+            // the catching path converts it into `TaskPanicked`.
             panic!("injected fault: pool task {index} panicked");
         }
     }
