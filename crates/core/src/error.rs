@@ -75,6 +75,8 @@ pub enum SbrlError {
     },
     /// A method/backbone/framework name failed to parse.
     Parse(ParseError),
+    /// A persisted model artifact could not be written, read or validated.
+    Persist(crate::persist::PersistError),
 }
 
 impl fmt::Display for SbrlError {
@@ -99,6 +101,7 @@ impl fmt::Display for SbrlError {
                 write!(f, "invalid configuration ({what}): {message}")
             }
             SbrlError::Parse(e) => write!(f, "{e}"),
+            SbrlError::Persist(e) => write!(f, "persistence failure: {e}"),
         }
     }
 }
@@ -114,8 +117,15 @@ impl std::error::Error for SbrlError {
         match self {
             SbrlError::Data(e) => Some(e),
             SbrlError::Parse(e) => Some(e),
+            SbrlError::Persist(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::persist::PersistError> for SbrlError {
+    fn from(e: crate::persist::PersistError) -> Self {
+        SbrlError::Persist(e)
     }
 }
 
@@ -185,6 +195,11 @@ mod tests {
         assert!(c.to_string().contains("train.lr"));
         let p = SbrlError::Parse(ParseError::Framework { input: "JUNK".into() });
         assert!(p.to_string().contains("JUNK"));
+        let s = SbrlError::Persist(crate::persist::PersistError::BadMagic {
+            found: [0, 1, 2, 3, 4, 5, 6, 7],
+        });
+        assert!(s.to_string().contains("persistence failure"));
+        assert!(s.to_string().contains("magic"));
     }
 
     #[test]

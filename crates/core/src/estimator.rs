@@ -33,8 +33,9 @@ use crate::trainer::{fit_backbone, FittedModel, TrainConfig};
 
 /// Salt mixed into the training seed to derive the model-initialisation RNG
 /// (kept identical to the historical experiment runner, so results
-/// reproduce across the API migration).
-const INIT_SEED_SALT: u64 = 0x00f1_77ed;
+/// reproduce across the API migration). `pub(crate)` so model loading
+/// (`crate::persist`) rebuilds the architecture from the same derivation.
+pub(crate) const INIT_SEED_SALT: u64 = 0x00f1_77ed;
 
 /// How the builder selects the backbone architecture.
 #[derive(Clone, Copy, Debug)]

@@ -20,6 +20,11 @@
 //!   [`FitReport`] fault-tolerance provenance carried on [`FittedModel`];
 //! * [`faults`] — deterministic fault injection (`fault-inject` feature;
 //!   zero overhead and no hooks when off);
+//! * [`persist`] — the versioned `.sbrl` artifact format
+//!   ([`FittedModel::save`]/[`FittedModel::load`]) and the method-keyed
+//!   [`ModelRegistry`];
+//! * [`serve`] — the request-batching [`InferenceService`] over a loaded
+//!   registry (the `serve` binary's engine);
 //! * [`error`] — the unified [`SbrlError`] type.
 //!
 //! ```no_run
@@ -55,8 +60,10 @@ pub mod estimator;
 pub mod faults;
 pub mod method;
 pub mod ood;
+pub mod persist;
 pub mod recovery;
 pub mod regularizers;
+pub mod serve;
 pub mod trainer;
 pub mod weights;
 
@@ -67,8 +74,10 @@ pub use estimator::{Estimator, EstimatorBuilder};
 pub use faults::{inject, FaultGuard, FaultPlan};
 pub use method::MethodSpec;
 pub use ood::{BlendedEstimator, OodDetector, OodDetectorConfig};
+pub use persist::{ModelRegistry, PersistError};
 pub use recovery::{FitReport, RecoveryEvent, RecoveryPolicy};
 pub use regularizers::{weight_objective, WeightLossTerms};
+pub use serve::{InferenceService, LatencySummary, PendingPrediction, ServeConfig};
 #[allow(deprecated)]
 pub use trainer::{train, TrainError};
 pub use trainer::{FittedModel, TrainConfig, TrainReport};

@@ -1,0 +1,403 @@
+//! A small threaded inference service over a [`ModelRegistry`].
+//!
+//! The life of a served prediction (see `ARCHITECTURE.md`):
+//!
+//! ```text
+//! client thread            batcher thread             worker pool
+//! ─────────────            ──────────────             ───────────
+//! submit(name, x) ──mpsc──▶ collect ≤ batch_max reqs
+//!   returns a                within batch_window,
+//!   PendingPrediction        group by model, vstack
+//! wait() blocks on           ──▶ try_predict_batched ──▶ row shards
+//!   the slot's condvar      split rows back per
+//!             ◀── fulfil ── request, notify slots
+//! ```
+//!
+//! One long-lived batcher thread owns the receive side; the actual numeric
+//! work still goes through the workspace's persistent worker pool via
+//! [`FittedModel::try_predict_batched`](crate::FittedModel::try_predict_batched), so serving adds **zero** per-request
+//! thread spawns. Because every per-row operation of the inference path is
+//! row-independent, folding many requests into one batched call and
+//! splitting the rows back out returns **bit-identical** results to serving
+//! each request alone — batching is a pure latency/throughput trade.
+//!
+//! A worker panic inside a batch is contained: the batch falls back to
+//! per-request prediction so each caller receives its *own* typed result
+//! ([`SbrlError::WorkerPanic`] only for the poisoned request), and the
+//! service keeps serving.
+
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sbrl_metrics::EffectEstimate;
+use sbrl_models::Backbone;
+use sbrl_tensor::Matrix;
+
+use crate::error::SbrlError;
+use crate::persist::{ModelRegistry, PersistError};
+
+/// Knobs of the request batcher.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Maximum requests folded into one batched prediction call.
+    pub batch_max: usize,
+    /// How long the batcher waits for more requests after the first one
+    /// before dispatching a partial batch.
+    pub batch_window: Duration,
+    /// Worker count handed to [`FittedModel::try_predict_batched`](crate::FittedModel::try_predict_batched)
+    /// (`0` = the workspace-wide `SBRL_THREADS` / core-count default).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { batch_max: 64, batch_window: Duration::from_micros(200), workers: 0 }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the batcher knobs.
+    pub fn validate(&self) -> Result<(), SbrlError> {
+        if self.batch_max == 0 {
+            return Err(SbrlError::InvalidConfig {
+                what: "serve.batch_max",
+                message: "must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One request's result slot: a mutex-guarded option plus the condvar the
+/// waiting client blocks on.
+#[derive(Default)]
+struct Slot {
+    state: Mutex<Option<Result<EffectEstimate, SbrlError>>>,
+    ready: Condvar,
+}
+
+/// Poison-tolerant lock: a panicking peer must not cascade panics into
+/// waiting clients — the protected state is a plain `Option` that is valid
+/// in either lock outcome.
+fn lock_state(slot: &Slot) -> std::sync::MutexGuard<'_, Option<Result<EffectEstimate, SbrlError>>> {
+    slot.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn fulfil(slot: &Slot, outcome: Result<EffectEstimate, SbrlError>) {
+    let mut state = lock_state(slot);
+    *state = Some(outcome);
+    slot.ready.notify_all();
+}
+
+/// A submitted prediction that has not been waited on yet.
+pub struct PendingPrediction {
+    slot: Arc<Slot>,
+}
+
+impl PendingPrediction {
+    /// Blocks until the batcher fulfils this request and returns its typed
+    /// outcome.
+    pub fn wait(self) -> Result<EffectEstimate, SbrlError> {
+        let mut state = lock_state(&self.slot);
+        loop {
+            if let Some(outcome) = state.take() {
+                return outcome;
+            }
+            state = self.slot.ready.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+struct Request {
+    model_idx: usize,
+    x: Matrix,
+    slot: Arc<Slot>,
+}
+
+/// The threaded inference service: a registry of loaded models behind a
+/// request-batching loop. See the module docs for the data flow.
+pub struct InferenceService {
+    registry: Arc<ModelRegistry>,
+    tx: Option<Sender<Request>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl InferenceService {
+    /// Boots the service over a loaded registry. Fails fast on an empty
+    /// registry or invalid batcher knobs — a serving process must never
+    /// come up unable to answer anything.
+    pub fn start(registry: ModelRegistry, cfg: ServeConfig) -> Result<Self, SbrlError> {
+        cfg.validate()?;
+        if registry.is_empty() {
+            return Err(SbrlError::InvalidConfig {
+                what: "serve.registry",
+                message: "cannot serve an empty model registry".into(),
+            });
+        }
+        let registry = Arc::new(registry);
+        let (tx, rx) = mpsc::channel::<Request>();
+        let loop_registry = Arc::clone(&registry);
+        // lint: allow(spawn) — the one long-lived batcher thread of the
+        // service (started once, joined on Drop); the numeric work itself
+        // still runs on the persistent worker pool via try_predict_batched.
+        let batcher = std::thread::spawn(move || batch_loop(&loop_registry, &rx, cfg));
+        Ok(Self { registry, tx: Some(tx), batcher: Some(batcher), workers: cfg.workers })
+    }
+
+    /// The registry this service answers from.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Enqueues a prediction request for the named model, validating the
+    /// covariate shape up front so a bad request fails in the caller, not
+    /// the batcher.
+    pub fn submit(&self, method: &str, x: Matrix) -> Result<PendingPrediction, SbrlError> {
+        let model_idx = self.registry.index_of(method).ok_or_else(|| {
+            SbrlError::Persist(PersistError::UnknownModel {
+                name: method.to_string(),
+                known: self.registry.names(),
+            })
+        })?;
+        let expected = self
+            .registry
+            .model_at(model_idx)
+            .map(|m| m.model().export_config().in_dim())
+            .unwrap_or(0);
+        if x.rows() == 0 || x.cols() != expected {
+            return Err(SbrlError::InvalidConfig {
+                what: "serve.request",
+                message: format!(
+                    "request matrix is {}x{}, model '{method}' expects at least \
+                     one row of width {expected}",
+                    x.rows(),
+                    x.cols()
+                ),
+            });
+        }
+        let slot = Arc::new(Slot::default());
+        let request = Request { model_idx, x, slot: Arc::clone(&slot) };
+        match &self.tx {
+            Some(tx) if tx.send(request).is_ok() => Ok(PendingPrediction { slot }),
+            _ => Err(SbrlError::InvalidConfig {
+                what: "serve.batcher",
+                message: "the batcher thread is no longer running".into(),
+            }),
+        }
+    }
+
+    /// Synchronous convenience: [`submit`](Self::submit) + wait.
+    pub fn predict(&self, method: &str, x: Matrix) -> Result<EffectEstimate, SbrlError> {
+        self.submit(method, x)?.wait()
+    }
+
+    /// The worker count batched predictions run with (`0` = global knob).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl Drop for InferenceService {
+    fn drop(&mut self) {
+        // Closing the channel ends the batcher's recv loop; joining bounds
+        // shutdown and surfaces nothing (a batcher panic would already have
+        // fulfilled nothing further — clients see the closed channel).
+        self.tx = None;
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The batcher loop: block for one request, drain more until the window
+/// closes or the batch is full, then dispatch grouped by model.
+fn batch_loop(registry: &ModelRegistry, rx: &Receiver<Request>, cfg: ServeConfig) {
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        let deadline = Instant::now() + cfg.batch_window;
+        while batch.len() < cfg.batch_max {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(request) => batch.push(request),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Group by model, preserving arrival order within each group. A Vec
+        // scan keeps dispatch order deterministic (and the registry is tiny).
+        let mut groups: Vec<(usize, Vec<Request>)> = Vec::new();
+        for request in batch {
+            match groups.iter_mut().find(|(idx, _)| *idx == request.model_idx) {
+                Some((_, members)) => members.push(request),
+                None => groups.push((request.model_idx, vec![request])),
+            }
+        }
+        for (model_idx, members) in groups {
+            dispatch_group(registry, model_idx, members, cfg.workers);
+        }
+    }
+}
+
+/// Serves one model's share of a batch: stack the request rows, predict
+/// once, split the rows back out. On a batch-level failure, fall back to
+/// per-request prediction so each caller gets its own typed outcome.
+fn dispatch_group(
+    registry: &ModelRegistry,
+    model_idx: usize,
+    members: Vec<Request>,
+    workers: usize,
+) {
+    let Some(model) = registry.model_at(model_idx) else {
+        // Unreachable: submit validated the index. Fail every slot typed
+        // rather than dropping them (a dropped slot would hang its waiter).
+        for request in members {
+            fulfil(
+                &request.slot,
+                Err(SbrlError::InvalidConfig {
+                    what: "serve.batcher",
+                    message: format!("model index {model_idx} vanished from the registry"),
+                }),
+            );
+        }
+        return;
+    };
+    if let [single] = members.as_slice() {
+        let outcome = model.try_predict_batched(&single.x, workers);
+        fulfil(&single.slot, outcome);
+        return;
+    }
+    let mut stacked: Option<Matrix> = None;
+    for request in &members {
+        stacked = Some(match stacked {
+            Some(acc) => acc.vstack(&request.x),
+            None => request.x.clone(),
+        });
+    }
+    let Some(stacked) = stacked else { return };
+    match model.try_predict_batched(&stacked, workers) {
+        Ok(est) => {
+            let mut y0 = est.y0_hat.into_iter();
+            let mut y1 = est.y1_hat.into_iter();
+            for request in members {
+                let rows = request.x.rows();
+                let piece = EffectEstimate {
+                    y0_hat: y0.by_ref().take(rows).collect(),
+                    y1_hat: y1.by_ref().take(rows).collect(),
+                };
+                fulfil(&request.slot, Ok(piece));
+            }
+        }
+        Err(_) => {
+            // A panic inside the stacked batch names a shard, not a request.
+            // Re-run each request alone so the poisoned one gets its own
+            // typed WorkerPanic and its neighbours still get answers.
+            for request in members {
+                let outcome = model.try_predict_batched(&request.x, workers);
+                fulfil(&request.slot, outcome);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency accounting (used by the `serve` binary's bench mode)
+// ---------------------------------------------------------------------------
+
+/// Latency/throughput digest of a load run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Median request latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile request latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Mean request latency in nanoseconds.
+    pub mean_ns: u64,
+    /// Number of latency samples.
+    pub samples: usize,
+}
+
+/// Summarises per-request latency samples (nanoseconds). Returns `None` for
+/// an empty sample set.
+pub fn summarize_latencies(mut samples_ns: Vec<u64>) -> Option<LatencySummary> {
+    if samples_ns.is_empty() {
+        return None;
+    }
+    samples_ns.sort_unstable();
+    let n = samples_ns.len();
+    let percentile = |p: usize| -> u64 {
+        let idx = ((n - 1) * p) / 100;
+        samples_ns.get(idx).copied().unwrap_or(0)
+    };
+    let sum: u128 = samples_ns.iter().map(|&v| u128::from(v)).sum();
+    Some(LatencySummary {
+        p50_ns: percentile(50),
+        p99_ns: percentile(99),
+        mean_ns: (sum / n as u128) as u64,
+        samples: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::fixture;
+
+    fn service() -> InferenceService {
+        let mut registry = ModelRegistry::new();
+        registry.insert(fixture::train_golden().expect("fixture fit")).expect("insert");
+        InferenceService::start(registry, ServeConfig::default()).expect("start")
+    }
+
+    #[test]
+    fn served_predictions_match_direct_predictions_bitwise() {
+        let svc = service();
+        let name = svc.registry().names().remove(0);
+        let dim = fixture::dataset().0.dim();
+        let probe = fixture::probe_matrix(dim);
+        let direct = svc.registry().require(&name).expect("model").predict(&probe);
+        let served = svc.predict(&name, probe).expect("served");
+        let bits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&direct.y0_hat), bits(&served.y0_hat));
+        assert_eq!(bits(&direct.y1_hat), bits(&served.y1_hat));
+    }
+
+    #[test]
+    fn unknown_model_and_bad_shapes_fail_in_submit() {
+        let svc = service();
+        let err = svc.predict("NOPE", Matrix::zeros(1, 3)).unwrap_err();
+        assert!(matches!(err, SbrlError::Persist(PersistError::UnknownModel { .. })));
+        let name = svc.registry().names().remove(0);
+        let err = svc.predict(&name, Matrix::zeros(1, 3)).unwrap_err();
+        assert!(matches!(err, SbrlError::InvalidConfig { what: "serve.request", .. }));
+        let dim = fixture::dataset().0.dim();
+        let err = svc.predict(&name, Matrix::zeros(0, dim)).unwrap_err();
+        assert!(matches!(err, SbrlError::InvalidConfig { what: "serve.request", .. }));
+    }
+
+    #[test]
+    fn empty_registry_is_rejected_at_startup() {
+        let err = InferenceService::start(ModelRegistry::new(), ServeConfig::default());
+        assert!(matches!(err, Err(SbrlError::InvalidConfig { what: "serve.registry", .. })));
+        let err = InferenceService::start(
+            ModelRegistry::new(),
+            ServeConfig { batch_max: 0, ..ServeConfig::default() },
+        );
+        assert!(matches!(err, Err(SbrlError::InvalidConfig { what: "serve.batch_max", .. })));
+    }
+
+    #[test]
+    fn latency_summary_orders_percentiles() {
+        let samples: Vec<u64> = (1..=100).rev().collect();
+        let summary = summarize_latencies(samples).expect("non-empty");
+        assert_eq!(summary.samples, 100);
+        assert_eq!(summary.p50_ns, 50);
+        assert_eq!(summary.p99_ns, 99);
+        assert!(summary.p50_ns <= summary.p99_ns);
+        assert_eq!(summarize_latencies(Vec::new()), None);
+    }
+}

@@ -167,7 +167,7 @@ impl TrainConfig {
 pub type TrainError = SbrlError;
 
 /// Summary of one training run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TrainReport {
     /// Iterations actually executed (early stopping may cut the budget).
     pub iterations_run: usize,
@@ -191,19 +191,24 @@ pub struct TrainReport {
 /// [`Backbone`] requires `Send + Sync` the model can fan out across threads
 /// — see [`FittedModel::predict_batched`].
 pub struct FittedModel<B: Backbone> {
-    model: B,
-    scaler: Option<Scaler>,
-    loss_kind: OutcomeLoss,
+    pub(crate) model: B,
+    pub(crate) scaler: Option<Scaler>,
+    pub(crate) loss_kind: OutcomeLoss,
     /// Outcome transform `(shift, scale)`: training used `(y - shift) / scale`.
-    y_transform: (f64, f64),
-    weights: Vec<f64>,
-    report: TrainReport,
+    pub(crate) y_transform: (f64, f64),
+    pub(crate) weights: Vec<f64>,
+    pub(crate) report: TrainReport,
     /// Numerics tier the fit ran under — provenance, since `BitExact` and
     /// `Fast` fits of the same seed are not bit-identical.
-    numerics: NumericsMode,
+    pub(crate) numerics: NumericsMode,
     /// Fault-tolerance provenance: the recovery policy the fit ran under
     /// and every rollback it performed.
-    fit_report: FitReport,
+    pub(crate) fit_report: FitReport,
+    /// Which framework wrapped the fit (provenance + the registry key).
+    pub(crate) framework: crate::config::Framework,
+    /// Master seed the fit ran under (provenance; also rebuilds the
+    /// architecture deterministically at load time).
+    pub(crate) seed: u64,
 }
 
 impl<B: Backbone> std::fmt::Debug for FittedModel<B> {
@@ -372,6 +377,26 @@ impl<B: Backbone> FittedModel<B> {
     /// (empty for a clean fit).
     pub fn fit_report(&self) -> &FitReport {
         &self.fit_report
+    }
+
+    /// The framework that wrapped the fit (provenance).
+    pub fn framework(&self) -> crate::config::Framework {
+        self.framework
+    }
+
+    /// The master seed the fit ran under (provenance).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The grid cell this model belongs to — the
+    /// [`ModelRegistry`](crate::persist::ModelRegistry) key, e.g.
+    /// `"CFR+SBRL-HAP"`.
+    pub fn method_spec(&self) -> crate::method::MethodSpec {
+        crate::method::MethodSpec {
+            backbone: self.model.export_config().kind(),
+            framework: self.framework,
+        }
     }
 }
 
@@ -643,6 +668,8 @@ pub(crate) fn fit_backbone<B: Backbone>(
         report,
         numerics: NumericsMode::global(),
         fit_report: FitReport { recoveries, policy: cfg.recovery, time_budget: cfg.time_budget },
+        framework: sbrl.framework(),
+        seed: cfg.seed,
     })
 }
 

@@ -280,6 +280,20 @@ impl Scaler {
         Matrix::from_fn(x.rows(), x.cols(), |i, j| (x[(i, j)] - self.means[j]) / self.stds[j])
     }
 
+    /// Rebuilds a scaler from previously fitted statistics (model
+    /// deserialization). Returns `None` when the statistics cannot have come
+    /// from [`Scaler::fit`]: mismatched or empty columns, non-finite values,
+    /// or non-positive standard deviations.
+    pub fn from_stats(means: Vec<f64>, stds: Vec<f64>) -> Option<Self> {
+        if means.is_empty() || means.len() != stds.len() {
+            return None;
+        }
+        if !means.iter().all(|m| m.is_finite()) || !stds.iter().all(|s| s.is_finite() && *s > 0.0) {
+            return None;
+        }
+        Some(Self { means, stds })
+    }
+
     /// Fitted means.
     pub fn means(&self) -> &[f64] {
         &self.means
@@ -306,6 +320,21 @@ mod tests {
             mu1: None,
             outcome: OutcomeKind::Continuous,
         }
+    }
+
+    #[test]
+    fn scaler_from_stats_validates_and_round_trips() {
+        let d = toy();
+        let fitted = Scaler::fit(&d.x);
+        let rebuilt = Scaler::from_stats(fitted.means().to_vec(), fitted.stds().to_vec())
+            .expect("fitted stats are valid");
+        assert_eq!(fitted.transform(&d.x).as_slice(), rebuilt.transform(&d.x).as_slice());
+        // Invalid statistics are rejected.
+        assert!(Scaler::from_stats(vec![], vec![]).is_none());
+        assert!(Scaler::from_stats(vec![0.0], vec![1.0, 1.0]).is_none());
+        assert!(Scaler::from_stats(vec![f64::NAN], vec![1.0]).is_none());
+        assert!(Scaler::from_stats(vec![0.0], vec![0.0]).is_none());
+        assert!(Scaler::from_stats(vec![0.0], vec![-1.0]).is_none());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! - `// lint: allow(<rule>) — <reason>` suppresses one rule on the **same
 //!   line** or the **line immediately below** the annotation. The reason is
 //!   mandatory: an allow without a justification is itself a diagnostic
-//!   ([`crate::rules::RULE_ANNOTATION`]), so suppressions cannot silently
+//!   (the `annotation` meta-rule), so suppressions cannot silently
 //!   accumulate. `—`, `--`, `-`, or `:` all work as the reason separator.
 //! - `// lint: no_alloc` marks the `fn` whose signature starts on the next
 //!   code line (attributes and doc comments may intervene) as statically
@@ -19,7 +19,8 @@
 //! suppressing nothing.
 
 /// Rule names accepted inside `allow(…)`.
-pub const ALLOW_RULES: &[&str] = &["hash_collection", "spawn", "fma", "time", "panic", "alloc"];
+pub const ALLOW_RULES: &[&str] =
+    &["hash_collection", "spawn", "fma", "time", "panic", "persist_reader", "alloc"];
 
 /// A parsed `lint:` annotation found in a comment.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -11,6 +11,7 @@
 //! | `time`            | determinism   | kernel files (`kernels.rs`, `matrix.rs`)     |
 //! | `unsafe`          | unsafe hygiene| every `unsafe` token, tests included         |
 //! | `panic`           | panic-freedom | library (non-bin, non-test) code             |
+//! | `persist_reader`  | panic-freedom | `persist.rs` non-test code, stricter overlay |
 //! | `alloc`           | static no-alloc| bodies of `// lint: no_alloc` functions     |
 //! | `annotation`      | meta          | malformed / dangling `lint:` annotations     |
 //!
@@ -74,6 +75,7 @@ pub fn check_file(ctx: &FileContext, lexed: &LexedFile) -> Vec<Diagnostic> {
     determinism_rules(ctx, lexed, &mut out);
     unsafe_rule(ctx, lexed, &mut out);
     panic_rule(ctx, lexed, &mut out);
+    persist_reader_rule(ctx, lexed, &mut out);
     no_alloc_rule(ctx, lexed, &mut out);
     out.sort_by_key(|d| d.line);
     out
@@ -288,6 +290,66 @@ fn panic_rule(ctx: &FileContext, lexed: &LexedFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Persistence-reader hardening: `persist.rs` decodes *untrusted* artifact
+/// bytes, so its non-test code may not use panicking constructs or direct
+/// `[` indexing/slicing — every read must flow through the `try_`-style
+/// `Reader` helpers, which bounds-check and return typed `PersistError`s.
+///
+/// This is a stricter overlay on the `panic` rule: a `// lint: allow(panic)`
+/// escape elsewhere in the library does not exist here — reader code has no
+/// provably-infallible panics, because the input is attacker-shaped.
+fn persist_reader_rule(ctx: &FileContext, lexed: &LexedFile, out: &mut Vec<Diagnostic>) {
+    if ctx.file_name() != "persist.rs" {
+        return;
+    }
+    for line_no in 1..=lexed.len() {
+        if ctx.is_test_line(line_no) {
+            continue;
+        }
+        let code = lexed.line(line_no).code;
+        for token in PANIC_TOKENS {
+            if has_token(&code, token) && !allowed(lexed, line_no, "persist_reader") {
+                diag(
+                    out,
+                    ctx,
+                    line_no,
+                    "persist_reader",
+                    format!(
+                        "`{token}` in persistence code: artifact bytes are untrusted, \
+                         so every failure mode must surface as a typed PersistError — \
+                         route the read through the try_-style Reader helpers"
+                    ),
+                );
+                break;
+            }
+        }
+        if has_index_expr(&code) && !allowed(lexed, line_no, "persist_reader") {
+            diag(
+                out,
+                ctx,
+                line_no,
+                "persist_reader",
+                "direct `[` indexing/slicing in persistence code: out-of-range \
+                 positions in untrusted bytes must become PersistError::Truncated, \
+                 not a panic — use the bounds-checked Reader::take/u64/f64s helpers \
+                 (or slice::get)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// A `[` directly following an identifier character, `)`, or `]` is an
+/// index or slice expression. Attribute lines (`#[...]`), array-literal and
+/// array-type brackets all follow punctuation or whitespace and never match.
+fn has_index_expr(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    (1..bytes.len()).any(|i| {
+        bytes[i] == b'['
+            && matches!(bytes[i - 1], b'_' | b')' | b']' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9')
+    })
+}
+
 /// Static no-alloc: the body of every `// lint: no_alloc`-annotated function
 /// is scanned for allocating constructs. The annotation itself is checked —
 /// one that does not precede a `fn` is a finding.
@@ -360,5 +422,42 @@ mod tests {
         let src = "// lint: allow(hash_collection) — keyed access only, never iterated\n\
                    use std::collections::HashMap;\n";
         assert!(check("crates/stats/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn persist_reader_flags_indexing_only_in_persist_rs() {
+        let src = "fn peek(bytes: &[u8]) -> u8 {\n    bytes[0]\n}\n";
+        let found = check("crates/core/src/persist.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "persist_reader");
+        assert_eq!(found[0].line, 2);
+        // The same indexing outside persist.rs is not this rule's business.
+        assert!(check("crates/core/src/trainer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn persist_reader_flags_panics_on_top_of_the_panic_rule() {
+        let src = "fn read(bytes: &[u8]) -> u8 {\n    decode(bytes).unwrap()\n}\n";
+        let found = check("crates/core/src/persist.rs", src);
+        let rules: Vec<&str> = found.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"persist_reader"), "rules: {rules:?}");
+        assert!(rules.contains(&"panic"), "rules: {rules:?}");
+    }
+
+    #[test]
+    fn persist_reader_spares_attributes_literals_and_tests() {
+        let src = "#[derive(Debug)]\n\
+                   pub struct Header {\n    magic: [u8; 8],\n}\n\
+                   const TAGS: &[&str] = &[\"META\"];\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn t(b: &[u8]) -> u8 { b[0] }\n}\n";
+        assert!(check("crates/core/src/persist.rs", src).is_empty());
+    }
+
+    #[test]
+    fn persist_reader_allows_with_an_annotation() {
+        let src = "// lint: allow(persist_reader) — length proven by the section frame\n\
+                   fn peek(bytes: &[u8]) -> u8 { bytes[0] }\n";
+        assert!(check("crates/core/src/persist.rs", src).is_empty());
     }
 }

@@ -9,8 +9,10 @@
 //! * `z_r` (second priority) — the balanced-representation layer `Φ`;
 //! * `z_o` (third priority) — every other hidden layer.
 
-use sbrl_nn::{Binding, OutcomeLoss, ParamHandle, ParamStore};
+use sbrl_nn::{BatchNorm, Binding, OutcomeLoss, ParamHandle, ParamStore};
 use sbrl_tensor::{Graph, Matrix, TensorId};
+
+use crate::kind::BackboneConfig;
 
 /// Batch-level context shared by all backbones: the treatment column, its
 /// complement `1 - t`, and the within-batch treated/control index sets.
@@ -136,12 +138,88 @@ pub trait Backbone: Send + Sync {
     /// Weight (not bias) handles for L2 regularisation.
     fn l2_handles(&self) -> Vec<ParamHandle>;
 
+    /// The configuration that rebuilds an architecturally identical backbone
+    /// (model persistence: the config plus the parameter store plus
+    /// [`Backbone::export_extra_state`] fully determine inference output).
+    fn export_config(&self) -> BackboneConfig;
+
+    /// Non-parameter state a serialized model must carry: named `f64`
+    /// vectors (today: batch-norm running statistics). The default is the
+    /// empty set for backbones with no such state.
+    fn export_extra_state(&self) -> Vec<(String, Vec<f64>)> {
+        Vec::new()
+    }
+
+    /// Restores state exported by [`Backbone::export_extra_state`]. Errors
+    /// (with a human-readable reason) on unknown names or mismatched
+    /// lengths; the default accepts only the empty set.
+    fn import_extra_state(&mut self, state: &[(String, Vec<f64>)]) -> Result<(), String> {
+        if let Some((name, _)) = state.first() {
+            return Err(format!("backbone has no extra state, got '{name}'"));
+        }
+        Ok(())
+    }
+
     /// The explicit handle to the mutable training-mode forward path.
     fn train_step(&mut self) -> TrainStep<'_, Self>
     where
         Self: Sized,
     {
         TrainStep { model: self }
+    }
+}
+
+/// Exports an optional input batch-norm's running statistics in the named
+/// form [`Backbone::export_extra_state`] requires. Shared by every backbone
+/// whose only extra state is the `input_bn` layer.
+pub(crate) fn export_bn_state(bn: &Option<BatchNorm>) -> Vec<(String, Vec<f64>)> {
+    match bn {
+        Some(bn) => {
+            let (mean, var) = bn.running_stats();
+            vec![
+                ("input_bn.running_mean".to_string(), mean.to_vec()),
+                ("input_bn.running_var".to_string(), var.to_vec()),
+            ]
+        }
+        None => Vec::new(),
+    }
+}
+
+/// Restores running statistics exported by [`export_bn_state`]:
+/// order-insensitive by name, rejecting unknown names, missing halves and
+/// width mismatches so a corrupted artifact cannot half-apply.
+pub(crate) fn import_bn_state(
+    bn: &mut Option<BatchNorm>,
+    state: &[(String, Vec<f64>)],
+) -> Result<(), String> {
+    let Some(bn) = bn else {
+        if let Some((name, _)) = state.first() {
+            return Err(format!("backbone has no batch norm, got state '{name}'"));
+        }
+        return Ok(());
+    };
+    let mut mean: Option<&[f64]> = None;
+    let mut var: Option<&[f64]> = None;
+    for (name, values) in state {
+        match name.as_str() {
+            "input_bn.running_mean" => mean = Some(values),
+            "input_bn.running_var" => var = Some(values),
+            other => return Err(format!("unknown extra state '{other}'")),
+        }
+    }
+    match (mean, var) {
+        (Some(mean), Some(var)) => {
+            if !bn.set_running_stats(mean, var) {
+                return Err(format!(
+                    "batch-norm state widths ({}, {}) do not match the layer width {}",
+                    mean.len(),
+                    var.len(),
+                    bn.dim()
+                ));
+            }
+            Ok(())
+        }
+        _ => Err("batch-norm state needs both running_mean and running_var".to_string()),
     }
 }
 
@@ -205,6 +283,18 @@ impl Backbone for Box<dyn Backbone> {
 
     fn l2_handles(&self) -> Vec<ParamHandle> {
         self.as_ref().l2_handles()
+    }
+
+    fn export_config(&self) -> BackboneConfig {
+        self.as_ref().export_config()
+    }
+
+    fn export_extra_state(&self) -> Vec<(String, Vec<f64>)> {
+        self.as_ref().export_extra_state()
+    }
+
+    fn import_extra_state(&mut self, state: &[(String, Vec<f64>)]) -> Result<(), String> {
+        self.as_mut().import_extra_state(state)
     }
 }
 

@@ -8,6 +8,7 @@ use sbrl_stats::{ipm_graph, IpmKind};
 use sbrl_tensor::{Graph, TensorId};
 
 use crate::backbone::{Backbone, BatchContext, ForwardPass};
+use crate::kind::BackboneConfig;
 use crate::tarnet::{Tarnet, TarnetConfig};
 
 /// CFR hyper-parameters: the TARNet architecture plus the IPM penalty.
@@ -93,6 +94,22 @@ impl Backbone for Cfr {
 
     fn l2_handles(&self) -> Vec<ParamHandle> {
         self.tarnet.l2_handles()
+    }
+
+    fn export_config(&self) -> BackboneConfig {
+        BackboneConfig::Cfr(CfrConfig {
+            arch: *self.tarnet.config(),
+            alpha: self.alpha,
+            ipm: self.ipm,
+        })
+    }
+
+    fn export_extra_state(&self) -> Vec<(String, Vec<f64>)> {
+        self.tarnet.export_extra_state()
+    }
+
+    fn import_extra_state(&mut self, state: &[(String, Vec<f64>)]) -> Result<(), String> {
+        self.tarnet.import_extra_state(state)
     }
 }
 

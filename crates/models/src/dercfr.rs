@@ -27,7 +27,11 @@ use sbrl_nn::{Activation, BatchNorm, Binding, Init, Mlp, ParamHandle, ParamStore
 use sbrl_stats::{ipm_graph, IpmKind};
 use sbrl_tensor::{Graph, TensorId};
 
-use crate::backbone::{select_by_treatment, Backbone, BatchContext, ForwardPass, LayerTaps};
+use crate::backbone::{
+    export_bn_state, import_bn_state, select_by_treatment, Backbone, BatchContext, ForwardPass,
+    LayerTaps,
+};
+use crate::kind::BackboneConfig;
 use crate::tarnet::TarnetConfig;
 
 /// DeR-CFR hyper-parameters (`{α, β, γ, μ, λ}` per the paper's Table V; `λ`
@@ -288,6 +292,18 @@ impl Backbone for DerCfr {
             .chain(self.head1.layers())
             .map(|l| l.weight())
             .collect()
+    }
+
+    fn export_config(&self) -> BackboneConfig {
+        BackboneConfig::DerCfr(self.cfg)
+    }
+
+    fn export_extra_state(&self) -> Vec<(String, Vec<f64>)> {
+        export_bn_state(&self.input_bn)
+    }
+
+    fn import_extra_state(&mut self, state: &[(String, Vec<f64>)]) -> Result<(), String> {
+        import_bn_state(&mut self.input_bn, state)
     }
 }
 

@@ -5,7 +5,11 @@ use rand::rngs::StdRng;
 use sbrl_nn::{Activation, BatchNorm, Binding, Init, Mlp, ParamHandle, ParamStore};
 use sbrl_tensor::{Graph, TensorId};
 
-use crate::backbone::{select_by_treatment, Backbone, BatchContext, ForwardPass, LayerTaps};
+use crate::backbone::{
+    export_bn_state, import_bn_state, select_by_treatment, Backbone, BatchContext, ForwardPass,
+    LayerTaps,
+};
+use crate::kind::BackboneConfig;
 
 /// Architecture hyper-parameters shared by TARNet and CFR (Tables IV/V use
 /// `{d_r, d_y}` layer counts and `{h_r, h_y}` widths).
@@ -236,6 +240,18 @@ impl Backbone for Tarnet {
 
     fn l2_handles(&self) -> Vec<ParamHandle> {
         self.collect_l2()
+    }
+
+    fn export_config(&self) -> BackboneConfig {
+        BackboneConfig::Tarnet(self.cfg)
+    }
+
+    fn export_extra_state(&self) -> Vec<(String, Vec<f64>)> {
+        export_bn_state(&self.input_bn)
+    }
+
+    fn import_extra_state(&mut self, state: &[(String, Vec<f64>)]) -> Result<(), String> {
+        import_bn_state(&mut self.input_bn, state)
     }
 }
 

@@ -131,6 +131,25 @@ impl BatchNorm {
         self.dim
     }
 
+    /// The frozen running statistics `(mean, variance)` used at inference —
+    /// the training-only state a serialized model must carry alongside its
+    /// parameter store.
+    pub fn running_stats(&self) -> (&[f64], &[f64]) {
+        (&self.running_mean, &self.running_var)
+    }
+
+    /// Overwrites the running statistics (model deserialization). Returns
+    /// `false` — leaving the layer untouched — when either slice does not
+    /// match the feature width.
+    pub fn set_running_stats(&mut self, mean: &[f64], var: &[f64]) -> bool {
+        if mean.len() != self.dim || var.len() != self.dim {
+            return false;
+        }
+        self.running_mean.copy_from_slice(mean);
+        self.running_var.copy_from_slice(var);
+        true
+    }
+
     /// Training-mode forward pass: normalises by the batch statistics (which
     /// flow through the tape and are differentiated) and updates the running
     /// averages used at inference. This is the only mutating path — keep it
@@ -375,6 +394,20 @@ mod tests {
         let y = bn.forward_infer(&store, &mut binding, &mut g, x);
         let mean = g.value(y).mean_axis0();
         assert!(mean.as_slice().iter().all(|m| m.abs() < 0.5), "eval mean {mean:?}");
+    }
+
+    #[test]
+    fn batchnorm_running_stats_round_trip() {
+        let mut store = ParamStore::new();
+        let mut bn = BatchNorm::new(&mut store, "bn", 3);
+        assert!(bn.set_running_stats(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]));
+        let (mean, var) = bn.running_stats();
+        assert_eq!(mean, &[1.0, 2.0, 3.0]);
+        assert_eq!(var, &[4.0, 5.0, 6.0]);
+        // Wrong widths are rejected and leave the layer untouched.
+        assert!(!bn.set_running_stats(&[0.0; 2], &[1.0; 3]));
+        assert!(!bn.set_running_stats(&[0.0; 3], &[1.0; 4]));
+        assert_eq!(bn.running_stats().0, &[1.0, 2.0, 3.0]);
     }
 
     #[test]

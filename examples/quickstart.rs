@@ -26,9 +26,11 @@ fn main() {
         seed: 7,
     };
     let id = registry.generate("syn_8_8_8_2", &opts).expect("registered dataset");
-    // Same seed, shifted test environment: train/val folds are identical.
+    // Second generation fetches only the shifted OOD *test* fold (same
+    // seed, zero-sized train/val): the training folds above are reused, not
+    // regenerated.
     let ood = registry
-        .generate("syn_8_8_8_2", &DatasetOptions { test_shift: -3.0, ..opts })
+        .generate("syn_8_8_8_2", &DatasetOptions { n_train: 0, n_val: 0, test_shift: -3.0, ..opts })
         .expect("registered dataset");
     let (train_data, val_data, id_test, ood_test) = (id.train, id.val, id.test, ood.test);
 
