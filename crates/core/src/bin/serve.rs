@@ -9,10 +9,23 @@
 //!     --clients C    client threads          (default 4)
 //!     --rows R       rows per request        (default 16)
 //!     --batch-max B  batcher batch size      (default 64)
+//!     --socket       also bench over a loopback TCP socket
 //!     --json PATH    write a BENCH_serving.json-format snapshot
+//! serve listen <registry-dir> [opts]     TCP front-end (wire protocol)
+//!     --addr A       bind address            (default 127.0.0.1:7878; use
+//!                                             port 0 for an ephemeral port)
+//!     --smoke N      serve N loopback requests, verify each is
+//!                    bit-identical to in-process predict, drain, exit
 //! serve make-fixtures <fixture-root>     regenerate the committed golden
 //!                                        fixtures (deliberate, reviewed act)
 //! ```
+//!
+//! `listen` honours `SBRL_DEADLINE_MS` / `SBRL_QUEUE_MAX` (service knobs)
+//! and the smoke client honours `SBRL_DEADLINE_MS` / `SBRL_RETRIES` /
+//! `SBRL_BACKOFF_MS` (client knobs) — see `docs/SERVING.md`. Without
+//! `--smoke`, `listen` serves until stdin reaches EOF, then drains
+//! gracefully (fulfil or deadline-fail every queued request, bounded by the
+//! drain budget).
 //!
 //! Exit code 0 on success, 1 on any typed failure (printed to stderr).
 
@@ -21,7 +34,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use sbrl_core::persist::{fixture, ModelRegistry};
-use sbrl_core::serve::{summarize_latencies, InferenceService, ServeConfig};
+use sbrl_core::serve::{summarize_latencies, InferenceService, ServeConfig, SocketServer};
+use sbrl_core::wire::{ClientConfig, ServeClient};
 use sbrl_core::{FittedModel, SbrlError};
 use sbrl_models::Backbone;
 use sbrl_tensor::kernels::NumericsMode;
@@ -36,6 +50,9 @@ fn main() -> ExitCode {
         }
         Some("bench") => {
             args.get(1).map(|d| bench(Path::new(d), &args[2..])).unwrap_or_else(usage_err)
+        }
+        Some("listen") => {
+            args.get(1).map(|d| listen(Path::new(d), &args[2..])).unwrap_or_else(usage_err)
         }
         Some("make-fixtures") => {
             args.get(1).map(|d| make_fixtures(Path::new(d))).unwrap_or_else(usage_err)
@@ -54,7 +71,8 @@ fn main() -> ExitCode {
 fn usage_err() -> Result<(), SbrlError> {
     Err(SbrlError::InvalidConfig {
         what: "serve.args",
-        message: "usage: serve <check|demo-train|bench|make-fixtures> <dir> [options]".into(),
+        message: "usage: serve <check|demo-train|bench|listen|make-fixtures> <dir> [options]"
+            .into(),
     })
 }
 
@@ -152,14 +170,20 @@ struct BenchOpts {
     clients: usize,
     rows: usize,
     batch_max: usize,
+    socket: bool,
     json: Option<PathBuf>,
 }
 
 fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, SbrlError> {
-    let mut opts = BenchOpts { requests: 200, clients: 4, rows: 16, batch_max: 64, json: None };
+    let mut opts =
+        BenchOpts { requests: 200, clients: 4, rows: 16, batch_max: 64, socket: false, json: None };
     let bad = |message: String| SbrlError::InvalidConfig { what: "serve.bench", message };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        if flag == "--socket" {
+            opts.socket = true;
+            continue;
+        }
         let value = it.next().ok_or_else(|| bad(format!("flag {flag} needs a value")))?;
         let parse =
             |v: &str| v.parse::<usize>().map_err(|_| bad(format!("{flag}: not a number: {v}")));
@@ -246,20 +270,101 @@ fn bench(dir: &Path, args: &[String]) -> Result<(), SbrlError> {
     println!("  mean/row     {:>12} ns", mean_ns_per_row);
     println!("  throughput   {rows_per_sec:>12.0} rows/s (wall {:.3}s)", wall.as_secs_f64());
 
+    // Free the in-process service's worker pool before the socket run so the
+    // two phases don't compete for cores.
+    drop(service);
+    let socket = if opts.socket {
+        let (p50, p99) = socket_bench(dir, &opts)?;
+        println!("  socket p50   {p50:>12} ns");
+        println!("  socket p99   {p99:>12} ns");
+        Some((p50, p99))
+    } else {
+        None
+    };
+
     if let Some(json_path) = &opts.json {
-        let body =
-            bench_json(summary.p50_ns, summary.p99_ns, mean_ns_per_row, completed, opts.clients);
+        let body = bench_json(
+            summary.p50_ns,
+            summary.p99_ns,
+            mean_ns_per_row,
+            completed,
+            opts.clients,
+            socket,
+        );
         std::fs::write(json_path, body).map_err(|e| io_err(json_path, e))?;
         println!("  snapshot     {}", json_path.display());
     }
     Ok(())
 }
 
+/// The same load run as [`bench()`], but over a loopback TCP socket: every
+/// request pays the full wire round trip (encode, CRC, kernel hop, decode).
+fn socket_bench(dir: &Path, opts: &BenchOpts) -> Result<(u64, u64), SbrlError> {
+    let registry = ModelRegistry::load_dir(dir)?;
+    let names = registry.names();
+    let dims: Vec<usize> = names
+        .iter()
+        .filter_map(|n| registry.get(n).map(|m| m.model().export_config().in_dim()))
+        .collect();
+    let server = SocketServer::bind(
+        registry,
+        ServeConfig { batch_max: opts.batch_max, ..ServeConfig::default() },
+        "127.0.0.1:0",
+    )?;
+    let addr = server.local_addr();
+    let per_client = opts.requests.div_ceil(opts.clients);
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(opts.requests);
+    // lint: allow(spawn) — socket bench clients: real TCP peers must live on
+    // their own threads; the service's worker pool is the system under test.
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(opts.clients);
+        for client in 0..opts.clients {
+            let names = &names;
+            let dims = &dims;
+            handles.push(scope.spawn(move || {
+                let mut latencies = Vec::with_capacity(per_client);
+                let mut conn = ServeClient::connect(addr, ClientConfig::default());
+                for req in 0..per_client {
+                    let which = (client + req) % names.len().max(1);
+                    let Some(name) = names.get(which) else { continue };
+                    let Some(&dim) = dims.get(which) else { continue };
+                    let x = request_matrix(opts.rows, dim, (client * 1_000_003 + req) as u64);
+                    let t0 = Instant::now();
+                    let outcome = conn.predict(name, &x);
+                    let elapsed = t0.elapsed().as_nanos() as u64;
+                    if outcome.is_ok() {
+                        latencies.push(elapsed);
+                    }
+                }
+                latencies
+            }));
+        }
+        for handle in handles {
+            if let Ok(latencies) = handle.join() {
+                all_latencies.extend(latencies);
+            }
+        }
+    });
+    server.shutdown();
+    let summary = summarize_latencies(all_latencies).ok_or_else(|| SbrlError::InvalidConfig {
+        what: "serve.bench",
+        message: "no socket request completed".into(),
+    })?;
+    Ok((summary.p50_ns, summary.p99_ns))
+}
+
 /// Renders the `BENCH_serving.json` snapshot in the same line-oriented
 /// layout as the criterion shim's `SBRL_BENCH_JSON` output, so
 /// `bench_compare` parses it unchanged. Latency metrics only (lower is
 /// better, matching the comparator's direction).
-fn bench_json(p50: u64, p99: u64, ns_per_row: u64, samples: usize, threads: usize) -> String {
+fn bench_json(
+    p50: u64,
+    p99: u64,
+    ns_per_row: u64,
+    samples: usize,
+    threads: usize,
+    socket: Option<(u64, u64)>,
+) -> String {
     let rev = std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()
@@ -280,11 +385,119 @@ fn bench_json(p50: u64, p99: u64, ns_per_row: u64, samples: usize, threads: usiz
     body.push_str(&format!(
         "    {{\"name\": \"serving/request_p99\", \"median_ns\": {p99}, \"samples\": {samples}}},\n"
     ));
+    let tail = if socket.is_some() { "," } else { "" };
     body.push_str(&format!(
-        "    {{\"name\": \"serving/mean_ns_per_row\", \"median_ns\": {ns_per_row}, \"samples\": {samples}}}\n"
+        "    {{\"name\": \"serving/mean_ns_per_row\", \"median_ns\": {ns_per_row}, \"samples\": {samples}}}{tail}\n"
     ));
+    if let Some((sp50, sp99)) = socket {
+        body.push_str(&format!(
+            "    {{\"name\": \"serving/socket_request_p50\", \"median_ns\": {sp50}, \"samples\": {samples}}},\n"
+        ));
+        body.push_str(&format!(
+            "    {{\"name\": \"serving/socket_request_p99\", \"median_ns\": {sp99}, \"samples\": {samples}}}\n"
+        ));
+    }
     body.push_str("  ]\n}\n");
     body
+}
+
+/// `serve listen`: boots the socket front-end over a loaded registry and
+/// serves the wire protocol until stdin reaches EOF (operator stop signal)
+/// or, with `--smoke N`, until N loopback requests have been verified
+/// bit-identical to the in-process answers. Either way the exit path is a
+/// graceful drain: every queued request is fulfilled or deadline-failed
+/// within the drain budget before the process returns.
+fn listen(dir: &Path, args: &[String]) -> Result<(), SbrlError> {
+    let bad = |message: String| SbrlError::InvalidConfig { what: "serve.listen", message };
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut smoke: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().ok_or_else(|| bad(format!("flag {flag} needs a value")))?;
+        match flag.as_str() {
+            "--addr" => addr = value.clone(),
+            "--smoke" => {
+                let n = value
+                    .parse::<usize>()
+                    .map_err(|_| bad(format!("--smoke: not a number: {value}")))?;
+                smoke = Some(n.max(1));
+            }
+            other => return Err(bad(format!("unknown flag {other}"))),
+        }
+    }
+
+    let registry = ModelRegistry::load_dir(dir)?;
+    let cfg = ServeConfig::from_env()?;
+    let server = SocketServer::bind(registry, cfg, addr.as_str())?;
+    let service = server.service();
+    let deadline = service
+        .config()
+        .deadline
+        .map(|d| format!("{}ms", d.as_millis()))
+        .unwrap_or_else(|| "off".into());
+    println!(
+        "listening on {} ({} model(s), queue_max {}, deadline {deadline})",
+        server.local_addr(),
+        service.registry().len(),
+        service.config().queue_max,
+    );
+
+    match smoke {
+        Some(n) => smoke_requests(&server, n)?,
+        None => {
+            // Serve until the operator (or CI harness) closes stdin.
+            let mut sink = Vec::new();
+            std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut sink)
+                .map_err(|e| bad(format!("stdin wait failed: {e}")))?;
+        }
+    }
+    let queued = server.shutdown();
+    println!("drained: {queued} request(s) were queued at close, all answered");
+    Ok(())
+}
+
+/// Fires `n` loopback requests through a real TCP [`ServeClient`] and
+/// verifies each reply is bit-identical to the in-process answer for the
+/// same covariates — the wire hop must not cost a single bit.
+fn smoke_requests(server: &SocketServer, n: usize) -> Result<(), SbrlError> {
+    let service = server.service();
+    let names = service.registry().names();
+    let mut client = ServeClient::connect(server.local_addr(), ClientConfig::from_env()?);
+    let report = client.health()?;
+    if !report.ready {
+        return Err(SbrlError::InvalidConfig {
+            what: "serve.listen",
+            message: "health frame reports the service is not ready".into(),
+        });
+    }
+    println!(
+        "health: ready, queue {}/{}, models [{}]",
+        report.queue_depth,
+        report.queue_max,
+        report.models.join(", ")
+    );
+    for req in 0..n {
+        let which = req % names.len().max(1);
+        let Some(name) = names.get(which) else { continue };
+        let dim = service.registry().require(name)?.model().export_config().in_dim();
+        let x = request_matrix(4, dim, req as u64);
+        let over_socket = client.predict(name, &x)?;
+        let in_process = service.predict(name, x)?;
+        let identical = over_socket
+            .y0_hat
+            .iter()
+            .zip(&in_process.y0_hat)
+            .chain(over_socket.y1_hat.iter().zip(&in_process.y1_hat))
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !identical {
+            return Err(SbrlError::InvalidConfig {
+                what: "serve.listen",
+                message: format!("smoke request {req} ({name}) was not bit-identical"),
+            });
+        }
+        println!("  smoke {req}: {name} OK ({} rows, bit-identical)", over_socket.y0_hat.len());
+    }
+    Ok(())
 }
 
 /// Regenerates the committed golden fixtures under `root`:

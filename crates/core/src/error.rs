@@ -52,10 +52,12 @@ pub enum SbrlError {
         /// Which objective term diverged.
         term: NonFiniteTerm,
     },
-    /// The fit exceeded [`TrainConfig::time_budget`](crate::TrainConfig)
-    /// (checked at the top of every iteration — the watchdog).
+    /// A deadline expired: the fit exceeded
+    /// [`TrainConfig::time_budget`](crate::TrainConfig) (checked at the top
+    /// of every iteration — the watchdog), or a serving request ran past its
+    /// `SBRL_DEADLINE_MS` budget (`iteration` is 0 for serving deadlines).
     TimedOut {
-        /// Iteration at which the budget check tripped.
+        /// Iteration at which the budget check tripped (0 for serving).
         iteration: usize,
         /// Wall-clock time elapsed when the check tripped.
         elapsed: Duration,
@@ -77,6 +79,22 @@ pub enum SbrlError {
     Parse(ParseError),
     /// A persisted model artifact could not be written, read or validated.
     Persist(crate::persist::PersistError),
+    /// The serving admission queue was full: the request was shed at the
+    /// door instead of queueing without bound (backpressure, not collapse).
+    Overloaded {
+        /// Queue depth observed when the request was shed.
+        depth: usize,
+        /// The configured `queue_max` admission limit.
+        limit: usize,
+    },
+    /// The inference service stopped (drain, shutdown, or a dead batcher)
+    /// before this request could be answered.
+    ServiceStopped {
+        /// What stopped the service.
+        reason: String,
+    },
+    /// A wire-protocol frame could not be written, read, or decoded.
+    Wire(crate::wire::WireError),
 }
 
 impl fmt::Display for SbrlError {
@@ -89,8 +107,7 @@ impl fmt::Display for SbrlError {
             SbrlError::TimedOut { iteration, elapsed } => {
                 write!(
                     f,
-                    "training exceeded its time budget at iteration {iteration} \
-                     (elapsed {:.3}s)",
+                    "deadline exceeded at iteration {iteration} (elapsed {:.3}s)",
                     elapsed.as_secs_f64()
                 )
             }
@@ -102,6 +119,13 @@ impl fmt::Display for SbrlError {
             }
             SbrlError::Parse(e) => write!(f, "{e}"),
             SbrlError::Persist(e) => write!(f, "persistence failure: {e}"),
+            SbrlError::Overloaded { depth, limit } => {
+                write!(f, "service overloaded: admission queue is at depth {depth}/{limit}")
+            }
+            SbrlError::ServiceStopped { reason } => {
+                write!(f, "service stopped before answering: {reason}")
+            }
+            SbrlError::Wire(e) => write!(f, "wire failure: {e}"),
         }
     }
 }
@@ -118,6 +142,7 @@ impl std::error::Error for SbrlError {
             SbrlError::Data(e) => Some(e),
             SbrlError::Parse(e) => Some(e),
             SbrlError::Persist(e) => Some(e),
+            SbrlError::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -138,6 +163,12 @@ impl From<DataError> for SbrlError {
 impl From<ParseError> for SbrlError {
     fn from(e: ParseError) -> Self {
         SbrlError::Parse(e)
+    }
+}
+
+impl From<crate::wire::WireError> for SbrlError {
+    fn from(e: crate::wire::WireError) -> Self {
+        SbrlError::Wire(e)
     }
 }
 
@@ -200,6 +231,12 @@ mod tests {
         });
         assert!(s.to_string().contains("persistence failure"));
         assert!(s.to_string().contains("magic"));
+        let o = SbrlError::Overloaded { depth: 128, limit: 128 };
+        assert!(o.to_string().contains("128/128"));
+        let st = SbrlError::ServiceStopped { reason: "drained".into() };
+        assert!(st.to_string().contains("drained"));
+        let wi = SbrlError::Wire(crate::wire::WireError::BadMagic { found: [0, 1, 2, 3] });
+        assert!(wi.to_string().contains("wire failure") && wi.to_string().contains("magic"));
     }
 
     #[test]

@@ -20,7 +20,15 @@
 //! SBRL_FAULTS="stall-iter@3:250"       # sleep 250 ms before iteration 3
 //! SBRL_FAULTS="panic-task@1"           # catching-path pool task 1 panics
 //! SBRL_FAULTS="stall-task@0:50"        # pool task 0 sleeps 50 ms
+//! SBRL_FAULTS="batcher-panic@0"        # serving batcher panics at batch 0
+//! SBRL_FAULTS="net-drop@2"             # close the conn instead of reply 2
+//! SBRL_FAULTS="net-delay@1:100"        # delay server reply 1 by 100 ms
+//! SBRL_FAULTS="net-trunc@0"            # send half of reply 0, then close
+//! SBRL_FAULTS="net-garbage@3"          # flip a byte of reply 3 (CRC trips)
 //! ```
+//!
+//! Network faults index the server's *response frames* in the order they
+//! are written (process-global counter, reset when a plan is armed).
 //!
 //! Every fault is **one-shot**: it disarms as it fires, so a recovered fit
 //! does not re-diverge at the same point after rollback.
@@ -36,12 +44,37 @@ pub use enabled::{inject, FaultGuard, FaultPlan};
 #[cfg(not(feature = "fault-inject"))]
 use crate::error::NonFiniteTerm;
 
+/// What to do to the next server response frame. Defined unconditionally so
+/// the serving write path can match on it; without `fault-inject` the hook
+/// always returns [`NetAction::None`], so the other variants are
+/// intentionally never constructed in default builds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+pub(crate) enum NetAction {
+    /// Write the frame normally.
+    None,
+    /// Close the connection instead of writing.
+    Drop,
+    /// Sleep this many milliseconds, then write normally.
+    Delay(u64),
+    /// Write only the first half of the frame, then close.
+    Truncate,
+    /// Flip one mid-frame byte (the client's CRC check trips), then close.
+    Garbage,
+}
+
 #[cfg(feature = "fault-inject")]
 mod enabled {
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
     use std::time::Duration;
 
+    use super::NetAction;
     use crate::error::NonFiniteTerm;
+
+    /// Index of the next server response frame (see the module docs: net
+    /// faults address response frames by write order).
+    static NET_FRAME: AtomicUsize = AtomicUsize::new(0);
 
     /// One deterministic fault: what fires, and at which iteration / task.
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,6 +93,16 @@ mod enabled {
         PanicTask { index: usize },
         /// Stall the catching-path pool task with this chunk index.
         StallTask { index: usize, millis: u64 },
+        /// Panic the serving batcher thread at this batch index.
+        BatcherPanic { batch: usize },
+        /// Close the connection instead of writing response frame `frame`.
+        NetDrop { frame: usize },
+        /// Delay response frame `frame` by `millis`.
+        NetDelay { frame: usize, millis: u64 },
+        /// Write half of response frame `frame`, then close.
+        NetTrunc { frame: usize },
+        /// Corrupt one byte of response frame `frame`.
+        NetGarbage { frame: usize },
     }
 
     /// A parsed, injectable set of one-shot faults.
@@ -94,14 +137,20 @@ mod enabled {
                     ("stall-iter", Some(ms)) => Fault::StallIteration { iteration: at, millis: ms },
                     ("panic-task", None) => Fault::PanicTask { index: at },
                     ("stall-task", Some(ms)) => Fault::StallTask { index: at, millis: ms },
-                    ("stall-iter" | "stall-task", None) => {
-                        return Err(format!("'{part}': stalls need ':millis'"));
+                    ("batcher-panic", None) => Fault::BatcherPanic { batch: at },
+                    ("net-drop", None) => Fault::NetDrop { frame: at },
+                    ("net-delay", Some(ms)) => Fault::NetDelay { frame: at, millis: ms },
+                    ("net-trunc", None) => Fault::NetTrunc { frame: at },
+                    ("net-garbage", None) => Fault::NetGarbage { frame: at },
+                    ("stall-iter" | "stall-task" | "net-delay", None) => {
+                        return Err(format!("'{part}': stalls and delays need ':millis'"));
                     }
                     (other, _) => {
                         return Err(format!(
                             "'{part}': unknown fault kind '{other}' (expected nan-loss, \
                              nan-reg, nan-weight-loss, nan-grad, stall-iter, panic-task, \
-                             stall-task)"
+                             stall-task, batcher-panic, net-drop, net-delay, net-trunc, \
+                             net-garbage)"
                         ));
                     }
                 };
@@ -163,6 +212,7 @@ mod enabled {
 
     pub(crate) fn arm(plan: &FaultPlan) {
         disarm_all();
+        NET_FRAME.store(0, Ordering::SeqCst);
         let mut armed = armed().lock().unwrap_or_else(PoisonError::into_inner);
         for f in &plan.faults {
             match *f {
@@ -235,6 +285,39 @@ mod enabled {
         }
     }
 
+    /// Panics when a batcher fault is armed for this batch index (one-shot)
+    /// — the serving layer's drop/unwind guards are the subject under test.
+    pub(crate) fn batcher_panic(batch: usize) {
+        if fire(|f| matches!(*f, Fault::BatcherPanic { batch: at } if at == batch)).is_some() {
+            // lint: allow(panic) — the injected fault *is* a panic; chaos
+            // tests assert the service degrades to typed errors around it.
+            panic!("injected fault: batcher panicked at batch {batch}");
+        }
+    }
+
+    /// The action for the next server response frame (one-shot per armed
+    /// fault; the frame counter advances on every call).
+    pub(crate) fn net_response() -> NetAction {
+        let frame = NET_FRAME.fetch_add(1, Ordering::SeqCst);
+        let hit = fire(|f| {
+            matches!(
+                *f,
+                Fault::NetDrop { frame: at }
+                | Fault::NetDelay { frame: at, .. }
+                | Fault::NetTrunc { frame: at }
+                | Fault::NetGarbage { frame: at }
+                if at == frame
+            )
+        });
+        match hit {
+            Some(Fault::NetDrop { .. }) => NetAction::Drop,
+            Some(Fault::NetDelay { millis, .. }) => NetAction::Delay(millis),
+            Some(Fault::NetTrunc { .. }) => NetAction::Truncate,
+            Some(Fault::NetGarbage { .. }) => NetAction::Garbage,
+            _ => NetAction::None,
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -243,7 +326,8 @@ mod enabled {
         fn parse_accepts_the_full_grammar() {
             let plan = FaultPlan::parse(
                 "nan-loss@10; nan-reg@3,nan-weight-loss@4;nan-grad@5;\
-                 stall-iter@2:250;panic-task@1;stall-task@0:50",
+                 stall-iter@2:250;panic-task@1;stall-task@0:50;\
+                 batcher-panic@0;net-drop@1;net-delay@2:100;net-trunc@3;net-garbage@4",
             )
             .expect("valid plan");
             assert_eq!(
@@ -256,6 +340,11 @@ mod enabled {
                     Fault::StallIteration { iteration: 2, millis: 250 },
                     Fault::PanicTask { index: 1 },
                     Fault::StallTask { index: 0, millis: 50 },
+                    Fault::BatcherPanic { batch: 0 },
+                    Fault::NetDrop { frame: 1 },
+                    Fault::NetDelay { frame: 2, millis: 100 },
+                    Fault::NetTrunc { frame: 3 },
+                    Fault::NetGarbage { frame: 4 },
                 ]
             );
             assert_eq!(FaultPlan::parse("").expect("empty is fine"), FaultPlan::default());
@@ -263,9 +352,28 @@ mod enabled {
 
         #[test]
         fn parse_rejects_malformed_plans() {
-            for bad in ["nan-loss", "nan-loss@x", "bogus@3", "stall-iter@3", "stall-task@0:abc"] {
+            for bad in [
+                "nan-loss",
+                "nan-loss@x",
+                "bogus@3",
+                "stall-iter@3",
+                "stall-task@0:abc",
+                "net-delay@1",
+                "net-drop@x",
+            ] {
                 assert!(FaultPlan::parse(bad).is_err(), "'{bad}' must be rejected");
             }
+        }
+
+        #[test]
+        fn net_faults_fire_one_shot_on_their_response_frame() {
+            let plan = FaultPlan::parse("net-drop@1;net-delay@2:30").expect("valid");
+            let _guard = inject(&plan);
+            assert_eq!(net_response(), NetAction::None); // frame 0
+            assert_eq!(net_response(), NetAction::Drop); // frame 1
+            assert_eq!(net_response(), NetAction::Delay(30)); // frame 2
+            assert_eq!(net_response(), NetAction::None); // frame 3
+            assert!(!any_armed(), "net faults must disarm as they fire");
         }
 
         #[test]
@@ -345,3 +453,23 @@ pub(crate) fn stall(_iteration: usize) {}
 
 #[cfg(feature = "fault-inject")]
 pub(crate) use enabled::stall;
+
+/// No-op without `fault-inject`; with it, panics the serving batcher when a
+/// fault is armed for this batch index.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub(crate) fn batcher_panic(_batch: usize) {}
+
+#[cfg(feature = "fault-inject")]
+pub(crate) use enabled::batcher_panic;
+
+/// Always [`NetAction::None`] without `fault-inject`; with it, the armed
+/// action for the next server response frame.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub(crate) fn net_response() -> NetAction {
+    NetAction::None
+}
+
+#[cfg(feature = "fault-inject")]
+pub(crate) use enabled::net_response;

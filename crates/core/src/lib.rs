@@ -24,7 +24,10 @@
 //!   ([`FittedModel::save`]/[`FittedModel::load`]) and the method-keyed
 //!   [`ModelRegistry`];
 //! * [`serve`] — the request-batching [`InferenceService`] over a loaded
-//!   registry (the `serve` binary's engine);
+//!   registry (the `serve` binary's engine) and the [`SocketServer`]
+//!   front-end with deadlines, backpressure, and graceful drain;
+//! * [`wire`] — the length-framed, CRC-checked socket protocol and the
+//!   retrying [`ServeClient`];
 //! * [`error`] — the unified [`SbrlError`] type.
 //!
 //! ```no_run
@@ -66,6 +69,7 @@ pub mod regularizers;
 pub mod serve;
 pub mod trainer;
 pub mod weights;
+pub mod wire;
 
 pub use config::{Framework, SbrlConfig};
 pub use error::{NonFiniteTerm, ParseError, SbrlError};
@@ -77,8 +81,9 @@ pub use ood::{BlendedEstimator, OodDetector, OodDetectorConfig};
 pub use persist::{ModelRegistry, PersistError};
 pub use recovery::{FitReport, RecoveryEvent, RecoveryPolicy};
 pub use regularizers::{weight_objective, WeightLossTerms};
-pub use serve::{InferenceService, LatencySummary, PendingPrediction, ServeConfig};
+pub use serve::{InferenceService, LatencySummary, PendingPrediction, ServeConfig, SocketServer};
 #[allow(deprecated)]
 pub use trainer::{train, TrainError};
 pub use trainer::{FittedModel, TrainConfig, TrainReport};
 pub use weights::SampleWeights;
+pub use wire::{ClientConfig, HealthReport, ServeClient, WireError};

@@ -1,0 +1,1038 @@
+//! The serving wire protocol: length-framed, CRC-checked request/response
+//! messages and the retrying [`ServeClient`].
+//!
+//! Framing follows the same discipline as [`persist`](crate::persist),
+//! because the peer is just as untrusted as a file on disk:
+//!
+//! ```text
+//! [magic 4B][version u8][kind u8][payload_len u32 LE][payload][crc32 u32 LE]
+//! ```
+//!
+//! * the magic opens with a non-ASCII byte (`0x89`) so a stray HTTP client
+//!   is rejected on byte one;
+//! * `payload_len` is bounded by [`MAX_FRAME_PAYLOAD`] **before** any
+//!   allocation — a corrupted length field is a typed
+//!   [`WireError::FrameTooLarge`], not a multi-gigabyte `Vec`;
+//! * the trailing CRC-32 (same IEEE polynomial as the `.sbrl` format) covers
+//!   header and payload, so a flipped bit anywhere is a typed
+//!   [`WireError::ChecksumMismatch`];
+//! * every decode goes through the bounds-checked `WireReader` cursor —
+//!   the reader is panic- and index-free (enforced by the `wire_reader`
+//!   lint rule), so malformed bytes can produce *only* typed errors.
+//!
+//! `f64` payloads travel as little-endian bit patterns, so a served
+//! prediction is **bit-identical** to the in-process result — the socket hop
+//! adds no numeric noise.
+//!
+//! The [`ServeClient`] side of the contract: connect/read/write timeouts on
+//! every call, an optional end-to-end deadline (`SBRL_DEADLINE_MS`), and
+//! bounded retry with seeded exponential backoff + jitter. Only transient
+//! failures are retried (connection resets, corrupt frames, a remote
+//! [`SbrlError::WorkerPanic`]) — mirroring the sweep-runner retry policy;
+//! typed application outcomes (`Overloaded`, `TimedOut`, unknown model, bad
+//! shape) are returned to the caller untouched, because retrying them
+//! either cannot help or would pile load onto an overloaded server.
+
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use sbrl_metrics::EffectEstimate;
+use sbrl_tensor::Matrix;
+
+use crate::error::SbrlError;
+use crate::persist::{crc32, PersistError};
+
+/// First bytes of every frame; `0x89` keeps text protocols out on byte one.
+pub const WIRE_MAGIC: [u8; 4] = [0x89, b'S', b'B', b'W'];
+
+/// Current protocol version; bumped on any layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload (16 MiB) — checked before allocating.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 24;
+
+/// Upper bound on a request matrix dimension (rows or cols).
+pub const MAX_WIRE_DIM: usize = 1 << 20;
+
+const HEADER_LEN: usize = 10;
+const CRC_LEN: usize = 4;
+
+const KIND_PREDICT: u8 = 0x01;
+const KIND_PREDICTION: u8 = 0x02;
+const KIND_FAILURE: u8 = 0x03;
+const KIND_HEALTH: u8 = 0x04;
+const KIND_HEALTH_REPORT: u8 = 0x05;
+
+// Failure-frame codes: a typed `SbrlError` crosses the wire as
+// `[code u8][a u64][b u64][message str]` and is rebuilt on the far side.
+const ERR_INTERNAL: u8 = 0;
+const ERR_INVALID_REQUEST: u8 = 1;
+const ERR_UNKNOWN_MODEL: u8 = 2;
+const ERR_OVERLOADED: u8 = 3;
+const ERR_TIMED_OUT: u8 = 4;
+const ERR_WORKER_PANIC: u8 = 5;
+const ERR_SERVICE_STOPPED: u8 = 6;
+
+/// Typed failure of the wire layer: every malformed byte sequence and every
+/// socket error decodes to exactly one of these — never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// A socket operation failed (the originating `ErrorKind` is kept; the
+    /// `std::io::Error` itself is not `Clone`/`Eq`).
+    Io {
+        /// Which operation failed.
+        op: &'static str,
+        /// The I/O error kind reported by the OS.
+        kind: ErrorKind,
+    },
+    /// The frame did not start with [`WIRE_MAGIC`].
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The peer speaks a different protocol version.
+    UnsupportedVersion {
+        /// The version byte actually found.
+        found: u8,
+    },
+    /// The kind byte names no known message.
+    UnknownKind {
+        /// The kind byte actually found.
+        found: u8,
+    },
+    /// The declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    FrameTooLarge {
+        /// The declared payload length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// The frame or a field inside it ended early.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The trailing CRC-32 does not match the received bytes.
+    ChecksumMismatch {
+        /// CRC stored in the frame.
+        stored: u32,
+        /// CRC computed over the received bytes.
+        computed: u32,
+    },
+    /// The bytes parse as a frame but the payload violates the layout.
+    Malformed {
+        /// Human-readable description of the violation.
+        what: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io { op, kind } => write!(f, "socket {op} failed: {kind}"),
+            WireError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:02x?} (not an sbrl wire frame)")
+            }
+            WireError::UnsupportedVersion { found } => {
+                write!(f, "unsupported wire version {found} (this build speaks {WIRE_VERSION})")
+            }
+            WireError::UnknownKind { found } => write!(f, "unknown message kind 0x{found:02x}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "declared payload of {len} bytes exceeds the {max}-byte frame limit")
+            }
+            WireError::Truncated { what, needed, available } => {
+                write!(f, "truncated {what}: needed {needed} bytes, got {available}")
+            }
+            WireError::ChecksumMismatch { stored, computed } => {
+                write!(f, "frame checksum mismatch: stored {stored:08x}, computed {computed:08x}")
+            }
+            WireError::Malformed { what } => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn malformed(what: impl Into<String>) -> WireError {
+    WireError::Malformed { what: what.into() }
+}
+
+fn io_fail(op: &'static str, e: &std::io::Error) -> WireError {
+    WireError::Io { op, kind: e.kind() }
+}
+
+/// Messages of the protocol. `Predict`/`Health` flow client → server;
+/// the rest flow back.
+#[derive(Debug)]
+pub enum Message {
+    /// Request: predict effects for `x` with the named model.
+    Predict {
+        /// Registry name of the model to serve from.
+        model: String,
+        /// Covariate rows to predict for.
+        x: Matrix,
+    },
+    /// Response: the per-row potential-outcome estimates.
+    Prediction {
+        /// Predicted untreated outcomes, one per request row.
+        y0_hat: Vec<f64>,
+        /// Predicted treated outcomes, one per request row.
+        y1_hat: Vec<f64>,
+    },
+    /// Response: the request failed with this typed error.
+    Failure(SbrlError),
+    /// Request: readiness probe (empty payload).
+    Health,
+    /// Response to [`Message::Health`].
+    HealthReport(HealthReport),
+}
+
+/// Server state returned by a health probe — enough for an orchestrator to
+/// decide readiness and for a load balancer to see queue pressure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealthReport {
+    /// True when the service is accepting and answering requests.
+    pub ready: bool,
+    /// Requests currently queued for the batcher.
+    pub queue_depth: usize,
+    /// The admission limit (`queue_max`).
+    pub queue_max: usize,
+    /// Names of the loaded models.
+    pub models: Vec<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), WireError> {
+    let len = u32::try_from(s.len())
+        .map_err(|_| malformed(format!("string of {} bytes does not fit a u32", s.len())))?;
+    put_u32(out, len);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    out.reserve(xs.len() * 8);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn wire_dim(n: usize, what: &'static str) -> Result<u32, WireError> {
+    if n == 0 || n > MAX_WIRE_DIM {
+        return Err(malformed(format!("{what} {n} outside 1..={MAX_WIRE_DIM}")));
+    }
+    u32::try_from(n).map_err(|_| malformed(format!("{what} {n} does not fit a u32")))
+}
+
+/// Maps a typed [`SbrlError`] onto the failure-frame quadruple. Errors the
+/// codes cannot express exactly travel as [`ERR_INTERNAL`] with their
+/// rendered message (the mapping is lossy only for server-internal faults a
+/// client cannot act on anyway).
+fn encode_failure(e: &SbrlError) -> (u8, u64, u64, String) {
+    match e {
+        SbrlError::InvalidConfig { what, message } => {
+            (ERR_INVALID_REQUEST, 0, 0, format!("{what}: {message}"))
+        }
+        SbrlError::Persist(PersistError::UnknownModel { name, .. }) => {
+            (ERR_UNKNOWN_MODEL, 0, 0, name.clone())
+        }
+        SbrlError::Overloaded { depth, limit } => {
+            (ERR_OVERLOADED, *depth as u64, *limit as u64, String::new())
+        }
+        SbrlError::TimedOut { iteration, elapsed } => {
+            let millis = u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX);
+            (ERR_TIMED_OUT, *iteration as u64, millis, String::new())
+        }
+        SbrlError::WorkerPanic { task } => (ERR_WORKER_PANIC, *task as u64, 0, String::new()),
+        SbrlError::ServiceStopped { reason } => (ERR_SERVICE_STOPPED, 0, 0, reason.clone()),
+        other => (ERR_INTERNAL, 0, 0, other.to_string()),
+    }
+}
+
+fn decode_failure(code: u8, a: u64, b: u64, message: String) -> SbrlError {
+    let as_usize = |v: u64| usize::try_from(v).unwrap_or(usize::MAX);
+    match code {
+        ERR_INVALID_REQUEST => SbrlError::InvalidConfig { what: "serve.remote", message },
+        ERR_UNKNOWN_MODEL => {
+            SbrlError::Persist(PersistError::UnknownModel { name: message, known: Vec::new() })
+        }
+        ERR_OVERLOADED => SbrlError::Overloaded { depth: as_usize(a), limit: as_usize(b) },
+        ERR_TIMED_OUT => {
+            SbrlError::TimedOut { iteration: as_usize(a), elapsed: Duration::from_millis(b) }
+        }
+        ERR_WORKER_PANIC => SbrlError::WorkerPanic { task: as_usize(a) },
+        ERR_SERVICE_STOPPED => SbrlError::ServiceStopped { reason: message },
+        _ => SbrlError::InvalidConfig { what: "serve.remote", message },
+    }
+}
+
+/// Serializes a message into one complete frame (header, payload, CRC).
+pub fn encode_message(msg: &Message) -> Result<Vec<u8>, WireError> {
+    let mut payload = Vec::new();
+    let kind = match msg {
+        Message::Predict { model, x } => {
+            put_str(&mut payload, model)?;
+            put_u32(&mut payload, wire_dim(x.rows(), "request rows")?);
+            put_u32(&mut payload, wire_dim(x.cols(), "request cols")?);
+            put_f64s(&mut payload, x.as_slice());
+            KIND_PREDICT
+        }
+        Message::Prediction { y0_hat, y1_hat } => {
+            if y0_hat.len() != y1_hat.len() {
+                return Err(malformed(format!(
+                    "prediction arms disagree: {} vs {} rows",
+                    y0_hat.len(),
+                    y1_hat.len()
+                )));
+            }
+            let n = u32::try_from(y0_hat.len())
+                .map_err(|_| malformed("prediction row count does not fit a u32"))?;
+            put_u32(&mut payload, n);
+            put_f64s(&mut payload, y0_hat);
+            put_f64s(&mut payload, y1_hat);
+            KIND_PREDICTION
+        }
+        Message::Failure(e) => {
+            let (code, a, b, message) = encode_failure(e);
+            payload.push(code);
+            put_u64(&mut payload, a);
+            put_u64(&mut payload, b);
+            put_str(&mut payload, &message)?;
+            KIND_FAILURE
+        }
+        Message::Health => KIND_HEALTH,
+        Message::HealthReport(report) => {
+            payload.push(u8::from(report.ready));
+            let depth = u32::try_from(report.queue_depth).unwrap_or(u32::MAX);
+            let max = u32::try_from(report.queue_max).unwrap_or(u32::MAX);
+            put_u32(&mut payload, depth);
+            put_u32(&mut payload, max);
+            let n = u32::try_from(report.models.len())
+                .map_err(|_| malformed("model count does not fit a u32"))?;
+            put_u32(&mut payload, n);
+            for name in &report.models {
+                put_str(&mut payload, name)?;
+            }
+            KIND_HEALTH_REPORT
+        }
+    };
+    if payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(WireError::FrameTooLarge { len: payload.len(), max: MAX_FRAME_PAYLOAD });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CRC_LEN);
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(kind);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding: the bounds-checked cursor over untrusted bytes
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over untrusted wire bytes; every read validates
+/// length *before* touching data, so the decode path cannot panic and
+/// cannot allocate from an unvalidated length field.
+struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> WireReader<'a> {
+    fn new(buf: &'a [u8], what: &'static str) -> Self {
+        WireReader { buf, pos: 0, what }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| malformed(format!("length overflow in {}", self.what)))?;
+        match self.buf.get(self.pos..end) {
+            Some(slice) => {
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(WireError::Truncated {
+                what: self.what,
+                needed: n,
+                available: self.remaining(),
+            }),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let bytes = self.take(1)?;
+        bytes.first().copied().ok_or_else(|| malformed("empty take(1)"))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let mut a = [0u8; 4];
+        a.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a `u32` element count and validates that `count * elem_bytes`
+    /// bytes are still present — the OOM guard that turns a corrupted count
+    /// into a typed [`WireError::Truncated`], never a huge allocation.
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, WireError> {
+        let count = self.u32()? as usize;
+        let needed = count
+            .checked_mul(elem_bytes.max(1))
+            .ok_or_else(|| malformed(format!("count {count} overflows in {}", self.what)))?;
+        if needed > self.remaining() {
+            return Err(WireError::Truncated {
+                what: self.what,
+                needed,
+                available: self.remaining(),
+            });
+        }
+        Ok(count)
+    }
+
+    fn f64s(&mut self, count: usize) -> Result<Vec<f64>, WireError> {
+        let needed = count
+            .checked_mul(8)
+            .ok_or_else(|| malformed(format!("f64 count {count} overflows in {}", self.what)))?;
+        let bytes = self.take(needed)?;
+        let mut out = Vec::with_capacity(count);
+        for chunk in bytes.chunks_exact(8) {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(chunk);
+            out.push(f64::from_le_bytes(a));
+        }
+        Ok(out)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| malformed(format!("non-UTF-8 string in {}", self.what)))
+    }
+
+    /// Asserts the buffer was consumed exactly — trailing bytes mean the
+    /// writer and reader disagree about the layout.
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(malformed(format!(
+                "{} trailing bytes after {}",
+                self.buf.len() - self.pos,
+                self.what
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Parses one complete frame (as produced by [`encode_message`]) back into
+/// a [`Message`], validating magic, version, length bound, and CRC.
+pub fn decode_message(bytes: &[u8]) -> Result<Message, WireError> {
+    let mut r = WireReader::new(bytes, "frame header");
+    let magic = r.take(4)?;
+    if magic != WIRE_MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(magic);
+        return Err(WireError::BadMagic { found });
+    }
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
+    let kind = r.u8()?;
+    let len = r.u32()? as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::FrameTooLarge { len, max: MAX_FRAME_PAYLOAD });
+    }
+    let payload = r.take(len)?;
+    let stored = r.u32()?;
+    r.finish()?;
+    let body_len = bytes.len().saturating_sub(CRC_LEN);
+    let computed = crc32(bytes.get(..body_len).unwrap_or(bytes));
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { stored, computed });
+    }
+    decode_payload(kind, payload)
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
+    let mut r = WireReader::new(payload, "payload");
+    let msg = match kind {
+        KIND_PREDICT => {
+            let model = r.string()?;
+            let rows = r.u32()? as usize;
+            let cols = r.u32()? as usize;
+            if rows == 0 || rows > MAX_WIRE_DIM || cols == 0 || cols > MAX_WIRE_DIM {
+                return Err(malformed(format!(
+                    "request dims {rows}x{cols} outside 1..={MAX_WIRE_DIM}"
+                )));
+            }
+            let n = rows
+                .checked_mul(cols)
+                .ok_or_else(|| malformed(format!("request dims {rows}x{cols} overflow")))?;
+            let needed = n.checked_mul(8).ok_or_else(|| malformed("request bytes overflow"))?;
+            if needed > r.remaining() {
+                return Err(WireError::Truncated {
+                    what: "payload",
+                    needed,
+                    available: r.remaining(),
+                });
+            }
+            let data = r.f64s(n)?;
+            Message::Predict { model, x: Matrix::from_vec(rows, cols, data) }
+        }
+        KIND_PREDICTION => {
+            let n = r.count(16)?;
+            let y0_hat = r.f64s(n)?;
+            let y1_hat = r.f64s(n)?;
+            Message::Prediction { y0_hat, y1_hat }
+        }
+        KIND_FAILURE => {
+            let code = r.u8()?;
+            let a = r.u64()?;
+            let b = r.u64()?;
+            let message = r.string()?;
+            Message::Failure(decode_failure(code, a, b, message))
+        }
+        KIND_HEALTH => Message::Health,
+        KIND_HEALTH_REPORT => {
+            let ready = r.u8()? != 0;
+            let queue_depth = r.u32()? as usize;
+            let queue_max = r.u32()? as usize;
+            let n = r.count(4)?;
+            let mut models = Vec::with_capacity(n);
+            for _ in 0..n {
+                models.push(r.string()?);
+            }
+            Message::HealthReport(HealthReport { ready, queue_depth, queue_max, models })
+        }
+        other => return Err(WireError::UnknownKind { found: other }),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Stream I/O
+// ---------------------------------------------------------------------------
+
+fn read_exact_wire(r: &mut impl Read, buf: &mut [u8], what: &'static str) -> Result<(), WireError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            WireError::Truncated { what, needed: buf.len(), available: 0 }
+        } else {
+            io_fail("read", &e)
+        }
+    })
+}
+
+/// Writes one message as a complete frame and flushes.
+pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<(), WireError> {
+    let frame = encode_message(msg)?;
+    w.write_all(&frame).map_err(|e| io_fail("write", &e))?;
+    w.flush().map_err(|e| io_fail("flush", &e))
+}
+
+/// Reads one complete frame. The header is read and validated first, so a
+/// hostile length field is rejected *before* the payload buffer is sized.
+pub fn read_message(r: &mut impl Read) -> Result<Message, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_wire(r, &mut header, "frame header")?;
+    let mut hr = WireReader::new(&header, "frame header");
+    let magic = hr.take(4)?;
+    if magic != WIRE_MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(magic);
+        return Err(WireError::BadMagic { found });
+    }
+    let version = hr.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
+    let _kind = hr.u8()?;
+    let len = hr.u32()? as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::FrameTooLarge { len, max: MAX_FRAME_PAYLOAD });
+    }
+    let mut rest = vec![0u8; len + CRC_LEN];
+    read_exact_wire(r, &mut rest, "frame body")?;
+    let mut frame = Vec::with_capacity(HEADER_LEN + rest.len());
+    frame.extend_from_slice(&header);
+    frame.extend_from_slice(&rest);
+    decode_message(&frame)
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Timeout/retry knobs of a [`ServeClient`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Budget for establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Per-attempt read/write timeout (clamped by the remaining deadline).
+    pub io_timeout: Duration,
+    /// End-to-end budget per call, including retries and backoff
+    /// (`SBRL_DEADLINE_MS`); `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// Retries after the first attempt, for transient failures only
+    /// (`SBRL_RETRIES`).
+    pub retries: usize,
+    /// Base of the exponential backoff between retries (`SBRL_BACKOFF_MS`);
+    /// attempt `k` sleeps `base * 2^k` plus seeded jitter in `[0, base/2]`.
+    pub backoff_base: Duration,
+    /// Seed of the jitter RNG — fixed seed + fixed failures = identical
+    /// retry schedule, so chaos tests are reproducible.
+    pub retry_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(2),
+            deadline: None,
+            retries: 2,
+            backoff_base: Duration::from_millis(5),
+            retry_seed: 0x5b31_c11e,
+        }
+    }
+}
+
+pub(crate) fn env_u64(name: &'static str) -> Result<Option<u64>, SbrlError> {
+    match std::env::var(name) {
+        Ok(raw) => {
+            let trimmed = raw.trim();
+            if trimmed.is_empty() {
+                return Ok(None);
+            }
+            trimmed.parse::<u64>().map(Some).map_err(|_| SbrlError::InvalidConfig {
+                what: "serve.env",
+                message: format!("{name}='{raw}' is not an unsigned integer"),
+            })
+        }
+        Err(_) => Ok(None),
+    }
+}
+
+impl ClientConfig {
+    /// Defaults overridden by `SBRL_DEADLINE_MS` (0 disables the deadline),
+    /// `SBRL_RETRIES`, and `SBRL_BACKOFF_MS`. A malformed value is a typed
+    /// error, not a silently ignored knob.
+    pub fn from_env() -> Result<Self, SbrlError> {
+        let mut cfg = Self::default();
+        if let Some(ms) = env_u64("SBRL_DEADLINE_MS")? {
+            cfg.deadline = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Some(n) = env_u64("SBRL_RETRIES")? {
+            cfg.retries = usize::try_from(n).unwrap_or(usize::MAX);
+        }
+        if let Some(ms) = env_u64("SBRL_BACKOFF_MS")? {
+            cfg.backoff_base = Duration::from_millis(ms.max(1));
+        }
+        Ok(cfg)
+    }
+}
+
+/// True for wire failures worth retrying: socket errors and corrupt frames
+/// (the connection is re-established). A version mismatch or an oversized
+/// request is deterministic — retrying cannot change the outcome.
+fn transient_wire(e: &WireError) -> bool {
+    !matches!(e, WireError::UnsupportedVersion { .. } | WireError::FrameTooLarge { .. })
+}
+
+/// True for remote application errors worth retrying. Only a worker panic
+/// qualifies (the pool recovers, mirroring the sweep-retry policy);
+/// `Overloaded` and `TimedOut` answers are backpressure signals that a
+/// retry storm would make worse.
+fn transient_remote(e: &SbrlError) -> bool {
+    matches!(e, SbrlError::WorkerPanic { .. })
+}
+
+pub(crate) fn is_timeout_kind(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// A blocking client for the serving socket: one persistent connection,
+/// re-established transparently across retries.
+pub struct ServeClient {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    conn: Option<TcpStream>,
+    rng: u64,
+}
+
+impl ServeClient {
+    /// Creates a client for the server at `addr`. The connection is
+    /// established lazily on the first call, so a refused connect is
+    /// retried like any other transient failure.
+    pub fn connect(addr: SocketAddr, cfg: ClientConfig) -> Self {
+        let rng = cfg.retry_seed | 1;
+        Self { addr, cfg, conn: None, rng }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> &ClientConfig {
+        &self.cfg
+    }
+
+    /// Predicts effects for `x` over the socket. Returns the same typed
+    /// outcomes as the in-process service, plus [`SbrlError::Wire`] for
+    /// unrecoverable transport failures and [`SbrlError::TimedOut`] when
+    /// the deadline expires before an answer arrives.
+    pub fn predict(&mut self, model: &str, x: &Matrix) -> Result<EffectEstimate, SbrlError> {
+        if x.rows() == 0 || x.rows() > MAX_WIRE_DIM || x.cols() == 0 || x.cols() > MAX_WIRE_DIM {
+            return Err(SbrlError::InvalidConfig {
+                what: "serve.request",
+                message: format!(
+                    "request matrix is {}x{}; the wire accepts 1..={MAX_WIRE_DIM} per dimension",
+                    x.rows(),
+                    x.cols()
+                ),
+            });
+        }
+        let request = Message::Predict { model: String::from(model), x: x.clone() };
+        match self.call(&request)? {
+            Message::Prediction { y0_hat, y1_hat } => Ok(EffectEstimate { y0_hat, y1_hat }),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Probes server health and queue pressure.
+    pub fn health(&mut self) -> Result<HealthReport, SbrlError> {
+        match self.call(&Message::Health)? {
+            Message::HealthReport(report) => Ok(report),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// One request/response exchange with bounded retry. Transient
+    /// transport failures reconnect and retry with seeded exponential
+    /// backoff; typed remote failures surface as `Err` (retried only for
+    /// [`transient_remote`] cases); everything is cut off by the deadline.
+    fn call(&mut self, request: &Message) -> Result<Message, SbrlError> {
+        let started = Instant::now();
+        let mut attempt: usize = 0;
+        loop {
+            let io_timeout = match self.remaining(started)? {
+                Some(rem) => self.cfg.io_timeout.min(rem),
+                None => self.cfg.io_timeout,
+            };
+            let outcome = self.attempt(request, io_timeout);
+            match outcome {
+                Ok(Message::Failure(e)) => {
+                    if attempt < self.cfg.retries && transient_remote(&e) {
+                        self.pause(started, attempt)?;
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(e);
+                }
+                Ok(msg) => return Ok(msg),
+                Err(e) => {
+                    // The stream may hold half a frame; never reuse it.
+                    self.conn = None;
+                    if attempt < self.cfg.retries && transient_wire(&e) {
+                        self.pause(started, attempt)?;
+                        attempt += 1;
+                        continue;
+                    }
+                    if self.cfg.deadline.is_some() {
+                        if let WireError::Io { kind, .. } = e {
+                            if is_timeout_kind(kind) {
+                                return Err(timed_out(started));
+                            }
+                        }
+                    }
+                    return Err(SbrlError::Wire(e));
+                }
+            }
+        }
+    }
+
+    /// Remaining deadline budget; `Err(TimedOut)` once spent.
+    fn remaining(&self, started: Instant) -> Result<Option<Duration>, SbrlError> {
+        match self.cfg.deadline {
+            None => Ok(None),
+            Some(d) => match d.checked_sub(started.elapsed()) {
+                Some(rem) if !rem.is_zero() => Ok(Some(rem)),
+                _ => Err(timed_out(started)),
+            },
+        }
+    }
+
+    /// Sleeps the backoff for `attempt`, unless that would overrun the
+    /// deadline (then fails fast with `TimedOut`).
+    fn pause(&mut self, started: Instant, attempt: usize) -> Result<(), SbrlError> {
+        let delay = self.backoff_delay(attempt);
+        if let Some(d) = self.cfg.deadline {
+            if started.elapsed().saturating_add(delay) >= d {
+                return Err(timed_out(started));
+            }
+        }
+        std::thread::sleep(delay);
+        Ok(())
+    }
+
+    /// `base * 2^attempt` plus xorshift jitter in `[0, base/2]` — fully
+    /// determined by `retry_seed`, so tests can pin the schedule.
+    fn backoff_delay(&mut self, attempt: usize) -> Duration {
+        let base = self.cfg.backoff_base.max(Duration::from_millis(1));
+        let shift = u32::try_from(attempt.min(10)).unwrap_or(10);
+        let exp = base.saturating_mul(1u32 << shift);
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let half_base_ns = (base.as_nanos() / 2).min(u128::from(u64::MAX)) as u64;
+        let jitter = Duration::from_nanos(self.rng % (half_base_ns + 1));
+        exp.saturating_add(jitter)
+    }
+
+    fn attempt(&mut self, request: &Message, io_timeout: Duration) -> Result<Message, WireError> {
+        let io_timeout = io_timeout.max(Duration::from_millis(1));
+        if self.conn.is_none() {
+            let connect_budget = self.cfg.connect_timeout.min(io_timeout);
+            let stream = TcpStream::connect_timeout(&self.addr, connect_budget)
+                .map_err(|e| io_fail("connect", &e))?;
+            let _ = stream.set_nodelay(true);
+            self.conn = Some(stream);
+        }
+        let Some(stream) = self.conn.as_mut() else {
+            return Err(WireError::Io { op: "connect", kind: ErrorKind::NotConnected });
+        };
+        stream
+            .set_read_timeout(Some(io_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(io_timeout)))
+            .map_err(|e| io_fail("set timeout", &e))?;
+        write_message(stream, request)?;
+        read_message(stream)
+    }
+}
+
+fn timed_out(started: Instant) -> SbrlError {
+    SbrlError::TimedOut { iteration: 0, elapsed: started.elapsed() }
+}
+
+fn unexpected_reply(msg: &Message) -> SbrlError {
+    let kind = match msg {
+        Message::Predict { .. } => "Predict",
+        Message::Prediction { .. } => "Prediction",
+        Message::Failure(_) => "Failure",
+        Message::Health => "Health",
+        Message::HealthReport(_) => "HealthReport",
+    };
+    SbrlError::Wire(malformed(format!("unexpected {kind} reply")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: &Message) -> Message {
+        let frame = encode_message(msg).expect("encode");
+        decode_message(&frame).expect("decode")
+    }
+
+    #[test]
+    fn predict_frames_round_trip_bit_exactly() {
+        let x = Matrix::from_vec(2, 3, vec![1.0, -2.5, f64::MIN_POSITIVE, 0.0, -0.0, 3.25]);
+        let msg = Message::Predict { model: "CFR+SBRL-HAP".into(), x: x.clone() };
+        match round_trip(&msg) {
+            Message::Predict { model, x: got } => {
+                assert_eq!(model, "CFR+SBRL-HAP");
+                assert_eq!(got.rows(), 2);
+                assert_eq!(got.cols(), 3);
+                let bits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(got.as_slice()), bits(x.as_slice()));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prediction_and_health_frames_round_trip() {
+        let msg = Message::Prediction { y0_hat: vec![1.5, 2.5], y1_hat: vec![-1.0, 0.5] };
+        match round_trip(&msg) {
+            Message::Prediction { y0_hat, y1_hat } => {
+                assert_eq!(y0_hat, vec![1.5, 2.5]);
+                assert_eq!(y1_hat, vec![-1.0, 0.5]);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        assert!(matches!(round_trip(&Message::Health), Message::Health));
+        let report =
+            HealthReport { ready: true, queue_depth: 3, queue_max: 64, models: vec!["a".into()] };
+        match round_trip(&Message::HealthReport(report.clone())) {
+            Message::HealthReport(got) => assert_eq!(got, report),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failures_round_trip_with_their_payloads() {
+        let cases: Vec<SbrlError> = vec![
+            SbrlError::Overloaded { depth: 9, limit: 8 },
+            SbrlError::TimedOut { iteration: 0, elapsed: Duration::from_millis(250) },
+            SbrlError::WorkerPanic { task: 3 },
+            SbrlError::ServiceStopped { reason: "drained".into() },
+            SbrlError::InvalidConfig { what: "serve.request", message: "bad shape".into() },
+            SbrlError::Persist(PersistError::UnknownModel {
+                name: "NOPE".into(),
+                known: vec!["a".into()],
+            }),
+        ];
+        for original in cases {
+            let frame = encode_message(&Message::Failure(original)).expect("encode");
+            let Message::Failure(decoded) = decode_message(&frame).expect("decode") else {
+                panic!("wrong kind");
+            };
+            match decoded {
+                SbrlError::Overloaded { depth, limit } => assert_eq!((depth, limit), (9, 8)),
+                SbrlError::TimedOut { iteration, elapsed } => {
+                    assert_eq!(iteration, 0);
+                    assert_eq!(elapsed, Duration::from_millis(250));
+                }
+                SbrlError::WorkerPanic { task } => assert_eq!(task, 3),
+                SbrlError::ServiceStopped { reason } => assert_eq!(reason, "drained"),
+                SbrlError::InvalidConfig { what, message } => {
+                    assert_eq!(what, "serve.remote");
+                    assert!(message.contains("bad shape"));
+                }
+                SbrlError::Persist(PersistError::UnknownModel { name, .. }) => {
+                    assert_eq!(name, "NOPE");
+                }
+                other => panic!("unexpected decode: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn header_violations_are_typed() {
+        let good = encode_message(&Message::Health).expect("encode");
+        assert!(matches!(decode_message(&[]), Err(WireError::Truncated { .. })));
+        let mut bad_magic = good.clone();
+        if let Some(b) = bad_magic.first_mut() {
+            *b = 0x00;
+        }
+        assert!(matches!(decode_message(&bad_magic), Err(WireError::BadMagic { .. })));
+        let mut bad_version = good.clone();
+        if let Some(b) = bad_version.get_mut(4) {
+            *b = 99;
+        }
+        assert!(matches!(
+            decode_message(&bad_version),
+            Err(WireError::UnsupportedVersion { found: 99 })
+        ));
+        let mut bad_kind = good.clone();
+        if let Some(b) = bad_kind.get_mut(5) {
+            *b = 0xEE;
+        }
+        // The kind byte is covered by the CRC, so flipping it alone trips
+        // the checksum first; repatching the CRC exposes the kind check.
+        assert!(matches!(decode_message(&bad_kind), Err(WireError::ChecksumMismatch { .. })));
+        let body_len = bad_kind.len() - CRC_LEN;
+        let crc = crc32(&bad_kind[..body_len]).to_le_bytes();
+        bad_kind.truncate(body_len);
+        bad_kind.extend_from_slice(&crc);
+        assert!(matches!(decode_message(&bad_kind), Err(WireError::UnknownKind { found: 0xEE })));
+        let mut truncated = good.clone();
+        truncated.truncate(good.len() - 1);
+        assert!(matches!(decode_message(&truncated), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected_before_allocation() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&WIRE_MAGIC);
+        frame.push(WIRE_VERSION);
+        frame.push(KIND_PREDICT);
+        frame.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let crc = crc32(&frame).to_le_bytes();
+        frame.extend_from_slice(&crc);
+        assert!(matches!(decode_message(&frame), Err(WireError::FrameTooLarge { .. })));
+        // A stream reader must reject the same header without sizing a buffer.
+        let mut cursor = std::io::Cursor::new(frame);
+        assert!(matches!(read_message(&mut cursor), Err(WireError::FrameTooLarge { .. })));
+    }
+
+    #[test]
+    fn zero_dim_predict_payloads_are_malformed() {
+        let mut payload = Vec::new();
+        put_str(&mut payload, "m").expect("str");
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 4);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&WIRE_MAGIC);
+        frame.push(WIRE_VERSION);
+        frame.push(KIND_PREDICT);
+        put_u32(&mut frame, payload.len() as u32);
+        frame.extend_from_slice(&payload);
+        let crc = crc32(&frame).to_le_bytes();
+        frame.extend_from_slice(&crc);
+        assert!(matches!(decode_message(&frame), Err(WireError::Malformed { .. })));
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_grows() {
+        let cfg = ClientConfig {
+            backoff_base: Duration::from_millis(4),
+            retry_seed: 42,
+            ..ClientConfig::default()
+        };
+        let addr: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+        let mut a = ServeClient::connect(addr, cfg);
+        let mut b = ServeClient::connect(addr, cfg);
+        let sched_a: Vec<Duration> = (0..4).map(|k| a.backoff_delay(k)).collect();
+        let sched_b: Vec<Duration> = (0..4).map(|k| b.backoff_delay(k)).collect();
+        assert_eq!(sched_a, sched_b, "same seed must give the same schedule");
+        for (k, pair) in sched_a.windows(2).enumerate() {
+            assert!(pair[1] > pair[0], "backoff must grow at attempt {k}");
+        }
+        assert!(sched_a[0] >= Duration::from_millis(4));
+        assert!(sched_a[0] <= Duration::from_millis(6), "jitter bounded by base/2");
+    }
+
+    #[test]
+    fn client_env_knobs_parse_and_reject_garbage() {
+        let cfg = ClientConfig::default();
+        assert_eq!(cfg.retries, 2);
+        assert!(cfg.deadline.is_none());
+        // from_env is exercised without touching process env for the happy
+        // path (no vars set -> defaults); the parser itself is covered via
+        // env_u64's error contract.
+        assert!(env_u64("SBRL_WIRE_TEST_UNSET_VAR").expect("unset is None").is_none());
+    }
+}

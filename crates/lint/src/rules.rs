@@ -12,6 +12,7 @@
 //! | `unsafe`          | unsafe hygiene| every `unsafe` token, tests included         |
 //! | `panic`           | panic-freedom | library (non-bin, non-test) code             |
 //! | `persist_reader`  | panic-freedom | `persist.rs` non-test code, stricter overlay |
+//! | `wire_reader`     | panic-freedom | `wire.rs` non-test code, stricter overlay    |
 //! | `alloc`           | static no-alloc| bodies of `// lint: no_alloc` functions     |
 //! | `annotation`      | meta          | malformed / dangling `lint:` annotations     |
 //!
@@ -75,7 +76,7 @@ pub fn check_file(ctx: &FileContext, lexed: &LexedFile) -> Vec<Diagnostic> {
     determinism_rules(ctx, lexed, &mut out);
     unsafe_rule(ctx, lexed, &mut out);
     panic_rule(ctx, lexed, &mut out);
-    persist_reader_rule(ctx, lexed, &mut out);
+    untrusted_reader_rule(ctx, lexed, &mut out);
     no_alloc_rule(ctx, lexed, &mut out);
     out.sort_by_key(|d| d.line);
     out
@@ -290,50 +291,68 @@ fn panic_rule(ctx: &FileContext, lexed: &LexedFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Persistence-reader hardening: `persist.rs` decodes *untrusted* artifact
-/// bytes, so its non-test code may not use panicking constructs or direct
-/// `[` indexing/slicing — every read must flow through the `try_`-style
-/// `Reader` helpers, which bounds-check and return typed `PersistError`s.
+/// The files that decode *untrusted* bytes, each with its own rule id so
+/// allow annotations and docs stay precise: `(file name, rule id, what the
+/// bytes are, the typed error, the bounds-checked reader helpers)`.
+const READER_SCOPES: &[(&str, &str, &str, &str, &str)] = &[
+    ("persist.rs", "persist_reader", "artifact bytes", "PersistError", "Reader::take/u64/f64s"),
+    (
+        "wire.rs",
+        "wire_reader",
+        "frame bytes off the socket",
+        "WireError",
+        "WireReader::take/u32/f64s",
+    ),
+];
+
+/// Untrusted-reader hardening: `persist.rs` decodes artifact bytes and
+/// `wire.rs` decodes socket frames — both inputs are attacker-shaped, so
+/// their non-test code may not use panicking constructs or direct `[`
+/// indexing/slicing. Every read must flow through the bounds-checked reader
+/// helpers, which return typed errors instead of panicking.
 ///
 /// This is a stricter overlay on the `panic` rule: a `// lint: allow(panic)`
 /// escape elsewhere in the library does not exist here — reader code has no
 /// provably-infallible panics, because the input is attacker-shaped.
-fn persist_reader_rule(ctx: &FileContext, lexed: &LexedFile, out: &mut Vec<Diagnostic>) {
-    if ctx.file_name() != "persist.rs" {
+fn untrusted_reader_rule(ctx: &FileContext, lexed: &LexedFile, out: &mut Vec<Diagnostic>) {
+    let Some(&(_, rule, what, error, helpers)) =
+        READER_SCOPES.iter().find(|(file, ..)| *file == ctx.file_name())
+    else {
         return;
-    }
+    };
     for line_no in 1..=lexed.len() {
         if ctx.is_test_line(line_no) {
             continue;
         }
         let code = lexed.line(line_no).code;
         for token in PANIC_TOKENS {
-            if has_token(&code, token) && !allowed(lexed, line_no, "persist_reader") {
+            if has_token(&code, token) && !allowed(lexed, line_no, rule) {
                 diag(
                     out,
                     ctx,
                     line_no,
-                    "persist_reader",
+                    rule,
                     format!(
-                        "`{token}` in persistence code: artifact bytes are untrusted, \
-                         so every failure mode must surface as a typed PersistError — \
-                         route the read through the try_-style Reader helpers"
+                        "`{token}` in untrusted-reader code: {what} are untrusted, \
+                         so every failure mode must surface as a typed {error} — \
+                         route the read through the {helpers} helpers"
                     ),
                 );
                 break;
             }
         }
-        if has_index_expr(&code) && !allowed(lexed, line_no, "persist_reader") {
+        if has_index_expr(&code) && !allowed(lexed, line_no, rule) {
             diag(
                 out,
                 ctx,
                 line_no,
-                "persist_reader",
-                "direct `[` indexing/slicing in persistence code: out-of-range \
-                 positions in untrusted bytes must become PersistError::Truncated, \
-                 not a panic — use the bounds-checked Reader::take/u64/f64s helpers \
-                 (or slice::get)"
-                    .to_string(),
+                rule,
+                format!(
+                    "direct `[` indexing/slicing in untrusted-reader code: \
+                     out-of-range positions in {what} must become a typed {error}, \
+                     not a panic — use the bounds-checked {helpers} helpers \
+                     (or slice::get)"
+                ),
             );
         }
     }
@@ -459,5 +478,29 @@ mod tests {
         let src = "// lint: allow(persist_reader) — length proven by the section frame\n\
                    fn peek(bytes: &[u8]) -> u8 { bytes[0] }\n";
         assert!(check("crates/core/src/persist.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wire_reader_fires_in_wire_rs_with_its_own_rule_id() {
+        let src = "fn peek(bytes: &[u8]) -> u8 {\n    bytes[0]\n}\n";
+        let found = check("crates/core/src/wire.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "wire_reader");
+        assert!(found[0].message.contains("WireError"), "message: {}", found[0].message);
+
+        let src = "fn read(bytes: &[u8]) -> u8 {\n    decode(bytes).unwrap()\n}\n";
+        let found = check("crates/core/src/wire.rs", src);
+        let rules: Vec<&str> = found.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"wire_reader"), "rules: {rules:?}");
+    }
+
+    #[test]
+    fn wire_reader_allows_with_an_annotation_and_spares_tests() {
+        let src = "// lint: allow(wire_reader) — index bounded by HEADER_LEN check above\n\
+                   fn peek(bytes: &[u8]) -> u8 { bytes[0] }\n";
+        assert!(check("crates/core/src/wire.rs", src).is_empty());
+
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(b: &[u8]) -> u8 { b[0] }\n}\n";
+        assert!(check("crates/core/src/wire.rs", src).is_empty());
     }
 }
